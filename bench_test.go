@@ -1,0 +1,719 @@
+// Package repro's benchmark harness regenerates every figure and
+// evaluation claim of "Interoperable Web Services for Computational
+// Portals" (SC 2002). The paper reports no numeric tables — its evaluation
+// is the set of interoperability exercises and qualitative costs — so each
+// benchmark quantifies one claim's *shape* (who wins, by what factor,
+// where growth bites). EXPERIMENTS.md maps benchmark output to the paper's
+// statements. Run with:
+//
+//	go test -bench=. -benchmem .
+package repro
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/appws"
+	"repro/internal/authsvc"
+	"repro/internal/batchscript"
+	"repro/internal/contextmgr"
+	"repro/internal/core"
+	"repro/internal/databind"
+	"repro/internal/grid"
+	"repro/internal/gss"
+	"repro/internal/jobsub"
+	"repro/internal/portal"
+	"repro/internal/portlet"
+	"repro/internal/schemawizard"
+	"repro/internal/soap"
+	"repro/internal/srb"
+	"repro/internal/srbws"
+	"repro/internal/uddi"
+	"repro/internal/webflow"
+	"repro/internal/wsdl"
+	"repro/internal/xmlregistry"
+)
+
+// ---------------------------------------------------------------------------
+// FIG1 — Figure 1: UI server -> UDDI find -> bind SSP -> SOAP invoke.
+// Decomposes the cost of breaking the stovepipe: direct call, SOAP hop,
+// and full discovery+bind+invoke.
+// ---------------------------------------------------------------------------
+
+func fig1Fixture(b *testing.B) (gen *batchscript.Generator, cl *batchscript.Client,
+	reg *uddi.Registry, tr soap.Transport, tmKey string) {
+	b.Helper()
+	gen = batchscript.NewIUGenerator()
+	ssp := core.NewProvider("iu-ssp", "loopback://iu")
+	ssp.MustRegister(batchscript.NewService(gen))
+	tr = &soap.LoopbackTransport{Handler: ssp.Dispatch}
+	cl = batchscript.NewClient(tr, "loopback://iu/BatchScriptGenerator")
+	reg = uddi.NewRegistry()
+	biz := reg.SaveBusiness(uddi.BusinessEntity{Name: "IU"})
+	if _, err := batchscript.PublishUDDI(reg, biz.Key, "IU BSG",
+		"loopback://iu/BatchScriptGenerator", gen); err != nil {
+		b.Fatal(err)
+	}
+	tm, _ := reg.TModelByName(batchscript.TModelName)
+	return gen, cl, reg, tr, tm.Key
+}
+
+var benchRequest = batchscript.Request{
+	Scheduler: grid.PBS, JobName: "bench", Executable: "/bin/date",
+	Queue: "batch", Nodes: 4, WallTime: time.Hour,
+}
+
+func BenchmarkFigure1_DirectCall(b *testing.B) {
+	gen, _, _, _, _ := fig1Fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Generate(benchRequest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1_SOAPInvoke(b *testing.B) {
+	_, cl, _, _, _ := fig1Fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.GenerateScript(benchRequest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1_DiscoveryBindInvoke(b *testing.B) {
+	_, _, reg, tr, tmKey := fig1Fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		services := reg.FindServiceByTModel(tmKey)
+		if len(services) != 1 {
+			b.Fatal("discovery failed")
+		}
+		cl := batchscript.NewClient(tr, services[0].Bindings[0].AccessPoint)
+		if _, err := cl.GenerateScript(benchRequest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// S3.1a — Globusrun WS: plain-string method vs XML multi-job batching.
+// The XML DTD lets N jobs ride one request; per-job cost falls with N.
+// ---------------------------------------------------------------------------
+
+func globusrunFixture(b *testing.B) *jobsub.GlobusrunClient {
+	b.Helper()
+	g := grid.NewTestbed()
+	g.Authorize("bench@GRID")
+	ssp := core.NewProvider("ssp", "loopback://grid")
+	ssp.MustRegister(jobsub.NewGlobusrunService(g, "bench@GRID"))
+	return jobsub.NewGlobusrunClient(&soap.LoopbackTransport{Handler: ssp.Dispatch}, "loopback://grid/Globusrun")
+}
+
+func BenchmarkS31_JobSubmission_PlainStrings(b *testing.B) {
+	cl := globusrunFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Run("modi4.ncsa.uiuc.edu", "&(executable=/bin/hostname)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkS31_JobSubmission_XMLMultiJob(b *testing.B) {
+	for _, n := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("jobs=%d", n), func(b *testing.B) {
+			cl := globusrunFixture(b)
+			jobs := make([]jobsub.JobRequest, n)
+			for i := range jobs {
+				jobs[i] = jobsub.JobRequest{
+					Host: "modi4.ncsa.uiuc.edu",
+					Spec: grid.JobSpec{Executable: "/bin/hostname"},
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := cl.RunXML(jobs)
+				if err != nil || len(results) != n {
+					b.Fatalf("results=%d err=%v", len(results), err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/job")
+		})
+	}
+}
+
+// S3.1b — Service composition: the batch-job WS calling the Globusrun WS
+// adds one full SOAP hop per request.
+func BenchmarkS31_ServiceComposition(b *testing.B) {
+	inner := globusrunFixture(b)
+	batchSSP := core.NewProvider("batch", "loopback://batch")
+	batchSSP.MustRegister(jobsub.NewBatchJobService(inner))
+	outer := jobsub.NewBatchJobClient(&soap.LoopbackTransport{Handler: batchSSP.Dispatch},
+		"loopback://batch/BatchJobSubmission")
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := inner.Run("modi4.ncsa.uiuc.edu", "&(executable=/bin/hostname)"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("composed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := outer.SubmitBatch("modi4.ncsa.uiuc.edu", "/bin/hostname"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// S3.1c — The IU flavour: direct mini-ORB call vs the SOAP->IIOP bridge.
+func BenchmarkS31_WebFlowBridge(b *testing.B) {
+	g := grid.NewTestbed()
+	g.Authorize("bench@GRID")
+	wfServer := webflow.NewServer()
+	wfServer.RegisterServant(webflow.JobSubmissionKey, &webflow.JobSubmissionModule{Grid: g})
+	if _, err := wfServer.Listen("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer wfServer.Close()
+	orb := webflow.InitORB()
+	defer orb.Shutdown()
+	ref, err := orb.Resolve(wfServer.IOR(webflow.JobSubmissionKey))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bridgeSvc, err := jobsub.NewWebFlowBridgeService(orb, wfServer.IOR(webflow.JobSubmissionKey), "bench@GRID")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ssp := core.NewProvider("iu", "loopback://iu")
+	ssp.MustRegister(bridgeSvc)
+	soapClient := core.NewClient(&soap.LoopbackTransport{Handler: ssp.Dispatch},
+		"loopback://iu/WebFlowJobSubmission", jobsub.WebFlowBridgeContract())
+
+	b.Run("direct-orb", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ref.Invoke("runJob", "bench@GRID", "hpc-sge.iu.edu", "&(executable=/bin/hostname)"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("soap-bridge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := soapClient.CallText("runJob",
+				soap.Str("host", "hpc-sge.iu.edu"),
+				soap.Str("rsl", "&(executable=/bin/hostname)"))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// S3.2 — SRB transfer: "simply streaming the file as a string ... does not
+// scale well". String-streaming vs chunked, across sizes; MB/s reported.
+// ---------------------------------------------------------------------------
+
+func srbFixture(b *testing.B, size int) (*srbws.Client, string) {
+	b.Helper()
+	broker := srb.NewBroker("sdsc")
+	home := broker.CreateUser("bench")
+	data := strings.Repeat("x", size)
+	if err := broker.Sput("bench", home+"/payload", data, ""); err != nil {
+		b.Fatal(err)
+	}
+	ssp := core.NewProvider("srb", "loopback://srb")
+	ssp.MustRegister(srbws.NewService(broker, "bench"))
+	return srbws.NewClient(&soap.LoopbackTransport{Handler: ssp.Dispatch}, "loopback://srb/SRBService"), home
+}
+
+var transferSizes = []int{1 << 10, 64 << 10, 1 << 20, 4 << 20}
+
+func BenchmarkS32_SRBTransfer_StringStream(b *testing.B) {
+	for _, size := range transferSizes {
+		b.Run(sizeName(size), func(b *testing.B) {
+			cl, home := srbFixture(b, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, err := cl.Get(home + "/payload")
+				if err != nil || len(data) != size {
+					b.Fatalf("len=%d err=%v", len(data), err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkS32_SRBTransfer_Chunked64K(b *testing.B) {
+	for _, size := range transferSizes {
+		b.Run(sizeName(size), func(b *testing.B) {
+			cl, home := srbFixture(b, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, err := cl.GetChunked(home+"/payload", 64<<10)
+				if err != nil || len(data) != size {
+					b.Fatalf("len=%d err=%v", len(data), err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkS32_SRBPut_StringStream(b *testing.B) {
+	for _, size := range transferSizes {
+		b.Run(sizeName(size), func(b *testing.B) {
+			cl, home := srbFixture(b, 1)
+			payload := strings.Repeat("y", size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := cl.Put(home+"/up", payload, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	default:
+		return fmt.Sprintf("%dKB", n>>10)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// S3.3 — Decoupling the script generator from the context manager forced
+// "artificial contexts (sessions) for HotPage users", which "introduced
+// unnecessary overhead". Integrated reuse vs per-call placeholder creation
+// vs the standalone (decoupled, stateless) service.
+// ---------------------------------------------------------------------------
+
+func BenchmarkS33_ArtificialContext(b *testing.B) {
+	newCoupled := func() *core.Client {
+		store := contextmgr.NewStore()
+		if err := store.CreatePlaceholder("gateway-user", "cfd", "session1"); err != nil {
+			b.Fatal(err)
+		}
+		ssp := core.NewProvider("ssp", "loopback://x")
+		ssp.MustRegister(batchscript.NewCoupledService(batchscript.NewIUGenerator(), store))
+		return core.NewClient(&soap.LoopbackTransport{Handler: ssp.Dispatch}, "x", batchscript.CoupledContract())
+	}
+	genArgs := func(user, problem, session string) []soap.Value {
+		return []soap.Value{
+			soap.Str("user", user), soap.Str("problem", problem), soap.Str("session", session),
+			soap.Str("scheduler", "PBS"), soap.Str("jobName", "j"), soap.Str("executable", "/bin/date"),
+			soap.StrArray("arguments", nil), soap.Str("stdin", ""), soap.Str("queue", "batch"),
+			soap.Int("nodes", 1), soap.Int("wallTimeSeconds", 600),
+		}
+	}
+	b.Run("integrated-reuse", func(b *testing.B) {
+		// A Gateway user with a long-lived session: context exists once.
+		cl := newCoupled()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Call("generateScript", genArgs("gateway-user", "cfd", "session1")...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("placeholder-per-call", func(b *testing.B) {
+		// A HotPage user: every call first manufactures an artificial
+		// session through the context manager service.
+		store := contextmgr.NewStore()
+		ssp := core.NewProvider("ssp", "loopback://x")
+		ssp.MustRegister(batchscript.NewCoupledService(batchscript.NewIUGenerator(), store))
+		ssp.MustRegister(contextmgr.NewMonolithService(store))
+		tr := &soap.LoopbackTransport{Handler: ssp.Dispatch}
+		gen := core.NewClient(tr, "x", batchscript.CoupledContract())
+		ctx := core.NewClient(tr, "x", contextmgr.MonolithContract())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			session := fmt.Sprintf("tmp-%d", i)
+			if _, err := ctx.Call("createPlaceholderContext",
+				soap.Str("user", "hotpage-user"), soap.Str("problem", "generic"), soap.Str("session", session)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := gen.Call("generateScript", genArgs("hotpage-user", "generic", session)...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decoupled-stateless", func(b *testing.B) {
+		// The redesigned independent service: no context at all.
+		ssp := core.NewProvider("ssp", "loopback://x")
+		ssp.MustRegister(batchscript.NewService(batchscript.NewIUGenerator()))
+		cl := batchscript.NewClient(&soap.LoopbackTransport{Handler: ssp.Dispatch}, "x")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.GenerateScript(batchscript.Request{
+				Scheduler: grid.PBS, Executable: "/bin/date", Queue: "batch",
+				Nodes: 1, WallTime: 10 * time.Minute,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// S3.4 — Discovery: UDDI string-convention search vs the proposed XML
+// container-hierarchy registry's typed query, at growing registry sizes.
+// (Precision is asserted in the uddi and xmlregistry package tests; here
+// the latency shape.)
+// ---------------------------------------------------------------------------
+
+func BenchmarkS34_Discovery(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		reg := uddi.NewRegistry()
+		biz := reg.SaveBusiness(uddi.BusinessEntity{Name: "GCE"})
+		xreg := xmlregistry.NewRegistry()
+		for i := 0; i < n; i++ {
+			scheds := []string{"PBS"}
+			if i%2 == 0 {
+				scheds = []string{"LSF", "NQS"}
+			}
+			if _, err := reg.SaveService(uddi.BusinessService{
+				BusinessKey: biz.Key,
+				Name:        fmt.Sprintf("svc-%d", i),
+				Description: uddi.DescribeCapabilities("generator", scheds),
+			}); err != nil {
+				b.Fatal(err)
+			}
+			props := []xmlregistry.Property{{Name: "interface", Value: batchscript.TModelName}}
+			for _, s := range scheds {
+				props = append(props, xmlregistry.Property{Name: "supportedScheduler", Value: s})
+			}
+			if err := xreg.Put(fmt.Sprintf("services/grp%d/svc%d", i%10, i), "service", props); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("uddi-convention/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := reg.FindByParsedConvention("NQS"); len(got) != n/2+n%2 {
+					b.Fatalf("matches=%d", len(got))
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("xmlregistry-typed/n=%d", n), func(b *testing.B) {
+			q := xmlregistry.Query{
+				Type:       "service",
+				PropEquals: []xmlregistry.Property{{Name: "supportedScheduler", Value: "NQS"}},
+			}
+			for i := 0; i < b.N; i++ {
+				got, err := xreg.Find(q)
+				if err != nil || len(got) != n/2+n%2 {
+					b.Fatalf("matches=%d err=%v", len(got), err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// FIG2 — The atomic authentication step: cost of SAML assertion signing +
+// Authentication Service verification per call, local and over SOAP.
+// ---------------------------------------------------------------------------
+
+func authFixture(b *testing.B) (*authsvc.ClientSession, *authsvc.Service, *authsvc.Client) {
+	b.Helper()
+	kdc := gss.NewKDC("GRID")
+	kdc.AddPrincipal("bench", "pw")
+	kdc.AddPrincipal("authsvc/grid", "sk")
+	kt, err := kdc.Keytab("authsvc/grid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	service := authsvc.NewService(kt)
+	authSSP := core.NewProvider("auth", "loopback://auth")
+	authSSP.MustRegister(authsvc.NewSOAPService(service))
+	remote := authsvc.NewClient(&soap.LoopbackTransport{Handler: authSSP.Dispatch},
+		"loopback://auth/AuthenticationService")
+	session, err := authsvc.Login(kdc, "bench", "pw", "authsvc/grid", service.EstablishSession, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return session, service, remote
+}
+
+func echoProvider(interceptor core.ServerInterceptor) *core.Provider {
+	contract := &wsdl.Interface{Name: "Echo", TargetNS: "urn:bench:echo",
+		Operations: []wsdl.Operation{{Name: "ping",
+			Output: []wsdl.Param{{Name: "pong", Type: "string"}}}}}
+	p := core.NewProvider("spp", "loopback://spp")
+	if interceptor != nil {
+		p.Use(interceptor)
+	}
+	p.MustRegister(core.NewService(contract).Handle("ping",
+		func(ctx *core.Context, _ soap.Args) ([]soap.Value, error) {
+			return []soap.Value{soap.Str("pong", ctx.Principal)}, nil
+		}))
+	return p
+}
+
+func echoClient(p *core.Provider) *core.Client {
+	contract := &wsdl.Interface{Name: "Echo", TargetNS: "urn:bench:echo",
+		Operations: []wsdl.Operation{{Name: "ping",
+			Output: []wsdl.Param{{Name: "pong", Type: "string"}}}}}
+	return core.NewClient(&soap.LoopbackTransport{Handler: p.Dispatch}, "x", contract)
+}
+
+func BenchmarkFig2_AuthOverhead(b *testing.B) {
+	session, service, remote := authFixture(b)
+	b.Run("unauthenticated", func(b *testing.B) {
+		cl := echoClient(echoProvider(nil))
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.CallText("ping"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("saml-local-verify", func(b *testing.B) {
+		cl := echoClient(echoProvider(authsvc.RequireAssertion(&authsvc.LocalVerifier{Service: service})))
+		cl.Use(session.Interceptor())
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.CallText("ping"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("saml-forwarded-verify", func(b *testing.B) {
+		// The paper's deployment: the SPP forwards each assertion to the
+		// Authentication Service over SOAP.
+		cl := echoClient(echoProvider(authsvc.RequireAssertion(remote)))
+		cl.Use(session.Interceptor())
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.CallText("ping"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// FIG3 — Schema wizard: schema -> SOM -> widgets -> form, and the form ->
+// instance -> reload round trip, as schema size grows.
+// ---------------------------------------------------------------------------
+
+func wizardSchema(fields int) string {
+	var b strings.Builder
+	b.WriteString(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element name="app"><xs:complexType><xs:sequence>`)
+	for i := 0; i < fields; i++ {
+		switch i % 4 {
+		case 0:
+			fmt.Fprintf(&b, `<xs:element name="text%d" type="xs:string" default="v"/>`, i)
+		case 1:
+			fmt.Fprintf(&b, `<xs:element name="num%d" type="xs:int" default="1"/>`, i)
+		case 2:
+			fmt.Fprintf(&b, `<xs:element name="enum%d"><xs:simpleType><xs:restriction base="xs:string"><xs:enumeration value="a"/><xs:enumeration value="b"/></xs:restriction></xs:simpleType></xs:element>`, i)
+		default:
+			fmt.Fprintf(&b, `<xs:element name="list%d" type="xs:string" maxOccurs="unbounded" minOccurs="0"/>`, i)
+		}
+	}
+	b.WriteString(`</xs:sequence></xs:complexType></xs:element></xs:schema>`)
+	return b.String()
+}
+
+func BenchmarkFig3_SchemaWizard(b *testing.B) {
+	for _, fields := range []int{5, 25, 100} {
+		doc := wizardSchema(fields)
+		b.Run(fmt.Sprintf("parse/fields=%d", fields), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := databind.ParseSchema(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		schema, err := databind.ParseSchema(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("render-form/fields=%d", fields), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				page := schemawizard.RenderForm("/x", schema.Roots[0], nil)
+				if len(page) == 0 {
+					b.Fatal("empty page")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("instance-roundtrip/fields=%d", fields), func(b *testing.B) {
+			obj := databind.NewDataObject(schema.Roots[0])
+			for j := 0; j < fields; j++ {
+				if j%4 == 2 {
+					if err := obj.SetField(fmt.Sprintf("enum%d", j), "a"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				el := obj.Marshal()
+				if _, err := databind.Unmarshal(schema.Roots[0], el); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// S5.2 — "Converting all of the Castor methods to WSDL ... is not really a
+// practical interface": adapter facade vs raw accessor walk for the same
+// job preparation, plus the method-count gap reported as a metric.
+// ---------------------------------------------------------------------------
+
+func BenchmarkS52_AdapterFacade(b *testing.B) {
+	desc := &appws.Descriptor{
+		Name: "Gaussian", Version: "98",
+		Hosts: []appws.HostBinding{{
+			DNS: "bluehorizon.sdsc.edu", IP: "1.2.3.4",
+			Executable: "/usr/local/bin/gaussian",
+			Queue:      appws.QueueBinding{Scheduler: grid.LSF, Queue: "normal", MaxNodes: 64, MaxWallTime: 4 * time.Hour},
+		}},
+	}
+	schema, err := databind.ParseSchema(wizardSchema(24))
+	if err != nil {
+		b.Fatal(err)
+	}
+	generated := len(databind.AccessorNames(schema.Roots[0]))
+	facade := len(appws.AdapterMethodNames())
+	b.Run("facade", func(b *testing.B) {
+		b.ReportMetric(float64(facade), "methods")
+		for i := 0; i < b.N; i++ {
+			a := appws.NewAdapter(desc)
+			if err := a.ChooseHost("bluehorizon.sdsc.edu"); err != nil {
+				b.Fatal(err)
+			}
+			_ = a.SetNodes(8)
+			a.SetWallTime(time.Hour)
+			a.SetArguments([]string{"-v"})
+			if _, _, err := a.RunRequest(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("generated-accessors", func(b *testing.B) {
+		b.ReportMetric(float64(generated), "methods")
+		for i := 0; i < b.N; i++ {
+			obj := databind.NewDataObject(schema.Roots[0])
+			for j := 0; j < 24; j += 4 {
+				if err := obj.SetField(fmt.Sprintf("text%d", j), "value"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if obj.Marshal() == nil {
+				b.Fatal("nil marshal")
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// S5.4 — Portlet aggregation: page assembly cost as portlet count grows
+// (real HTTP fetches per portlet).
+// ---------------------------------------------------------------------------
+
+func BenchmarkS54_PortletAggregation(b *testing.B) {
+	remote := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `<p>content</p><a href="/next">next</a>`)
+	}))
+	defer remote.Close()
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("portlets=%d", n), func(b *testing.B) {
+			c := portlet.NewContainer(remote.Client(), "/portal")
+			for i := 0; i < n; i++ {
+				if err := c.Register(portlet.Entry{
+					Name: fmt.Sprintf("p%d", i), Type: "WebFormPortlet",
+					URL: remote.URL + "/", Title: fmt.Sprintf("P%d", i),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				page := c.RenderPage("bench")
+				if strings.Count(page, `<table class="portlet"`) != n {
+					b.Fatal("aggregation wrong")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// FIG4 — The portal shell: pipelines linking 1..3 core services.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig4_PortalShell(b *testing.B) {
+	g := grid.NewTestbed()
+	g.Authorize("bench@GRID")
+	broker := srb.NewBroker("sdsc")
+	broker.CreateUser("bench")
+	ssp := core.NewProvider("ssp", "loopback://ssp")
+	ssp.MustRegister(jobsub.NewGlobusrunService(g, "bench@GRID"))
+	ssp.MustRegister(srbws.NewService(broker, "bench"))
+	ssp.MustRegister(batchscript.NewService(batchscript.NewIUGenerator()))
+	tr := &soap.LoopbackTransport{Handler: ssp.Dispatch}
+	sh := portal.NewStandardShell(portal.Services{
+		Script:    batchscript.NewClient(tr, "loopback://ssp/BatchScriptGenerator"),
+		Globusrun: jobsub.NewGlobusrunClient(tr, "loopback://ssp/Globusrun"),
+		SRB:       srbws.NewClient(tr, "loopback://ssp/SRBService"),
+	})
+	pipelines := map[string]string{
+		"1-stage": `genscript PBS batch 2 10 /bin/echo out`,
+		"2-stage": `genscript PBS batch 2 10 /bin/echo out | submitscript modi4.ncsa.uiuc.edu PBS`,
+		"3-stage": `genscript PBS batch 2 10 /bin/echo out | submitscript modi4.ncsa.uiuc.edu PBS | srbput /sdsc/home/bench/out`,
+	}
+	for _, name := range []string{"1-stage", "2-stage", "3-stage"} {
+		line := pipelines[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sh.Run(line); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation — raw messaging layer: envelope encode/decode and full loopback
+// round trip, isolating the XML cost every experiment above pays.
+// ---------------------------------------------------------------------------
+
+func BenchmarkAblation_SOAPEnvelope(b *testing.B) {
+	call := &soap.Call{ServiceNS: "urn:bench", Method: "op", Params: []soap.Value{
+		soap.Str("a", strings.Repeat("x", 256)), soap.Int("b", 42), soap.Bool("c", true),
+	}}
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(call.Envelope().Render()) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	wire := call.Envelope().Render()
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			env, err := soap.ParseEnvelope(wire)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := soap.ParseCall(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

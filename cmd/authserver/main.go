@@ -1,0 +1,56 @@
+// Command authserver runs the Figure 2 Authentication Service: the single
+// well-secured holder of the service keytab, issuing sessions and
+// verifying SAML assertions for SOAP Service Providers.
+//
+// Principals are supplied as repeated -principal name:password flags:
+//
+//	authserver -addr :8082 -realm GRID.IU.EDU -principal cyoun:hunter2
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/authsvc"
+	"repro/internal/core"
+	"repro/internal/gss"
+)
+
+type principalList []string
+
+func (p *principalList) String() string { return strings.Join(*p, ",") }
+func (p *principalList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8082", "listen address")
+	realm := flag.String("realm", "GRID.IU.EDU", "Kerberos realm")
+	servicePrincipal := flag.String("service", "authsvc/localhost", "service principal")
+	serviceKey := flag.String("servicekey", "keytab-secret", "service principal password")
+	var principals principalList
+	flag.Var(&principals, "principal", "user principal as name:password (repeatable)")
+	flag.Parse()
+
+	kdc := gss.NewKDC(*realm)
+	kdc.AddPrincipal(*servicePrincipal, *serviceKey)
+	for _, p := range principals {
+		name, password, ok := strings.Cut(p, ":")
+		if !ok {
+			log.Fatalf("bad -principal %q, want name:password", p)
+		}
+		kdc.AddPrincipal(name, password)
+		log.Printf("registered principal %s@%s", name, *realm)
+	}
+	keytab, err := kdc.Keytab(*servicePrincipal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	provider := core.NewProvider("auth", "http://localhost"+*addr)
+	provider.MustRegister(authsvc.NewSOAPService(authsvc.NewService(keytab)))
+	log.Printf("Authentication Service (%s) listening on %s", *servicePrincipal, *addr)
+	log.Fatal(http.ListenAndServe(*addr, provider))
+}

@@ -1,0 +1,72 @@
+// Command batchgen is the interoperable batch-script client of Section
+// 3.4: point it at any endpoint implementing the agreed WSDL interface
+// (IU's or SDSC's) and generate a script. With no endpoint it runs an
+// in-process generator.
+//
+//	batchgen -endpoint http://host:8080/ssp/BatchScriptGenerator \
+//	    -scheduler PBS -queue batch -nodes 4 -wall 60 /usr/local/bin/app arg1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/batchscript"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/soap"
+)
+
+func main() {
+	endpoint := flag.String("endpoint", "", "remote service endpoint (empty: in-process IU+SDSC generator)")
+	scheduler := flag.String("scheduler", "PBS", "queuing system: PBS, LSF, NQS, GRD")
+	queue := flag.String("queue", "", "queue name")
+	jobName := flag.String("name", "portaljob", "job name")
+	nodes := flag.Int("nodes", 1, "node count")
+	wall := flag.Int("wall", 60, "walltime in minutes")
+	list := flag.Bool("list", false, "list supported schedulers and exit")
+	flag.Parse()
+
+	var client *batchscript.Client
+	if *endpoint != "" {
+		client = batchscript.NewClient(&soap.HTTPTransport{}, *endpoint)
+	} else {
+		// In-process: one generator covering all four dialects.
+		gen := &batchscript.Generator{Group: "local", Supported: grid.AllSchedulerKinds}
+		provider := core.NewProvider("local", "loopback://local")
+		provider.MustRegister(batchscript.NewService(gen))
+		client = batchscript.NewClient(&soap.LoopbackTransport{Handler: provider.Dispatch},
+			"loopback://local/BatchScriptGenerator")
+	}
+	if *list {
+		names, err := client.ListSchedulers()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		log.Fatal("usage: batchgen [flags] <executable> [args...]")
+	}
+	script, err := client.GenerateScript(batchscript.Request{
+		Scheduler:  grid.SchedulerKind(*scheduler),
+		JobName:    *jobName,
+		Executable: flag.Arg(0),
+		Arguments:  flag.Args()[1:],
+		Queue:      *queue,
+		Nodes:      *nodes,
+		WallTime:   time.Duration(*wall) * time.Minute,
+	})
+	if err != nil {
+		if pe := soap.AsPortalError(err); pe != nil {
+			log.Fatalf("portal error %s: %s", pe.Code, pe.Message)
+		}
+		log.Fatal(err)
+	}
+	fmt.Print(script)
+}

@@ -1,0 +1,39 @@
+// Command gridnode runs one simulated HPC machine behind a Globusrun SOAP
+// service: a gatekeeper, a batch scheduler in the chosen dialect, and the
+// standard synthetic executables.
+//
+//	gridnode -addr :8083 -host modi4.ncsa.uiuc.edu -scheduler PBS -cpus 48
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/jobsub"
+)
+
+func main() {
+	addr := flag.String("addr", ":8083", "listen address")
+	hostName := flag.String("host", "modi4.ncsa.uiuc.edu", "simulated host DNS name")
+	scheduler := flag.String("scheduler", "PBS", "queuing system: PBS, LSF, NQS, or GRD")
+	cpus := flag.Int("cpus", 32, "processor count")
+	principal := flag.String("principal", "guest", "grid-map entry and default SOAP principal")
+	flag.Parse()
+
+	g := grid.NewGrid()
+	g.AddHost(grid.HostConfig{
+		Name:      *hostName,
+		IP:        "127.0.0.1",
+		CPUs:      *cpus,
+		Scheduler: grid.SchedulerKind(*scheduler),
+	})
+	g.Authorize(*principal)
+
+	provider := core.NewProvider("gridnode", "http://localhost"+*addr)
+	provider.MustRegister(jobsub.NewGlobusrunService(g, *principal))
+	log.Printf("grid node %s (%s, %d cpus) listening on %s", *hostName, *scheduler, *cpus, *addr)
+	log.Fatal(http.ListenAndServe(*addr, provider))
+}

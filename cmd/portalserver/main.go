@@ -1,0 +1,167 @@
+// Command portalserver runs the complete portal stack on one HTTP server:
+// the simulated grid testbed and SRB, every core portal Web Service
+// (Globusrun, batch job, SRB, batch script generation, context manager,
+// application service), a UDDI registry with all services published, the
+// Authentication Service, the schema wizard, and the portlet container.
+//
+//	portalserver -addr :8080 -user guest
+//
+// Useful endpoints once running:
+//
+//	/ssp/<Service>?wsdl        WSDL of each deployed service
+//	/uddi/UDDIRegistry         UDDI SOAP endpoint
+//	/auth/AuthenticationService SAML verification endpoint
+//	/portal/                   aggregated portlet page
+//	/wizard/gaussian/          schema-wizard generated form
+//	/inspection.wsil           WS-Inspection document
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/appws"
+	"repro/internal/authsvc"
+	"repro/internal/batchscript"
+	"repro/internal/contextmgr"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/gss"
+	"repro/internal/jobsub"
+	"repro/internal/portlet"
+	"repro/internal/schemawizard"
+	"repro/internal/soap"
+	"repro/internal/srb"
+	"repro/internal/srbws"
+	"repro/internal/uddi"
+	"repro/internal/wsil"
+)
+
+const gaussianSchema = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="gaussianRun">
+    <xs:complexType><xs:sequence>
+      <xs:element name="method">
+        <xs:simpleType><xs:restriction base="xs:string">
+          <xs:enumeration value="HF"/><xs:enumeration value="B3LYP"/><xs:enumeration value="MP2"/>
+        </xs:restriction></xs:simpleType>
+      </xs:element>
+      <xs:element name="basis" type="xs:int" default="6"/>
+      <xs:element name="nodes" type="xs:int" default="4"/>
+      <xs:element name="molecule" type="xs:string"/>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	user := flag.String("user", "guest", "default portal principal")
+	baseURL := flag.String("base", "", "externally visible base URL (default http://localhost<addr>)")
+	flag.Parse()
+	base := *baseURL
+	if base == "" {
+		base = "http://localhost" + *addr
+	}
+
+	// Substrate.
+	testbed := grid.NewTestbed()
+	testbed.Authorize(*user)
+	broker := srb.NewBroker("sdsc")
+	home := broker.CreateUser(*user)
+	store := contextmgr.NewStore()
+
+	// Core services on one SSP.
+	ssp := core.NewProvider("portal-ssp", base+"/ssp")
+	loop := &soap.LoopbackTransport{Handler: ssp.Dispatch}
+	globusrunClient := jobsub.NewGlobusrunClient(loop, base+"/ssp/Globusrun")
+	ssp.MustRegister(jobsub.NewGlobusrunService(testbed, *user))
+	ssp.MustRegister(jobsub.NewBatchJobService(globusrunClient))
+	ssp.MustRegister(srbws.NewService(broker, *user))
+	ssp.MustRegister(batchscript.NewService(batchscript.NewIUGenerator()))
+	ssp.MustRegister(contextmgr.NewMonolithService(store))
+	manager := appws.NewManager(globusrunClient)
+	manager.SRB = srbws.NewClient(loop, base+"/ssp/SRBService")
+	manager.ArchiveCollection = home
+	ssp.MustRegister(appws.NewService(manager))
+
+	// UDDI with everything published.
+	registry := uddi.NewRegistry()
+	biz := registry.SaveBusiness(uddi.BusinessEntity{Name: "Portal Server", Description: "all-in-one deployment"})
+	for _, svc := range ssp.Services() {
+		tm := registry.SaveTModel(uddi.TModel{
+			Name:        "gce:" + svc.Contract.Name,
+			OverviewURL: ssp.EndpointFor(svc) + "?wsdl",
+		})
+		if _, err := registry.SaveService(uddi.BusinessService{
+			BusinessKey: biz.Key,
+			Name:        svc.Contract.Name,
+			Description: svc.Contract.Doc,
+			Bindings:    []uddi.BindingTemplate{{AccessPoint: ssp.EndpointFor(svc), TModelKeys: []string{tm.Key}}},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	uddiSSP := core.NewProvider("uddi-ssp", base+"/uddi")
+	uddiSSP.MustRegister(uddi.NewService(registry))
+
+	// Authentication Service.
+	kdc := gss.NewKDC("PORTAL.LOCAL")
+	kdc.AddPrincipal(*user, "guest")
+	kdc.AddPrincipal("authsvc/portal.local", "keytab-secret")
+	keytab, err := kdc.Keytab("authsvc/portal.local")
+	if err != nil {
+		log.Fatal(err)
+	}
+	authSSP := core.NewProvider("auth-ssp", base+"/auth")
+	authSSP.MustRegister(authsvc.NewSOAPService(authsvc.NewService(keytab)))
+
+	// Schema wizard app.
+	parser := &schemawizard.SchemaParser{Fetch: func(string) (string, error) { return gaussianSchema, nil }}
+	wizardApp, err := parser.Parse("mem://gaussian.xsd", "gaussian", "gaussianRun")
+	if err != nil {
+		log.Fatal(err)
+	}
+	wizardMux := http.NewServeMux()
+	wizardApp.Deploy(wizardMux)
+
+	// Portlet container aggregating the wizard UI.
+	container := portlet.NewContainer(&http.Client{Timeout: 10 * time.Second}, "/portal")
+	if err := container.Register(portlet.Entry{
+		Name: "gaussian-ui", Type: "WebFormPortlet",
+		URL: base + "/wizard/gaussian/", Title: "Gaussian",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// WS-Inspection document.
+	inspection := wsil.NewPublisher()
+	for _, svc := range ssp.Services() {
+		inspection.AddService(wsil.ServiceEntry{
+			Name:         svc.Contract.Name,
+			Abstract:     svc.Contract.Doc,
+			WSDLLocation: ssp.EndpointFor(svc) + "?wsdl",
+		})
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/ssp/", http.StripPrefix("/ssp", ssp))
+	mux.Handle("/uddi/", http.StripPrefix("/uddi", uddiSSP))
+	mux.Handle("/auth/", http.StripPrefix("/auth", authSSP))
+	mux.Handle("/wizard/", http.StripPrefix("/wizard", wizardMux))
+	mux.Handle("/portal/", container)
+	mux.Handle(wsil.WellKnownPath, inspection)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "computational portal server\nservices:\n")
+		for _, svc := range ssp.Services() {
+			fmt.Fprintf(w, "  %s?wsdl\n", ssp.EndpointFor(svc))
+		}
+		fmt.Fprintf(w, "uddi: %s/uddi/UDDIRegistry\nauth: %s/auth/AuthenticationService\n", base, base)
+		fmt.Fprintf(w, "portal page: %s/portal/\nwizard: %s/wizard/gaussian/\n", base, base)
+	})
+
+	log.Printf("portal server listening on %s (base %s)", *addr, base)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

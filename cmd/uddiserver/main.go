@@ -1,0 +1,24 @@
+// Command uddiserver runs a standalone UDDI registry as a SOAP web
+// service, the discovery hub of Figure 1.
+//
+//	uddiserver -addr :8081
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/uddi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8081", "listen address")
+	flag.Parse()
+	registry := uddi.NewRegistry()
+	provider := core.NewProvider("uddi", "http://localhost"+*addr)
+	provider.MustRegister(uddi.NewService(registry))
+	log.Printf("UDDI registry listening on %s (endpoint /UDDIRegistry, WSDL at /UDDIRegistry?wsdl)", *addr)
+	log.Fatal(http.ListenAndServe(*addr, provider))
+}

@@ -1,0 +1,112 @@
+// Command batchinterop reproduces the Section 3.4 interoperability
+// exercise: IU and SDSC deploy independent implementations of the agreed
+// batch script interface, register them in UDDI with the string-convention
+// capability descriptions, and a client searches by queuing system, binds
+// to whichever provider supports it, generates a script, and finally runs
+// the script on the matching simulated testbed machine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/batchscript"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/soap"
+	"repro/internal/uddi"
+)
+
+// hostFor maps each queuing system to its testbed machine.
+var hostFor = map[grid.SchedulerKind]string{
+	grid.PBS: "modi4.ncsa.uiuc.edu",
+	grid.LSF: "bluehorizon.sdsc.edu",
+	grid.NQS: "tcsini.psc.edu",
+	grid.GRD: "hpc-sge.iu.edu",
+}
+
+func main() {
+	// Two groups, two SSPs, one agreed contract.
+	iuSSP := core.NewProvider("iu-ssp", "loopback://iu")
+	iuSSP.MustRegister(batchscript.NewService(batchscript.NewIUGenerator()))
+	sdscSSP := core.NewProvider("sdsc-ssp", "loopback://sdsc")
+	sdscSSP.MustRegister(batchscript.NewService(batchscript.NewSDSCGenerator()))
+	tr := &soap.LoopbackTransport{Endpoints: map[string]soap.EnvelopeHandler{
+		"loopback://iu/BatchScriptGenerator":   iuSSP.Dispatch,
+		"loopback://sdsc/BatchScriptGenerator": sdscSSP.Dispatch,
+	}}
+
+	// Publish both into UDDI.
+	reg := uddi.NewRegistry()
+	iu := reg.SaveBusiness(uddi.BusinessEntity{Name: "IU Community Grids Lab"})
+	sdsc := reg.SaveBusiness(uddi.BusinessEntity{Name: "SDSC"})
+	mustKey(batchscript.PublishUDDI(reg, iu.Key, "IU Batch Script Generator",
+		"loopback://iu/BatchScriptGenerator", batchscript.NewIUGenerator()))
+	mustKey(batchscript.PublishUDDI(reg, sdsc.Key, "SDSC Batch Script Generator",
+		"loopback://sdsc/BatchScriptGenerator", batchscript.NewSDSCGenerator()))
+
+	tm, _ := reg.TModelByName(batchscript.TModelName)
+	fmt.Printf("UDDI holds %d implementations of %s\n\n",
+		len(reg.FindServiceByTModel(tm.Key)), batchscript.TModelName)
+
+	// The testbed the scripts will run on.
+	testbed := grid.NewTestbed()
+
+	// For every queuing system: discover a provider, generate, run.
+	for _, kind := range grid.AllSchedulerKinds {
+		providers := reg.FindByParsedConvention(string(kind))
+		if len(providers) != 1 {
+			log.Fatalf("%s: expected exactly one provider, found %d", kind, len(providers))
+		}
+		p := providers[0]
+		fmt.Printf("== %s: served by %q ==\n", kind, p.Name)
+		client := batchscript.NewClient(tr, p.Bindings[0].AccessPoint)
+		script, err := client.GenerateScript(batchscript.Request{
+			Scheduler:  kind,
+			JobName:    "interop-" + string(kind),
+			Executable: "/bin/echo",
+			Arguments:  []string{"interop", "via", string(kind)},
+			Nodes:      2,
+			WallTime:   10 * time.Minute,
+		})
+		check(err)
+		fmt.Print(script)
+
+		// Run the generated script on the matching machine.
+		host, _ := testbed.Host(hostFor[kind])
+		spec, err := grid.ParseScript(kind, script)
+		check(err)
+		id, err := host.Scheduler.Submit(spec)
+		check(err)
+		host.Scheduler.Drain()
+		job, _ := host.Scheduler.Status(id)
+		fmt.Printf("ran on %s -> %s: %s\n", host.Name, job.State, job.Result.Stdout)
+	}
+
+	// And the paper's UDDI critique, live: a naive description search for
+	// "PBS" also matches services that merely mention it.
+	_, err := reg.SaveService(uddi.BusinessService{
+		BusinessKey: iu.Key,
+		Name:        "Migration Notes",
+		Description: "Documentation for groups migrating away from PBS.",
+	})
+	check(err)
+	naive := reg.FindByConvention("PBS")
+	parsed := reg.FindByParsedConvention("PBS")
+	fmt.Printf("UDDI precision: naive substring search for PBS returns %d services, parsed convention returns %d\n",
+		len(naive), len(parsed))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustKey(key string, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = key
+}

@@ -1,0 +1,122 @@
+// Command portlets demonstrates Section 5.4: a Jetspeed-style container
+// aggregates remote user interfaces — here the schema wizard's generated
+// Gaussian form and a HotPage-style machine status page — into one portal
+// page, with per-user customisation and WebFormPortlet URL remapping so
+// navigation stays inside the portlet window.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/grid"
+	"repro/internal/portlet"
+	"repro/internal/schemawizard"
+)
+
+const runSchema = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="gaussianRun">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="method">
+          <xs:simpleType><xs:restriction base="xs:string">
+            <xs:enumeration value="HF"/><xs:enumeration value="B3LYP"/>
+          </xs:restriction></xs:simpleType>
+        </xs:element>
+        <xs:element name="nodes" type="xs:int" default="4"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+func main() {
+	// --- Remote content source 1: a wizard-generated application form.
+	parser := &schemawizard.SchemaParser{Fetch: func(string) (string, error) { return runSchema, nil }}
+	app, err := parser.Parse("mem://gaussian.xsd", "gaussian", "gaussianRun")
+	check(err)
+	wizardMux := http.NewServeMux()
+	app.Deploy(wizardMux)
+	wizardServer := httptest.NewServer(wizardMux)
+	defer wizardServer.Close()
+
+	// --- Remote content source 2: a HotPage-style machine status page.
+	testbed := grid.NewTestbed()
+	statusMux := http.NewServeMux()
+	statusMux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "<table border='1'><tr><th>host</th><th>scheduler</th><th>queues</th></tr>")
+		for _, name := range testbed.HostNames() {
+			h, _ := testbed.Host(name)
+			var queues []string
+			for _, qi := range h.Scheduler.Snapshot() {
+				queues = append(queues, fmt.Sprintf("%s(q:%d r:%d)", qi.Queue.Name, qi.Queued, qi.Running))
+			}
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				name, h.Scheduler.Kind, strings.Join(queues, " "))
+		}
+		fmt.Fprintln(w, "</table>")
+	})
+	statusServer := httptest.NewServer(statusMux)
+	defer statusServer.Close()
+
+	// --- The portlet container, configured from an xreg document, exactly
+	// as Jetspeed administrators edit local-portlets.xreg.
+	xreg := portlet.RenderRegistry([]portlet.Entry{
+		{Name: "gaussian-ui", Type: "WebFormPortlet", URL: wizardServer.URL + "/gaussian/", Title: "Gaussian (wizard UI)"},
+		{Name: "machine-status", Type: "WebPagePortlet", URL: statusServer.URL + "/", Title: "HotPage Machine Status"},
+	})
+	fmt.Println("portlet registry (local-portlets.xreg):")
+	fmt.Println(xreg)
+
+	container := portlet.NewContainer(http.DefaultClient, "/portal")
+	check(container.LoadRegistry(xreg))
+	portalServer := httptest.NewServer(container)
+	defer portalServer.Close()
+
+	// --- Aggregate page for a user who wants both portlets.
+	page := container.RenderPage("cyoun")
+	fmt.Printf("aggregated page for cyoun: %d bytes, %d portlet tables\n",
+		len(page), strings.Count(page, `<table class="portlet"`))
+	if !strings.Contains(page, "Gaussian (wizard UI)") || !strings.Contains(page, "bluehorizon.sdsc.edu") {
+		log.Fatal("aggregation missing expected content")
+	}
+	// The wizard form's action is remapped into the portlet window.
+	if !strings.Contains(page, "/portal/portlet?name=gaussian-ui") {
+		log.Fatal("WebFormPortlet URL remapping missing")
+	}
+	fmt.Println("wizard form action remapped through /portal/portlet — navigation stays in the window")
+
+	// --- Another user customises down to one portlet.
+	check(container.Customize("kurt", []string{"machine-status"}))
+	kurtPage := container.RenderPage("kurt")
+	fmt.Printf("kurt's customised page shows %d portlet(s)\n",
+		strings.Count(kurtPage, `<table class="portlet"`))
+
+	// --- Post the wizard form through the portlet (feature 1: form
+	// parameters) and observe the created instance.
+	resp, err := http.Post(
+		portalServer.URL+"/portlet?name=gaussian-ui&user=cyoun&url="+
+			urlQueryEscape(wizardServer.URL+"/gaussian/"),
+		"application/x-www-form-urlencoded",
+		strings.NewReader("gaussianRun.method=B3LYP&gaussianRun.nodes=8&_instanceName=from-portlet"))
+	check(err)
+	resp.Body.Close()
+	names := app.InstanceNames()
+	fmt.Printf("instances created through the portlet window: %v\n", names)
+	doc, _ := app.InstanceXML("from-portlet")
+	fmt.Println(doc)
+}
+
+func urlQueryEscape(s string) string {
+	r := strings.NewReplacer(":", "%3A", "/", "%2F", "?", "%3F", "&", "%26", "=", "%3D")
+	return r.Replace(s)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

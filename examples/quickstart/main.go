@@ -1,0 +1,86 @@
+// Command quickstart walks the Figure 1 flow end to end on one machine:
+// start a UDDI registry and a SOAP Service Provider over real HTTP,
+// publish a service, discover it through the registry, bind to its WSDL,
+// and invoke it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"repro/internal/batchscript"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/soap"
+	"repro/internal/uddi"
+)
+
+func main() {
+	// 1. A SOAP Service Provider hosting the SDSC batch script service.
+	ssp := core.NewProvider("sdsc-ssp", "placeholder")
+	ssp.MustRegister(batchscript.NewService(batchscript.NewSDSCGenerator()))
+	sspServer := httptest.NewServer(ssp)
+	defer sspServer.Close()
+	ssp.BaseURL = sspServer.URL
+	fmt.Println("SSP running at     ", sspServer.URL)
+
+	// 2. A UDDI registry, itself a SOAP web service.
+	reg := uddi.NewRegistry()
+	regSSP := core.NewProvider("registry-ssp", "placeholder")
+	regSSP.MustRegister(uddi.NewService(reg))
+	regServer := httptest.NewServer(regSSP)
+	defer regServer.Close()
+	fmt.Println("UDDI running at    ", regServer.URL)
+
+	// 3. Publish: business, interface tModel, service binding.
+	transport := &soap.HTTPTransport{Client: sspServer.Client()}
+	uddiClient := uddi.NewClient(transport, regServer.URL+"/UDDIRegistry")
+	bizKey, err := uddiClient.SaveBusiness("SDSC", "San Diego Supercomputer Center")
+	check(err)
+	tmKey, err := uddiClient.SaveTModel(batchscript.TModelName,
+		"Agreed GCE batch script interface", sspServer.URL+"/BatchScriptGenerator?wsdl")
+	check(err)
+	_, err = uddiClient.SaveService(bizKey, "SDSC Batch Script Generator",
+		uddi.DescribeCapabilities("HotPage script service.", []string{"LSF", "NQS"}),
+		sspServer.URL+"/BatchScriptGenerator", []string{tmKey})
+	check(err)
+	fmt.Println("published service under tModel", tmKey[:24], "...")
+
+	// 4. Discover: find every implementation of the agreed interface.
+	found, err := uddiClient.FindServiceByTModel(tmKey)
+	check(err)
+	for _, s := range found {
+		fmt.Printf("discovered %q at %s (capabilities: %v)\n",
+			s.Name, s.Bindings[0].AccessPoint, uddi.ParseCapabilities(s.Description))
+	}
+
+	// 5. Bind dynamically from the provider's WSDL and invoke.
+	endpoint := found[0].Bindings[0].AccessPoint
+	tm, err := uddiClient.GetTModel(tmKey)
+	check(err)
+	fmt.Println("fetching WSDL from ", tm.OverviewURL)
+	client, err := core.BindURL(transport, sspServer.Client(), tm.OverviewURL)
+	check(err)
+	if client.Endpoint != endpoint {
+		log.Fatalf("WSDL endpoint %s != UDDI access point %s", client.Endpoint, endpoint)
+	}
+	bsClient := batchscript.NewClient(transport, endpoint)
+	script, err := bsClient.GenerateScript(batchscript.Request{
+		Scheduler:  grid.LSF,
+		JobName:    "quickstart",
+		Executable: "/usr/local/bin/matmul",
+		Arguments:  []string{"512"},
+		Queue:      "normal",
+		Nodes:      8,
+	})
+	check(err)
+	fmt.Println("\ngenerated LSF script through the discovered service:")
+	fmt.Println(script)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,482 @@
+package appws
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/jobsub"
+	"repro/internal/soap"
+	"repro/internal/srbws"
+	"repro/internal/wsdl"
+	"repro/internal/xmlutil"
+)
+
+// InstanceState is an application instance's lifecycle phase. Prepared,
+// Queued/Running, and Archived correspond to the paper's states (b), (c),
+// and (d); Completed and Failed refine the end of the running phase.
+type InstanceState string
+
+// Instance lifecycle states.
+const (
+	StatePrepared  InstanceState = "PREPARED"
+	StateQueued    InstanceState = "QUEUED"
+	StateRunning   InstanceState = "RUNNING"
+	StateCompleted InstanceState = "COMPLETED"
+	StateFailed    InstanceState = "FAILED"
+	StateArchived  InstanceState = "ARCHIVED"
+)
+
+// Instance is one concrete application run: the instance-schema metadata —
+// input used, resources used, output location — that backs the session
+// archive.
+type Instance struct {
+	// ID is the manager-assigned instance identifier.
+	ID string
+	// Application and Host locate the run.
+	Application string
+	Host        string
+	// Spec is the materialised job specification.
+	Spec grid.JobSpec
+	// State is the lifecycle phase.
+	State InstanceState
+	// Contact is the grid job contact once submitted.
+	Contact string
+	// Prepared/Submitted/Finished are lifecycle timestamps.
+	Prepared  time.Time
+	Submitted time.Time
+	Finished  time.Time
+	// Stdout holds the collected output after completion.
+	Stdout string
+	// OutputLocation is where Archive stored the output.
+	OutputLocation string
+	// Error describes a failure.
+	Error string
+}
+
+// Element renders the instance-schema document for a run.
+func (inst *Instance) Element() *xmlutil.Element {
+	el := xmlutil.New("applicationInstance").SetAttr("id", inst.ID)
+	el.AddText("application", inst.Application)
+	el.AddText("host", inst.Host)
+	el.AddText("state", string(inst.State))
+	el.AddText("executable", inst.Spec.Executable)
+	el.AddText("nodes", strconv.Itoa(inst.Spec.Nodes))
+	el.AddText("wallTimeSeconds", strconv.Itoa(int(inst.Spec.WallTime/time.Second)))
+	for _, a := range inst.Spec.Args {
+		el.AddText("argument", a)
+	}
+	if inst.Contact != "" {
+		el.AddText("contact", inst.Contact)
+	}
+	if inst.OutputLocation != "" {
+		el.AddText("outputLocation", inst.OutputLocation)
+	}
+	if inst.Error != "" {
+		el.AddText("error", inst.Error)
+	}
+	if !inst.Prepared.IsZero() {
+		el.AddText("prepared", inst.Prepared.UTC().Format(time.RFC3339))
+	}
+	if !inst.Submitted.IsZero() {
+		el.AddText("submitted", inst.Submitted.UTC().Format(time.RFC3339))
+	}
+	if !inst.Finished.IsZero() {
+		el.AddText("finished", inst.Finished.UTC().Format(time.RFC3339))
+	}
+	return el
+}
+
+// Manager owns application descriptors and instance lifecycles, delegating
+// execution to the Globusrun Web Service and archival to the SRB Web
+// Service — the core-service bindings the descriptors declare.
+type Manager struct {
+	// Globusrun executes jobs; required.
+	Globusrun *jobsub.GlobusrunClient
+	// SRB archives output; when nil, Archive stores in-memory only.
+	SRB *srbws.Client
+	// ArchiveCollection is the SRB collection for archived output.
+	ArchiveCollection string
+
+	mu        sync.RWMutex
+	apps      map[string]*Descriptor
+	instances map[string]*Instance
+	seq       int
+	now       func() time.Time
+}
+
+// NewManager creates an empty manager.
+func NewManager(globusrun *jobsub.GlobusrunClient) *Manager {
+	return &Manager{
+		Globusrun: globusrun,
+		apps:      map[string]*Descriptor{},
+		instances: map[string]*Instance{},
+		now:       time.Now,
+	}
+}
+
+// SetTimeSource overrides the clock.
+func (m *Manager) SetTimeSource(now func() time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = now
+}
+
+// Register validates and stores a descriptor.
+func (m *Manager) Register(d *Descriptor) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.apps[d.Name]; dup {
+		return fmt.Errorf("appws: application %q already registered", d.Name)
+	}
+	m.apps[d.Name] = d
+	return nil
+}
+
+// Applications lists registered application names, sorted.
+func (m *Manager) Applications() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.apps))
+	for n := range m.apps {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns a registered descriptor.
+func (m *Manager) Describe(name string) (*Descriptor, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	d, ok := m.apps[name]
+	if !ok {
+		return nil, fmt.Errorf("appws: unknown application %q", name)
+	}
+	return d, nil
+}
+
+// Prepare materialises user choices into a prepared instance (state (b)).
+func (m *Manager) Prepare(app, host string, nodes int, wallTime time.Duration, args []string, input string) (*Instance, error) {
+	d, err := m.Describe(app)
+	if err != nil {
+		return nil, err
+	}
+	a := NewAdapter(d)
+	if err := a.ChooseHost(host); err != nil {
+		return nil, err
+	}
+	if nodes > 0 {
+		if err := a.SetNodes(nodes); err != nil {
+			return nil, err
+		}
+	}
+	a.SetWallTime(wallTime)
+	a.SetArguments(args)
+	a.SetInputDocument(input)
+	hostDNS, spec, err := a.RunRequest()
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	inst := &Instance{
+		ID:          fmt.Sprintf("%s-%d", app, m.seq),
+		Application: app,
+		Host:        hostDNS,
+		Spec:        spec,
+		State:       StatePrepared,
+		Prepared:    m.now(),
+	}
+	m.instances[inst.ID] = inst
+	return inst, nil
+}
+
+// get fetches an instance.
+func (m *Manager) get(id string) (*Instance, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	inst, ok := m.instances[id]
+	if !ok {
+		return nil, fmt.Errorf("appws: unknown instance %q", id)
+	}
+	return inst, nil
+}
+
+// Instance returns a snapshot of an instance.
+func (m *Manager) Instance(id string) (Instance, error) {
+	inst, err := m.get(id)
+	if err != nil {
+		return Instance{}, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return *inst, nil
+}
+
+// Instances lists instance IDs sorted.
+func (m *Manager) Instances() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.instances))
+	for id := range m.instances {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Submit moves a prepared instance into the running phase via the
+// Globusrun Web Service.
+func (m *Manager) Submit(id string) error {
+	inst, err := m.get(id)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if inst.State != StatePrepared {
+		m.mu.Unlock()
+		return fmt.Errorf("appws: instance %s is %s, not PREPARED", id, inst.State)
+	}
+	spec := inst.Spec
+	host := inst.Host
+	m.mu.Unlock()
+	contact, err := m.Globusrun.Submit(host, grid.FormatRSL(spec))
+	if err != nil {
+		m.mu.Lock()
+		inst.State = StateFailed
+		inst.Error = err.Error()
+		m.mu.Unlock()
+		return err
+	}
+	m.mu.Lock()
+	inst.Contact = contact
+	inst.State = StateQueued
+	inst.Submitted = m.now()
+	m.mu.Unlock()
+	return nil
+}
+
+// Poll refreshes a submitted instance's state from the grid.
+func (m *Manager) Poll(id string) (InstanceState, error) {
+	inst, err := m.get(id)
+	if err != nil {
+		return "", err
+	}
+	m.mu.RLock()
+	state := inst.State
+	host, contact := inst.Host, inst.Contact
+	m.mu.RUnlock()
+	if state != StateQueued && state != StateRunning {
+		return state, nil
+	}
+	gridState, err := m.Globusrun.Status(host, contact)
+	if err != nil {
+		return state, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch gridState {
+	case grid.StateQueued:
+		inst.State = StateQueued
+	case grid.StateRunning:
+		inst.State = StateRunning
+	case grid.StateCompleted:
+		inst.State = StateCompleted
+		inst.Finished = m.now()
+	case grid.StateFailed, grid.StateCancelled:
+		inst.State = StateFailed
+		inst.Finished = m.now()
+		inst.Error = fmt.Sprintf("grid job %s", gridState)
+	}
+	return inst.State, nil
+}
+
+// RunSynchronously executes a prepared instance to completion via the
+// Globusrun run method, capturing stdout.
+func (m *Manager) RunSynchronously(id string) error {
+	inst, err := m.get(id)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if inst.State != StatePrepared {
+		m.mu.Unlock()
+		return fmt.Errorf("appws: instance %s is %s, not PREPARED", id, inst.State)
+	}
+	spec := inst.Spec
+	host := inst.Host
+	inst.State = StateRunning
+	inst.Submitted = m.now()
+	m.mu.Unlock()
+	out, err := m.Globusrun.Run(host, grid.FormatRSL(spec))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst.Finished = m.now()
+	if err != nil {
+		inst.State = StateFailed
+		inst.Error = err.Error()
+		return err
+	}
+	inst.State = StateCompleted
+	inst.Stdout = out
+	return nil
+}
+
+// Archive moves a finished instance to the archived phase (state (d)),
+// storing its output through the SRB service binding when configured.
+func (m *Manager) Archive(id string) (string, error) {
+	inst, err := m.get(id)
+	if err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	if inst.State != StateCompleted && inst.State != StateFailed {
+		state := inst.State
+		m.mu.Unlock()
+		return "", fmt.Errorf("appws: instance %s is %s; only finished instances archive", id, state)
+	}
+	stdout := inst.Stdout
+	m.mu.Unlock()
+	location := fmt.Sprintf("memory:%s.out", id)
+	if m.SRB != nil {
+		location = m.ArchiveCollection + "/" + id + ".out"
+		if err := m.SRB.Put(location, stdout, ""); err != nil {
+			return "", err
+		}
+	}
+	m.mu.Lock()
+	inst.OutputLocation = location
+	inst.State = StateArchived
+	m.mu.Unlock()
+	return location, nil
+}
+
+// --- SOAP service --------------------------------------------------------------
+
+// ServiceNS is the Application Web Service namespace.
+const ServiceNS = "urn:gce:appws"
+
+// Contract returns the Application Web Service interface: the adapter
+// facade exposed over SOAP rather than the impractical full accessor set.
+func Contract() *wsdl.Interface {
+	return &wsdl.Interface{
+		Name:     "ApplicationService",
+		TargetNS: ServiceNS,
+		Doc:      "Application Web Services: descriptors, lifecycle, and archival.",
+		Operations: []wsdl.Operation{
+			{Name: "listApplications",
+				Output: []wsdl.Param{{Name: "names", Type: "stringArray"}}},
+			{Name: "describeApplication",
+				Input:  []wsdl.Param{{Name: "name", Type: "string"}},
+				Output: []wsdl.Param{{Name: "descriptor", Type: "xml"}}},
+			{Name: "prepare",
+				Input: []wsdl.Param{
+					{Name: "application", Type: "string"},
+					{Name: "host", Type: "string"},
+					{Name: "nodes", Type: "int"},
+					{Name: "wallTimeSeconds", Type: "int"},
+					{Name: "arguments", Type: "stringArray"},
+					{Name: "input", Type: "string"},
+				},
+				Output: []wsdl.Param{{Name: "instanceID", Type: "string"}}},
+			{Name: "submit",
+				Input:  []wsdl.Param{{Name: "instanceID", Type: "string"}},
+				Output: []wsdl.Param{{Name: "contact", Type: "string"}}},
+			{Name: "poll",
+				Input:  []wsdl.Param{{Name: "instanceID", Type: "string"}},
+				Output: []wsdl.Param{{Name: "state", Type: "string"}}},
+			{Name: "run",
+				Input:  []wsdl.Param{{Name: "instanceID", Type: "string"}},
+				Output: []wsdl.Param{{Name: "output", Type: "string"}}},
+			{Name: "archive",
+				Input:  []wsdl.Param{{Name: "instanceID", Type: "string"}},
+				Output: []wsdl.Param{{Name: "location", Type: "string"}}},
+			{Name: "getInstance",
+				Input:  []wsdl.Param{{Name: "instanceID", Type: "string"}},
+				Output: []wsdl.Param{{Name: "instance", Type: "xml"}}},
+			{Name: "listInstances",
+				Output: []wsdl.Param{{Name: "instanceIDs", Type: "stringArray"}}},
+		},
+	}
+}
+
+// NewService deploys a manager behind the contract.
+func NewService(m *Manager) *core.Service {
+	svc := core.NewService(Contract())
+	fail := func(code string, err error) ([]soap.Value, error) {
+		if pe := soap.AsPortalError(err); pe != nil {
+			return nil, pe
+		}
+		return nil, soap.NewPortalError("ApplicationService", code, "%v", err)
+	}
+	svc.Handle("listApplications", func(_ *core.Context, _ soap.Args) ([]soap.Value, error) {
+		return []soap.Value{soap.StrArray("names", m.Applications())}, nil
+	})
+	svc.Handle("describeApplication", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		d, err := m.Describe(args.String("name"))
+		if err != nil {
+			return fail(soap.ErrCodeNoSuchResource, err)
+		}
+		return []soap.Value{soap.XMLDoc("descriptor", d.Element())}, nil
+	})
+	svc.Handle("prepare", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		inst, err := m.Prepare(
+			args.String("application"), args.String("host"), args.Int("nodes"),
+			time.Duration(args.Int("wallTimeSeconds"))*time.Second,
+			args.Strings("arguments"), args.String("input"))
+		if err != nil {
+			return fail(soap.ErrCodeBadRequest, err)
+		}
+		return []soap.Value{soap.Str("instanceID", inst.ID)}, nil
+	})
+	svc.Handle("submit", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		id := args.String("instanceID")
+		if err := m.Submit(id); err != nil {
+			return fail(soap.ErrCodeJobFailed, err)
+		}
+		inst, _ := m.Instance(id)
+		return []soap.Value{soap.Str("contact", inst.Contact)}, nil
+	})
+	svc.Handle("poll", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		state, err := m.Poll(args.String("instanceID"))
+		if err != nil {
+			return fail(soap.ErrCodeNoSuchResource, err)
+		}
+		return []soap.Value{soap.Str("state", string(state))}, nil
+	})
+	svc.Handle("run", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		id := args.String("instanceID")
+		if err := m.RunSynchronously(id); err != nil {
+			return fail(soap.ErrCodeJobFailed, err)
+		}
+		inst, _ := m.Instance(id)
+		return []soap.Value{soap.Str("output", inst.Stdout)}, nil
+	})
+	svc.Handle("archive", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		location, err := m.Archive(args.String("instanceID"))
+		if err != nil {
+			return fail(soap.ErrCodeBadRequest, err)
+		}
+		return []soap.Value{soap.Str("location", location)}, nil
+	})
+	svc.Handle("getInstance", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		inst, err := m.Instance(args.String("instanceID"))
+		if err != nil {
+			return fail(soap.ErrCodeNoSuchResource, err)
+		}
+		return []soap.Value{soap.XMLDoc("instance", inst.Element())}, nil
+	})
+	svc.Handle("listInstances", func(_ *core.Context, _ soap.Args) ([]soap.Value, error) {
+		return []soap.Value{soap.StrArray("instanceIDs", m.Instances())}, nil
+	})
+	return svc
+}

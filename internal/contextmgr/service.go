@@ -1,0 +1,399 @@
+package contextmgr
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/soap"
+	"repro/internal/wsdl"
+	"repro/internal/xmlutil"
+)
+
+// MonolithNS is the namespace of the faithful 60+-method interface.
+const MonolithNS = "urn:gce:contextmanager"
+
+// levelParams maps each level to its path parameter names.
+var levelParams = map[Level][]string{
+	LevelUser:    {"user"},
+	LevelProblem: {"user", "problem"},
+	LevelSession: {"user", "problem", "session"},
+	LevelModule:  {"user", "problem", "session", "module"},
+}
+
+func strParams(names ...string) []wsdl.Param {
+	out := make([]wsdl.Param, 0, len(names))
+	for _, n := range names {
+		out = append(out, wsdl.Param{Name: n, Type: "string"})
+	}
+	return out
+}
+
+// MonolithContract builds the Context Manager interface exactly as the
+// paper criticises it: thirteen operations for each of the four context
+// levels plus ten service-wide operations — "over 60 methods". The
+// TestMonolithMethodCount test pins the count.
+func MonolithContract() *wsdl.Interface {
+	iface := &wsdl.Interface{
+		Name:     "ContextManager",
+		TargetNS: MonolithNS,
+		Doc:      "Gateway's monolithic context management service (the paper's 60+ method example).",
+	}
+	for _, level := range Levels {
+		l := string(level)
+		path := levelParams[level]
+		parent := path[:len(path)-1]
+		iface.Operations = append(iface.Operations,
+			wsdl.Operation{Name: "create" + l + "Context", Input: strParams(path...),
+				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+			wsdl.Operation{Name: "exists" + l + "Context", Input: strParams(path...),
+				Output: []wsdl.Param{{Name: "exists", Type: "boolean"}}},
+			wsdl.Operation{Name: "remove" + l + "Context", Input: strParams(path...),
+				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+			wsdl.Operation{Name: "list" + l + "Contexts", Input: strParams(parent...),
+				Output: []wsdl.Param{{Name: "names", Type: "stringArray"}}},
+			wsdl.Operation{Name: "rename" + l + "Context", Input: strParams(append(append([]string{}, path...), "newName")...),
+				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+			wsdl.Operation{Name: "copy" + l + "Context", Input: strParams(append(append([]string{}, path...), "copyName")...),
+				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+			wsdl.Operation{Name: "set" + l + "Property", Input: strParams(append(append([]string{}, path...), "name", "value")...),
+				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+			wsdl.Operation{Name: "get" + l + "Property", Input: strParams(append(append([]string{}, path...), "name")...),
+				Output: []wsdl.Param{{Name: "value", Type: "string"}}},
+			wsdl.Operation{Name: "remove" + l + "Property", Input: strParams(append(append([]string{}, path...), "name")...),
+				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+			wsdl.Operation{Name: "list" + l + "Properties", Input: strParams(path...),
+				Output: []wsdl.Param{{Name: "names", Type: "stringArray"}}},
+			wsdl.Operation{Name: "clear" + l + "Properties", Input: strParams(path...),
+				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+			wsdl.Operation{Name: "count" + l + "Children", Input: strParams(path...),
+				Output: []wsdl.Param{{Name: "count", Type: "int"}}},
+			wsdl.Operation{Name: "get" + l + "CreationTime", Input: strParams(path...),
+				Output: []wsdl.Param{{Name: "time", Type: "string"}}},
+		)
+	}
+	iface.Operations = append(iface.Operations,
+		wsdl.Operation{Name: "archiveSession", Input: strParams("user", "problem", "session"),
+			Output: []wsdl.Param{{Name: "archiveID", Type: "string"}}},
+		wsdl.Operation{Name: "restoreSession", Input: strParams("archiveID"),
+			Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+		wsdl.Operation{Name: "listArchives", Input: strParams("user"),
+			Output: []wsdl.Param{{Name: "archives", Type: "xml"}}},
+		wsdl.Operation{Name: "removeArchive", Input: strParams("archiveID"),
+			Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+		wsdl.Operation{Name: "getArchiveInfo", Input: strParams("archiveID"),
+			Output: []wsdl.Param{{Name: "archive", Type: "xml"}}},
+		wsdl.Operation{Name: "createPlaceholderContext", Input: strParams("user", "problem", "session"),
+			Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+		wsdl.Operation{Name: "touchSession", Input: strParams("user", "problem", "session"),
+			Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+		wsdl.Operation{Name: "countContexts",
+			Output: []wsdl.Param{{Name: "count", Type: "int"}}},
+		wsdl.Operation{Name: "exportContexts",
+			Output: []wsdl.Param{{Name: "directory", Type: "string"}}},
+		wsdl.Operation{Name: "importContexts", Input: strParams("directory"),
+			Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+	)
+	return iface
+}
+
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if strings.Contains(err.Error(), "already exists") {
+		return soap.NewPortalError("ContextManager", soap.ErrCodeBadRequest, "%v", err)
+	}
+	return soap.NewPortalError("ContextManager", soap.ErrCodeNoSuchResource, "%v", err)
+}
+
+func okValue(err error) ([]soap.Value, error) {
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return []soap.Value{soap.Bool("ok", true)}, nil
+}
+
+func archiveElement(a Archive) *xmlutil.Element {
+	el := xmlutil.New("archive").SetAttr("id", a.ID)
+	el.AddText("user", a.User)
+	el.AddText("problem", a.Problem)
+	el.AddText("session", a.Session)
+	el.AddText("when", a.When.UTC().Format(time.RFC3339))
+	return el
+}
+
+// NewMonolithService deploys the full 60+-method interface over a Store.
+func NewMonolithService(s *Store) *core.Service {
+	svc := core.NewService(MonolithContract())
+	pathOf := func(args soap.Args, names []string) []string {
+		out := make([]string, 0, len(names))
+		for _, n := range names {
+			out = append(out, args.String(n))
+		}
+		return out
+	}
+	for _, level := range Levels {
+		l := string(level)
+		names := levelParams[level]
+		parentNames := names[:len(names)-1]
+		svc.Handle("create"+l+"Context", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+			return okValue(s.Create(pathOf(args, names)))
+		})
+		svc.Handle("exists"+l+"Context", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+			return []soap.Value{soap.Bool("exists", s.Exists(pathOf(args, names)))}, nil
+		})
+		svc.Handle("remove"+l+"Context", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+			return okValue(s.Remove(pathOf(args, names)))
+		})
+		svc.Handle("list"+l+"Contexts", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+			kids, err := s.List(pathOf(args, parentNames))
+			if err != nil {
+				return nil, wrapErr(err)
+			}
+			return []soap.Value{soap.StrArray("names", kids)}, nil
+		})
+		svc.Handle("rename"+l+"Context", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+			return okValue(s.Rename(pathOf(args, names), args.String("newName")))
+		})
+		svc.Handle("copy"+l+"Context", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+			return okValue(s.Copy(pathOf(args, names), args.String("copyName")))
+		})
+		svc.Handle("set"+l+"Property", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+			return okValue(s.SetProp(pathOf(args, names), args.String("name"), args.String("value")))
+		})
+		svc.Handle("get"+l+"Property", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+			v, err := s.GetProp(pathOf(args, names), args.String("name"))
+			if err != nil {
+				return nil, wrapErr(err)
+			}
+			return []soap.Value{soap.Str("value", v)}, nil
+		})
+		svc.Handle("remove"+l+"Property", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+			return okValue(s.RemoveProp(pathOf(args, names), args.String("name")))
+		})
+		svc.Handle("list"+l+"Properties", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+			props, err := s.ListProps(pathOf(args, names))
+			if err != nil {
+				return nil, wrapErr(err)
+			}
+			return []soap.Value{soap.StrArray("names", props)}, nil
+		})
+		svc.Handle("clear"+l+"Properties", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+			return okValue(s.ClearProps(pathOf(args, names)))
+		})
+		svc.Handle("count"+l+"Children", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+			n, err := s.CountChildren(pathOf(args, names))
+			if err != nil {
+				return nil, wrapErr(err)
+			}
+			return []soap.Value{soap.Int("count", n)}, nil
+		})
+		svc.Handle("get"+l+"CreationTime", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+			ts, err := s.Created(pathOf(args, names))
+			if err != nil {
+				return nil, wrapErr(err)
+			}
+			return []soap.Value{soap.Str("time", ts.UTC().Format(time.RFC3339))}, nil
+		})
+	}
+	svc.Handle("archiveSession", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		id, err := s.ArchiveSession(args.String("user"), args.String("problem"), args.String("session"))
+		if err != nil {
+			return nil, wrapErr(err)
+		}
+		return []soap.Value{soap.Str("archiveID", id)}, nil
+	})
+	svc.Handle("restoreSession", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		return okValue(s.RestoreSession(args.String("archiveID")))
+	})
+	svc.Handle("listArchives", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		list := xmlutil.New("archives")
+		for _, a := range s.ListArchives(args.String("user")) {
+			list.Add(archiveElement(a))
+		}
+		return []soap.Value{soap.XMLDoc("archives", list)}, nil
+	})
+	svc.Handle("removeArchive", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		return okValue(s.RemoveArchive(args.String("archiveID")))
+	})
+	svc.Handle("getArchiveInfo", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		for _, a := range s.allArchives() {
+			if a.ID == args.String("archiveID") {
+				return []soap.Value{soap.XMLDoc("archive", archiveElement(a))}, nil
+			}
+		}
+		return nil, soap.NewPortalError("ContextManager", soap.ErrCodeNoSuchResource,
+			"no archive %q", args.String("archiveID"))
+	})
+	svc.Handle("createPlaceholderContext", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		return okValue(s.CreatePlaceholder(args.String("user"), args.String("problem"), args.String("session")))
+	})
+	svc.Handle("touchSession", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		path := []string{args.String("user"), args.String("problem"), args.String("session")}
+		return okValue(s.SetProp(path, "lastAccess", s.nowString()))
+	})
+	svc.Handle("countContexts", func(_ *core.Context, _ soap.Args) ([]soap.Value, error) {
+		return []soap.Value{soap.Int("count", s.CountContexts())}, nil
+	})
+	svc.Handle("exportContexts", func(_ *core.Context, _ soap.Args) ([]soap.Value, error) {
+		return []soap.Value{soap.Str("directory", s.ExportDirectory())}, nil
+	})
+	svc.Handle("importContexts", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		return okValue(s.ImportDirectory(args.String("directory")))
+	})
+	return svc
+}
+
+// allArchives snapshots all archives (for getArchiveInfo).
+func (s *Store) allArchives() []Archive {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Archive
+	for _, a := range s.archives {
+		cp := *a
+		cp.snapshot = nil
+		out = append(out, cp)
+	}
+	return out
+}
+
+func (s *Store) nowString() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.now().UTC().Format(time.RFC3339)
+}
+
+// --- Decomposed services ------------------------------------------------------
+
+// ContextStoreNS is the namespace of the decomposed store service.
+const ContextStoreNS = "urn:gce:contextstore"
+
+// ContextStoreContract is the "reasonable scope" replacement: eight
+// path-oriented operations instead of thirteen per level.
+func ContextStoreContract() *wsdl.Interface {
+	path := wsdl.Param{Name: "path", Type: "stringArray"}
+	return &wsdl.Interface{
+		Name:     "ContextStore",
+		TargetNS: ContextStoreNS,
+		Doc:      "Decomposed context storage: generic hierarchical CRUD over context paths.",
+		Operations: []wsdl.Operation{
+			{Name: "create", Input: []wsdl.Param{path}, Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+			{Name: "exists", Input: []wsdl.Param{path}, Output: []wsdl.Param{{Name: "exists", Type: "boolean"}}},
+			{Name: "remove", Input: []wsdl.Param{path}, Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+			{Name: "list", Input: []wsdl.Param{path}, Output: []wsdl.Param{{Name: "names", Type: "stringArray"}}},
+			{Name: "setProperty", Input: []wsdl.Param{path, {Name: "name", Type: "string"}, {Name: "value", Type: "string"}},
+				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+			{Name: "getProperty", Input: []wsdl.Param{path, {Name: "name", Type: "string"}},
+				Output: []wsdl.Param{{Name: "value", Type: "string"}}},
+			{Name: "removeProperty", Input: []wsdl.Param{path, {Name: "name", Type: "string"}},
+				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+			{Name: "listProperties", Input: []wsdl.Param{path},
+				Output: []wsdl.Param{{Name: "names", Type: "stringArray"}}},
+		},
+	}
+}
+
+// NewContextStoreService deploys the decomposed store service.
+func NewContextStoreService(s *Store) *core.Service {
+	svc := core.NewService(ContextStoreContract())
+	svc.Handle("create", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		return okValue(s.Create(args.Strings("path")))
+	})
+	svc.Handle("exists", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		return []soap.Value{soap.Bool("exists", s.Exists(args.Strings("path")))}, nil
+	})
+	svc.Handle("remove", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		return okValue(s.Remove(args.Strings("path")))
+	})
+	svc.Handle("list", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		kids, err := s.List(args.Strings("path"))
+		if err != nil {
+			return nil, wrapErr(err)
+		}
+		return []soap.Value{soap.StrArray("names", kids)}, nil
+	})
+	svc.Handle("setProperty", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		return okValue(s.SetProp(args.Strings("path"), args.String("name"), args.String("value")))
+	})
+	svc.Handle("getProperty", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		v, err := s.GetProp(args.Strings("path"), args.String("name"))
+		if err != nil {
+			return nil, wrapErr(err)
+		}
+		return []soap.Value{soap.Str("value", v)}, nil
+	})
+	svc.Handle("removeProperty", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		return okValue(s.RemoveProp(args.Strings("path"), args.String("name")))
+	})
+	svc.Handle("listProperties", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		props, err := s.ListProps(args.Strings("path"))
+		if err != nil {
+			return nil, wrapErr(err)
+		}
+		return []soap.Value{soap.StrArray("names", props)}, nil
+	})
+	return svc
+}
+
+// SessionArchiveNS is the namespace of the decomposed archive service.
+const SessionArchiveNS = "urn:gce:sessionarchive"
+
+// SessionArchiveContract is the archival half of the decomposition.
+func SessionArchiveContract() *wsdl.Interface {
+	return &wsdl.Interface{
+		Name:     "SessionArchive",
+		TargetNS: SessionArchiveNS,
+		Doc:      "Decomposed session archival: snapshot, restore, and list session contexts.",
+		Operations: []wsdl.Operation{
+			{Name: "archive", Input: strParams("user", "problem", "session"),
+				Output: []wsdl.Param{{Name: "archiveID", Type: "string"}}},
+			{Name: "restore", Input: strParams("archiveID"),
+				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+			{Name: "list", Input: strParams("user"),
+				Output: []wsdl.Param{{Name: "archives", Type: "xml"}}},
+			{Name: "remove", Input: strParams("archiveID"),
+				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+			{Name: "placeholder", Input: strParams("user", "problem", "session"),
+				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+		},
+	}
+}
+
+// NewSessionArchiveService deploys the decomposed archive service.
+func NewSessionArchiveService(s *Store) *core.Service {
+	svc := core.NewService(SessionArchiveContract())
+	svc.Handle("archive", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		id, err := s.ArchiveSession(args.String("user"), args.String("problem"), args.String("session"))
+		if err != nil {
+			return nil, wrapErr(err)
+		}
+		return []soap.Value{soap.Str("archiveID", id)}, nil
+	})
+	svc.Handle("restore", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		return okValue(s.RestoreSession(args.String("archiveID")))
+	})
+	svc.Handle("list", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		list := xmlutil.New("archives")
+		for _, a := range s.ListArchives(args.String("user")) {
+			list.Add(archiveElement(a))
+		}
+		return []soap.Value{soap.XMLDoc("archives", list)}, nil
+	})
+	svc.Handle("remove", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		return okValue(s.RemoveArchive(args.String("archiveID")))
+	})
+	svc.Handle("placeholder", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		return okValue(s.CreatePlaceholder(args.String("user"), args.String("problem"), args.String("session")))
+	})
+	return svc
+}
+
+// MethodCount reports the operation count of an interface — the metric the
+// paper uses to argue the monolith is unusable by other portals.
+func MethodCount(i *wsdl.Interface) int {
+	return len(i.Operations)
+}
+
+var _ = strconv.Itoa // reserved for future formatting helpers

@@ -1,0 +1,456 @@
+// Package core is the portal Web Services framework — the paper's primary
+// contribution realised as a library. It provides:
+//
+//   - Service: a WSDL contract plus operation handlers, the unit a portal
+//     group deploys.
+//   - Provider: a SOAP Service Provider (SSP), the separate server in
+//     Figure 1 that hosts services, dispatches SOAP requests by namespace
+//     and method, and publishes each service's WSDL.
+//   - Client: a proxy bound to an endpoint and contract. The client
+//     validates calls against the agreed interface before they leave the
+//     process, which is how independently developed clients and servers
+//     stay interoperable (Section 3.4).
+//   - Interceptors on both sides for the security layer (Section 4): the
+//     SAML assertion is attached by a client interceptor and verified by a
+//     provider interceptor, without the service implementations knowing.
+//
+// The separation between the server that manages the user interface and
+// the server that manages a particular service — "the key development for
+// breaking the portal stove pipe" — is exactly the Provider/Client split.
+package core
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/soap"
+	"repro/internal/wsdl"
+	"repro/internal/xmlutil"
+)
+
+// Context carries per-request information into operation handlers.
+type Context struct {
+	// Operation is the invoked operation name.
+	Operation string
+	// ServiceNS is the service namespace of the call.
+	ServiceNS string
+	// Envelope is the full request envelope, giving handlers access to
+	// header entries such as SAML assertions.
+	Envelope *soap.Envelope
+	// HTTPRequest is the underlying HTTP request when served over HTTP;
+	// may be synthetic for loopback transports.
+	HTTPRequest *http.Request
+	// Principal is the authenticated identity, set by a verification
+	// interceptor; empty for unauthenticated calls.
+	Principal string
+	// values holds interceptor-provided request-scoped data.
+	values map[string]interface{}
+}
+
+// Set stores a request-scoped value for downstream interceptors/handlers.
+func (c *Context) Set(key string, v interface{}) {
+	if c.values == nil {
+		c.values = map[string]interface{}{}
+	}
+	c.values[key] = v
+}
+
+// Value retrieves a request-scoped value, or nil.
+func (c *Context) Value(key string) interface{} {
+	return c.values[key]
+}
+
+// HandlerFunc implements one operation: it receives the decoded arguments
+// and returns the out parameters or an error. Errors that are (or wrap)
+// *soap.PortalError are relayed with the portal-standard error detail.
+type HandlerFunc func(ctx *Context, args soap.Args) ([]soap.Value, error)
+
+// ServerInterceptor inspects or rejects an inbound call before dispatch.
+// It may mutate the context (e.g. set Principal after verifying an
+// assertion).
+type ServerInterceptor func(ctx *Context) error
+
+// ClientInterceptor may mutate an outbound request envelope before it is
+// sent (e.g. attach a signed SAML assertion header).
+type ClientInterceptor func(call *soap.Call, env *soap.Envelope) error
+
+// Service couples a WSDL contract with its operation handlers.
+type Service struct {
+	// Contract is the abstract interface this service implements.
+	Contract *wsdl.Interface
+	// Path is the HTTP path the provider mounts the service at, defaulting
+	// to "/" + Contract.Name.
+	Path string
+	// handlers maps operation name to implementation.
+	handlers map[string]HandlerFunc
+	// interceptors run before dispatch for this service only.
+	interceptors []ServerInterceptor
+}
+
+// NewService creates a service for the contract.
+func NewService(contract *wsdl.Interface) *Service {
+	return &Service{
+		Contract: contract,
+		Path:     "/" + contract.Name,
+		handlers: map[string]HandlerFunc{},
+	}
+}
+
+// Handle registers the implementation of a contract operation. It panics if
+// the operation is not part of the contract: registering an uncontracted
+// method is a programming error that would silently break interoperability.
+func (s *Service) Handle(operation string, h HandlerFunc) *Service {
+	if s.Contract.Operation(operation) == nil {
+		panic(fmt.Sprintf("core: operation %q not in contract %s", operation, s.Contract.Name))
+	}
+	s.handlers[operation] = h
+	return s
+}
+
+// Use appends a server interceptor for this service.
+func (s *Service) Use(i ServerInterceptor) *Service {
+	s.interceptors = append(s.interceptors, i)
+	return s
+}
+
+// Validate verifies every contract operation has a handler; deploying an
+// incomplete implementation is what Validate prevents.
+func (s *Service) Validate() error {
+	var missing []string
+	for _, op := range s.Contract.Operations {
+		if _, ok := s.handlers[op.Name]; !ok {
+			missing = append(missing, op.Name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("core: service %s missing handlers: %s", s.Contract.Name, strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// Provider is a SOAP Service Provider: one web server hosting one or more
+// services, each at its own path, with WSDL publication.
+type Provider struct {
+	// Name identifies the provider (e.g. "SDSC-SSP") in faults and logs.
+	Name string
+	// BaseURL is the externally visible URL prefix used in published WSDL
+	// endpoint addresses, e.g. "http://hotpage.sdsc.edu:8080".
+	BaseURL string
+
+	mu           sync.RWMutex
+	byNS         map[string]*Service
+	byPath       map[string]*Service
+	interceptors []ServerInterceptor
+}
+
+// NewProvider creates an empty provider.
+func NewProvider(name, baseURL string) *Provider {
+	return &Provider{
+		Name:    name,
+		BaseURL: strings.TrimSuffix(baseURL, "/"),
+		byNS:    map[string]*Service{},
+		byPath:  map[string]*Service{},
+	}
+}
+
+// Use appends a provider-wide interceptor that runs before every service's
+// own interceptors.
+func (p *Provider) Use(i ServerInterceptor) *Provider {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.interceptors = append(p.interceptors, i)
+	return p
+}
+
+// Register deploys a service. The service must validate, and its namespace
+// and path must be unique within the provider.
+func (p *Provider) Register(s *Service) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ns := s.Contract.TargetNS
+	if _, dup := p.byNS[ns]; dup {
+		return fmt.Errorf("core: provider %s already serves namespace %q", p.Name, ns)
+	}
+	if _, dup := p.byPath[s.Path]; dup {
+		return fmt.Errorf("core: provider %s already serves path %q", p.Name, s.Path)
+	}
+	p.byNS[ns] = s
+	p.byPath[s.Path] = s
+	return nil
+}
+
+// MustRegister registers or panics; for static wiring in examples and mains.
+func (p *Provider) MustRegister(s *Service) {
+	if err := p.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Services returns the deployed services sorted by contract name.
+func (p *Provider) Services() []*Service {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*Service, 0, len(p.byNS))
+	for _, s := range p.byNS {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Contract.Name < out[j].Contract.Name })
+	return out
+}
+
+// EndpointFor returns the externally visible endpoint URL of a deployed
+// service.
+func (p *Provider) EndpointFor(s *Service) string {
+	return p.BaseURL + s.Path
+}
+
+// WSDLFor renders the WSDL document for a deployed service, with the
+// provider's endpoint address.
+func (p *Provider) WSDLFor(s *Service) string {
+	svc := &wsdl.Service{Name: s.Contract.Name + "Service", Interface: s.Contract, Endpoint: p.EndpointFor(s)}
+	return svc.Render()
+}
+
+// Dispatch processes one request envelope addressed to any hosted service.
+// It is the EnvelopeHandler for the whole provider: routing is by the call
+// element's namespace, so one SSP port can front every service, exactly as
+// the paper's Apache SOAP rpcrouter did.
+func (p *Provider) Dispatch(env *soap.Envelope, httpReq *http.Request) (*soap.Envelope, error) {
+	call, err := soap.ParseCall(env)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.RLock()
+	svc := p.byNS[call.ServiceNS]
+	interceptors := p.interceptors
+	p.mu.RUnlock()
+	if svc == nil {
+		return nil, &soap.Fault{Code: soap.FaultClient, Actor: p.Name,
+			String: fmt.Sprintf("no service for namespace %q", call.ServiceNS)}
+	}
+	h, ok := svc.handlers[call.Method]
+	if !ok {
+		return nil, soap.NewPortalError(svc.Contract.Name, soap.ErrCodeNoSuchMethod,
+			"operation %q not implemented", call.Method)
+	}
+	ctx := &Context{
+		Operation:   call.Method,
+		ServiceNS:   call.ServiceNS,
+		Envelope:    env,
+		HTTPRequest: httpReq,
+	}
+	for _, i := range interceptors {
+		if err := i(ctx); err != nil {
+			return nil, err
+		}
+	}
+	for _, i := range svc.interceptors {
+		if err := i(ctx); err != nil {
+			return nil, err
+		}
+	}
+	returns, err := h(ctx, soap.Args(call.Params))
+	if err != nil {
+		return nil, err
+	}
+	resp := &soap.Response{ServiceNS: call.ServiceNS, Method: call.Method, Returns: returns}
+	return resp.Envelope(), nil
+}
+
+// ServeHTTP implements http.Handler: POST dispatches SOAP; GET with ?wsdl
+// on a service path returns its WSDL document (the paper's UDDI entries
+// point at exactly these URLs).
+func (p *Provider) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet {
+		if _, ok := r.URL.Query()["wsdl"]; ok {
+			p.mu.RLock()
+			svc := p.byPath[r.URL.Path]
+			p.mu.RUnlock()
+			if svc == nil {
+				http.NotFound(w, r)
+				return
+			}
+			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+			_, _ = io.WriteString(w, p.WSDLFor(svc))
+			return
+		}
+		http.Error(w, "soap service provider: POST SOAP or GET ?wsdl", http.StatusBadRequest)
+		return
+	}
+	soap.Handler(p.Dispatch).ServeHTTP(w, r)
+}
+
+// Client is a proxy bound to a service endpoint and contract. It validates
+// each call against the contract before sending: an interoperability bug
+// (wrong operation, wrong arity, wrong parameter name or type) surfaces at
+// the caller rather than as a confusing remote fault.
+type Client struct {
+	// Transport carries the SOAP messages.
+	Transport soap.Transport
+	// Endpoint is the bound service URL.
+	Endpoint string
+	// Contract is the agreed interface.
+	Contract *wsdl.Interface
+	// Strict disables contract validation when false-positive flexibility
+	// is needed (defaults to strict).
+	Strict bool
+
+	interceptors []ClientInterceptor
+}
+
+// Bind constructs a client from a WSDL document, taking the endpoint from
+// the service port address — the dynamic binding step of Figure 1.
+func Bind(t soap.Transport, wsdlDoc string) (*Client, error) {
+	svc, err := wsdl.Parse(wsdlDoc)
+	if err != nil {
+		return nil, err
+	}
+	if svc.Endpoint == "" {
+		return nil, fmt.Errorf("core: WSDL for %s has no endpoint address", svc.Name)
+	}
+	return &Client{Transport: t, Endpoint: svc.Endpoint, Contract: svc.Interface, Strict: true}, nil
+}
+
+// BindURL fetches a WSDL document from url (conventionally endpoint+"?wsdl")
+// with the given HTTP client and binds to it.
+func BindURL(t soap.Transport, hc *http.Client, url string) (*Client, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("core: fetch WSDL %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("core: fetch WSDL %s: HTTP %d", url, resp.StatusCode)
+	}
+	return Bind(t, string(body))
+}
+
+// NewClient constructs a client directly from a known contract and
+// endpoint (static binding).
+func NewClient(t soap.Transport, endpoint string, contract *wsdl.Interface) *Client {
+	return &Client{Transport: t, Endpoint: endpoint, Contract: contract, Strict: true}
+}
+
+// Use appends a client interceptor.
+func (c *Client) Use(i ClientInterceptor) *Client {
+	c.interceptors = append(c.interceptors, i)
+	return c
+}
+
+// Call invokes a contract operation with ordered parameters.
+func (c *Client) Call(operation string, params ...soap.Value) (*soap.Response, error) {
+	if c.Strict {
+		if err := c.validate(operation, params); err != nil {
+			return nil, err
+		}
+	}
+	call := &soap.Call{ServiceNS: c.Contract.TargetNS, Method: operation, Params: params}
+	env := call.Envelope()
+	for _, i := range c.interceptors {
+		if err := i(call, env); err != nil {
+			return nil, err
+		}
+	}
+	respEnv, err := c.Transport.RoundTrip(c.Endpoint, c.Contract.TargetNS+"#"+operation, env)
+	if err != nil {
+		return nil, err
+	}
+	return soap.ParseResponse(respEnv)
+}
+
+// validate checks the call against the contract.
+func (c *Client) validate(operation string, params []soap.Value) error {
+	op := c.Contract.Operation(operation)
+	if op == nil {
+		return fmt.Errorf("core: operation %q not in contract %s", operation, c.Contract.Name)
+	}
+	if len(params) != len(op.Input) {
+		return fmt.Errorf("core: %s.%s takes %d parameters, got %d",
+			c.Contract.Name, operation, len(op.Input), len(params))
+	}
+	for i, want := range op.Input {
+		got := params[i]
+		if got.Name != want.Name {
+			return fmt.Errorf("core: %s.%s parameter %d is %q, contract says %q",
+				c.Contract.Name, operation, i, got.Name, want.Name)
+		}
+		if !typeMatches(want.Type, got) {
+			return fmt.Errorf("core: %s.%s parameter %q has wire type %q, contract says %q",
+				c.Contract.Name, operation, want.Name, wireType(got), want.Type)
+		}
+	}
+	return nil
+}
+
+func typeMatches(contractType string, v soap.Value) bool {
+	return wireType(v) == contractType
+}
+
+func wireType(v soap.Value) string {
+	switch {
+	case v.XML != nil:
+		return "xml"
+	case v.Type == "Array":
+		return "stringArray"
+	default:
+		return v.Type
+	}
+}
+
+// CallText invokes an operation and returns the first out parameter's text;
+// the one-string-in, one-string-out convenience shape most of the paper's
+// services expose.
+func (c *Client) CallText(operation string, params ...soap.Value) (string, error) {
+	resp, err := c.Call(operation, params...)
+	if err != nil {
+		return "", err
+	}
+	return resp.ReturnText(""), nil
+}
+
+// CallXML invokes an operation and returns the first out parameter's XML
+// payload.
+func (c *Client) CallXML(operation string, params ...soap.Value) (*xmlutil.Element, error) {
+	resp, err := c.Call(operation, params...)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := resp.Return("")
+	if !ok || v.XML == nil {
+		return nil, fmt.Errorf("core: %s.%s returned no XML payload", c.Contract.Name, operation)
+	}
+	return v.XML, nil
+}
+
+// CallStrings invokes an operation and returns the first out parameter as a
+// string slice.
+func (c *Client) CallStrings(operation string, params ...soap.Value) ([]string, error) {
+	resp, err := c.Call(operation, params...)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := resp.Return("")
+	if !ok {
+		return nil, fmt.Errorf("core: %s.%s returned nothing", c.Contract.Name, operation)
+	}
+	out := make([]string, 0, len(v.Items))
+	for _, item := range v.Items {
+		out = append(out, item.Text)
+	}
+	return out, nil
+}

@@ -1,0 +1,514 @@
+// Package databind is the Castor analog of Section 5: an XML Schema
+// (XSD subset) parser producing a Schema Object Model (SOM), and dynamic
+// data-bound objects generated from the SOM with typed get/set accessors
+// and XML marshalling. Castor generated one JavaBean class per schema
+// element and compiled it; Go cannot compile at runtime, so DataObject
+// provides the same contract dynamically — each schema element yields an
+// object with accessors for its fields, validation against the declared
+// types, and marshal/unmarshal to schema instances.
+//
+// The XSD subset covers exactly what the schema wizard's four templated
+// constituent types need (Section 5.3): single simple types, enumerated
+// simple types, unbounded simple types, and complex types.
+package databind
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmlutil"
+)
+
+// XSDNS is the XML Schema namespace.
+const XSDNS = "http://www.w3.org/2001/XMLSchema"
+
+// Kind classifies an element declaration into the wizard's four templated
+// constituent types.
+type Kind int
+
+// The four schema constituent types the wizard templates handle.
+const (
+	// KindSimple is a single-valued builtin-typed element.
+	KindSimple Kind = iota
+	// KindEnumerated is a single-valued element restricted to a value set.
+	KindEnumerated
+	// KindUnbounded is a repeated simple element (maxOccurs="unbounded").
+	KindUnbounded
+	// KindComplex is an element with child elements.
+	KindComplex
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSimple:
+		return "simple"
+	case KindEnumerated:
+		return "enumerated"
+	case KindUnbounded:
+		return "unboundedSimple"
+	case KindComplex:
+		return "complex"
+	default:
+		return "unknown"
+	}
+}
+
+// ElementDecl is one element declaration in the SOM.
+type ElementDecl struct {
+	// Name is the element name.
+	Name string
+	// Doc is the xs:annotation/xs:documentation text.
+	Doc string
+	// Type is the builtin type local name for simple kinds ("string",
+	// "int", "boolean", "double"); empty for complex.
+	Type string
+	// Kind classifies the declaration.
+	Kind Kind
+	// Enum lists the permitted values for KindEnumerated.
+	Enum []string
+	// Default is the default value for simple kinds.
+	Default string
+	// MinOccurs is 0 or 1 (optionality).
+	MinOccurs int
+	// Unbounded marks maxOccurs="unbounded".
+	Unbounded bool
+	// Children are the child declarations for KindComplex, in order.
+	Children []*ElementDecl
+}
+
+// Child returns the named child declaration, or nil.
+func (d *ElementDecl) Child(name string) *ElementDecl {
+	for _, c := range d.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// CountDecls returns the number of declarations in the subtree.
+func (d *ElementDecl) CountDecls() int {
+	n := 1
+	for _, c := range d.Children {
+		n += c.CountDecls()
+	}
+	return n
+}
+
+// Schema is the Schema Object Model: the root element declarations of one
+// schema document.
+type Schema struct {
+	// TargetNS is the schema's target namespace.
+	TargetNS string
+	// Roots are the top-level element declarations.
+	Roots []*ElementDecl
+}
+
+// Root returns the named top-level declaration, or nil.
+func (s *Schema) Root(name string) *ElementDecl {
+	for _, r := range s.Roots {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// builtinTypes are the supported xs: simple types.
+var builtinTypes = map[string]bool{
+	"string": true, "int": true, "integer": true, "boolean": true,
+	"double": true, "float": true, "decimal": true, "anyURI": true,
+}
+
+func localType(qname string) string {
+	if i := strings.LastIndex(qname, ":"); i >= 0 {
+		return qname[i+1:]
+	}
+	return qname
+}
+
+// ParseSchema parses an XSD-subset document into the SOM.
+func ParseSchema(doc string) (*Schema, error) {
+	root, err := xmlutil.ParseString(doc)
+	if err != nil {
+		return nil, fmt.Errorf("databind: %w", err)
+	}
+	if root.Name != "schema" {
+		return nil, fmt.Errorf("databind: root element %q is not schema", root.Name)
+	}
+	s := &Schema{TargetNS: root.AttrDefault("targetNamespace", "")}
+	for _, el := range root.ChildrenNamed("element") {
+		decl, err := parseElement(el)
+		if err != nil {
+			return nil, err
+		}
+		s.Roots = append(s.Roots, decl)
+	}
+	if len(s.Roots) == 0 {
+		return nil, fmt.Errorf("databind: schema declares no elements")
+	}
+	return s, nil
+}
+
+func parseElement(el *xmlutil.Element) (*ElementDecl, error) {
+	d := &ElementDecl{
+		Name:      el.AttrDefault("name", ""),
+		Default:   el.AttrDefault("default", ""),
+		MinOccurs: 1,
+	}
+	if d.Name == "" {
+		return nil, fmt.Errorf("databind: element without a name")
+	}
+	if v, ok := el.Attr("minOccurs"); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 || n > 1 {
+			return nil, fmt.Errorf("databind: element %s: unsupported minOccurs %q", d.Name, v)
+		}
+		d.MinOccurs = n
+	}
+	if v, ok := el.Attr("maxOccurs"); ok {
+		switch v {
+		case "1":
+		case "unbounded":
+			d.Unbounded = true
+		default:
+			return nil, fmt.Errorf("databind: element %s: unsupported maxOccurs %q", d.Name, v)
+		}
+	}
+	if ann := el.Child("annotation"); ann != nil {
+		d.Doc = ann.ChildText("documentation")
+	}
+	// Three body forms: type attribute, inline simpleType restriction, or
+	// inline complexType sequence.
+	typeAttr, hasType := el.Attr("type")
+	switch {
+	case hasType:
+		t := localType(typeAttr)
+		if !builtinTypes[t] {
+			return nil, fmt.Errorf("databind: element %s: unsupported type %q", d.Name, typeAttr)
+		}
+		d.Type = t
+		d.Kind = KindSimple
+	case el.Child("simpleType") != nil:
+		st := el.Child("simpleType")
+		restr := st.Child("restriction")
+		if restr == nil {
+			return nil, fmt.Errorf("databind: element %s: simpleType without restriction", d.Name)
+		}
+		d.Type = localType(restr.AttrDefault("base", "xs:string"))
+		if !builtinTypes[d.Type] {
+			return nil, fmt.Errorf("databind: element %s: unsupported base %q", d.Name, d.Type)
+		}
+		for _, e := range restr.ChildrenNamed("enumeration") {
+			d.Enum = append(d.Enum, e.AttrDefault("value", ""))
+		}
+		if len(d.Enum) == 0 {
+			return nil, fmt.Errorf("databind: element %s: restriction without enumerations", d.Name)
+		}
+		d.Kind = KindEnumerated
+	case el.Child("complexType") != nil:
+		ct := el.Child("complexType")
+		seq := ct.Child("sequence")
+		if seq == nil {
+			return nil, fmt.Errorf("databind: element %s: complexType without sequence", d.Name)
+		}
+		for _, childEl := range seq.ChildrenNamed("element") {
+			child, err := parseElement(childEl)
+			if err != nil {
+				return nil, err
+			}
+			d.Children = append(d.Children, child)
+		}
+		d.Kind = KindComplex
+	default:
+		// No type information: default to string (XSD's anyType reduced).
+		d.Type = "string"
+		d.Kind = KindSimple
+	}
+	if d.Unbounded && d.Kind != KindComplex {
+		d.Kind = KindUnbounded
+	}
+	if d.Unbounded && len(d.Children) > 0 {
+		return nil, fmt.Errorf("databind: element %s: unbounded complex elements unsupported", d.Name)
+	}
+	return d, nil
+}
+
+// validateValue checks a scalar against a builtin type.
+func validateValue(t, v string) error {
+	switch t {
+	case "int", "integer":
+		if _, err := strconv.Atoi(strings.TrimSpace(v)); err != nil {
+			return fmt.Errorf("databind: %q is not an %s", v, t)
+		}
+	case "boolean":
+		if _, err := strconv.ParseBool(strings.TrimSpace(v)); err != nil {
+			return fmt.Errorf("databind: %q is not a boolean", v)
+		}
+	case "double", "float", "decimal":
+		if _, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err != nil {
+			return fmt.Errorf("databind: %q is not a %s", v, t)
+		}
+	}
+	return nil
+}
+
+// DataObject is a dynamic data binding for one element declaration — the
+// runtime analog of a Castor-generated JavaBean.
+type DataObject struct {
+	// Decl is the bound declaration.
+	Decl *ElementDecl
+
+	scalar   string
+	scalarOK bool
+	repeated []string
+	children map[string][]*DataObject
+}
+
+// NewDataObject creates an empty object for a declaration, applying
+// defaults and recursively instantiating required complex children.
+func NewDataObject(decl *ElementDecl) *DataObject {
+	o := &DataObject{Decl: decl, children: map[string][]*DataObject{}}
+	if decl.Default != "" {
+		o.scalar = decl.Default
+		o.scalarOK = true
+	}
+	if decl.Kind == KindComplex {
+		for _, c := range decl.Children {
+			needed := c.Kind == KindComplex && c.MinOccurs > 0 && !c.Unbounded
+			defaulted := c.Default != "" && c.Kind != KindComplex && !c.Unbounded
+			if needed || defaulted {
+				o.children[c.Name] = []*DataObject{NewDataObject(c)}
+			}
+		}
+	}
+	return o
+}
+
+// Set assigns the scalar value of a simple or enumerated object.
+func (o *DataObject) Set(value string) error {
+	switch o.Decl.Kind {
+	case KindSimple:
+		if err := validateValue(o.Decl.Type, value); err != nil {
+			return fmt.Errorf("element %s: %w", o.Decl.Name, err)
+		}
+	case KindEnumerated:
+		ok := false
+		for _, e := range o.Decl.Enum {
+			if e == value {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("databind: element %s: %q not in enumeration %v", o.Decl.Name, value, o.Decl.Enum)
+		}
+	default:
+		return fmt.Errorf("databind: element %s (%s) has no scalar value", o.Decl.Name, o.Decl.Kind)
+	}
+	o.scalar = value
+	o.scalarOK = true
+	return nil
+}
+
+// Get returns the scalar value (default when unset).
+func (o *DataObject) Get() string {
+	return o.scalar
+}
+
+// Add appends a value to an unbounded simple object.
+func (o *DataObject) Add(value string) error {
+	if o.Decl.Kind != KindUnbounded {
+		return fmt.Errorf("databind: element %s is not unbounded", o.Decl.Name)
+	}
+	if err := validateValue(o.Decl.Type, value); err != nil {
+		return fmt.Errorf("element %s: %w", o.Decl.Name, err)
+	}
+	o.repeated = append(o.repeated, value)
+	return nil
+}
+
+// Values returns the repeated values of an unbounded object.
+func (o *DataObject) Values() []string {
+	return append([]string(nil), o.repeated...)
+}
+
+// SetField sets a simple/enumerated child field of a complex object,
+// creating the child object as needed.
+func (o *DataObject) SetField(name, value string) error {
+	c, err := o.fieldObject(name)
+	if err != nil {
+		return err
+	}
+	return c.Set(value)
+}
+
+// GetField reads a child field's scalar value ("" when unset).
+func (o *DataObject) GetField(name string) string {
+	cs := o.children[name]
+	if len(cs) == 0 {
+		return ""
+	}
+	return cs[0].Get()
+}
+
+// AddFieldValue appends to an unbounded simple child field.
+func (o *DataObject) AddFieldValue(name, value string) error {
+	c, err := o.fieldObject(name)
+	if err != nil {
+		return err
+	}
+	return c.Add(value)
+}
+
+// FieldValues returns an unbounded child field's values.
+func (o *DataObject) FieldValues(name string) []string {
+	cs := o.children[name]
+	if len(cs) == 0 {
+		return nil
+	}
+	return cs[0].Values()
+}
+
+// Field returns the first child object with the given name, creating it if
+// the declaration exists.
+func (o *DataObject) Field(name string) (*DataObject, error) {
+	return o.fieldObject(name)
+}
+
+// AddChild appends a new child object for an unbounded complex field...
+// the subset forbids unbounded complex, so AddChild serves optional
+// complex children instantiated on demand.
+func (o *DataObject) fieldObject(name string) (*DataObject, error) {
+	if o.Decl.Kind != KindComplex {
+		return nil, fmt.Errorf("databind: element %s is not complex", o.Decl.Name)
+	}
+	decl := o.Decl.Child(name)
+	if decl == nil {
+		return nil, fmt.Errorf("databind: element %s has no field %q", o.Decl.Name, name)
+	}
+	if cs := o.children[name]; len(cs) > 0 {
+		return cs[0], nil
+	}
+	c := NewDataObject(decl)
+	o.children[name] = []*DataObject{c}
+	return c, nil
+}
+
+// Marshal renders the object as a schema instance element.
+func (o *DataObject) Marshal() *xmlutil.Element {
+	el := xmlutil.New(o.Decl.Name)
+	switch o.Decl.Kind {
+	case KindSimple, KindEnumerated:
+		el.Text = o.scalar
+	case KindUnbounded:
+		// An unbounded element marshals as repeated elements; the caller
+		// (complex parent) handles that. Standalone, render values as
+		// repeated <value> children.
+		for _, v := range o.repeated {
+			el.AddText("value", v)
+		}
+	case KindComplex:
+		for _, cDecl := range o.Decl.Children {
+			for _, c := range o.children[cDecl.Name] {
+				if cDecl.Kind == KindUnbounded {
+					for _, v := range c.Values() {
+						el.AddText(cDecl.Name, v)
+					}
+				} else if cDecl.Kind == KindComplex || c.scalarOK {
+					el.Add(c.Marshal())
+				}
+			}
+		}
+	}
+	return el
+}
+
+// Unmarshal builds a data object from a schema instance element,
+// validating structure and values against the declaration.
+func Unmarshal(decl *ElementDecl, el *xmlutil.Element) (*DataObject, error) {
+	if el.Name != decl.Name {
+		return nil, fmt.Errorf("databind: element %q does not match declaration %q", el.Name, decl.Name)
+	}
+	o := &DataObject{Decl: decl, children: map[string][]*DataObject{}}
+	switch decl.Kind {
+	case KindSimple, KindEnumerated:
+		if err := o.Set(el.Text); err != nil {
+			return nil, err
+		}
+	case KindUnbounded:
+		for _, v := range el.ChildrenNamed("value") {
+			if err := o.Add(v.Text); err != nil {
+				return nil, err
+			}
+		}
+	case KindComplex:
+		seen := map[string]bool{}
+		for _, childEl := range el.Children {
+			cDecl := decl.Child(childEl.Name)
+			if cDecl == nil {
+				return nil, fmt.Errorf("databind: element %s: undeclared child %q", decl.Name, childEl.Name)
+			}
+			if cDecl.Kind == KindUnbounded {
+				c, err := o.fieldObject(cDecl.Name)
+				if err != nil {
+					return nil, err
+				}
+				if err := c.Add(childEl.Text); err != nil {
+					return nil, err
+				}
+				seen[cDecl.Name] = true
+				continue
+			}
+			if seen[cDecl.Name] {
+				return nil, fmt.Errorf("databind: element %s: repeated child %q not declared unbounded", decl.Name, childEl.Name)
+			}
+			seen[cDecl.Name] = true
+			c, err := Unmarshal(cDecl, childEl)
+			if err != nil {
+				return nil, err
+			}
+			o.children[cDecl.Name] = []*DataObject{c}
+		}
+		for _, cDecl := range decl.Children {
+			if cDecl.MinOccurs > 0 && !seen[cDecl.Name] && cDecl.Kind != KindUnbounded {
+				// A declared default satisfies requiredness.
+				if cDecl.Default != "" {
+					c := NewDataObject(cDecl)
+					o.children[cDecl.Name] = []*DataObject{c}
+					continue
+				}
+				return nil, fmt.Errorf("databind: element %s: required child %q missing", decl.Name, cDecl.Name)
+			}
+		}
+	}
+	return o, nil
+}
+
+// AccessorNames returns the bean-style accessor list a Castor source
+// generation would have produced for a declaration (GetX/SetX per field,
+// AddX for unbounded). The S5.2 experiment counts these to show why
+// "converting all of the Castor methods to WSDL ... is not really a
+// practical interface".
+func AccessorNames(decl *ElementDecl) []string {
+	var out []string
+	var walk func(d *ElementDecl)
+	walk = func(d *ElementDecl) {
+		title := strings.ToUpper(d.Name[:1]) + d.Name[1:]
+		switch d.Kind {
+		case KindUnbounded:
+			out = append(out, "add"+title, "get"+title+"List", "remove"+title, "clear"+title)
+		case KindComplex:
+			out = append(out, "get"+title, "set"+title)
+			for _, c := range d.Children {
+				walk(c)
+			}
+		default:
+			out = append(out, "get"+title, "set"+title)
+		}
+	}
+	walk(decl)
+	return out
+}

@@ -1,0 +1,60 @@
+// Package grid simulates the computational-grid substrate the paper's job
+// submission services ran on: Globus-style gatekeepers driven by RSL
+// (Resource Specification Language) requests, batch schedulers in the four
+// dialects the paper names (PBS, LSF, NQS, and GRD/SGE), hosts with
+// synthetic executables, and a virtual clock that makes every run
+// deterministic. The paper's services submitted real jobs to real queues at
+// NCSA and SDSC; this package preserves the semantics those services depend
+// on — submit, queue, run, poll, collect output, hit walltime limits — on a
+// laptop.
+package grid
+
+import (
+	"sync"
+	"time"
+)
+
+// Epoch is the virtual time origin: the paper's submission year.
+var Epoch = time.Date(2002, time.June, 1, 0, 0, 0, 0, time.UTC)
+
+// Clock is a virtual clock shared by every component of one grid. Time only
+// moves when Advance is called, which makes scheduler behaviour (queue
+// waits, walltime kills, job ordering) reproducible in tests and
+// benchmarks.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewClock returns a clock set to the Epoch.
+func NewClock() *Clock {
+	return &Clock{now: Epoch}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d (negative d is ignored) and returns
+// the new time.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to t if t is later than now.
+func (c *Clock) AdvanceTo(t time.Time) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	return c.now
+}

@@ -1,0 +1,141 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ExecResult is the outcome of running a program on a host.
+type ExecResult struct {
+	// Stdout and Stderr are the captured streams.
+	Stdout string
+	Stderr string
+	// ExitCode is the program's exit status.
+	ExitCode int
+	// CPUTime is the simulated compute time the run consumed; the
+	// scheduler charges this against walltime limits.
+	CPUTime time.Duration
+}
+
+// ProgramContext is what a synthetic program sees when it runs.
+type ProgramContext struct {
+	// Host is the machine the program runs on.
+	Host *Host
+	// Args are the command arguments (not including the program path).
+	Args []string
+	// Stdin is the standard input contents.
+	Stdin string
+	// Nodes is the processor count granted to the job.
+	Nodes int
+	// Now is the virtual time at program start.
+	Now time.Time
+}
+
+// Program is a synthetic executable: deterministic, side-effect-free except
+// through its result.
+type Program func(ctx ProgramContext) ExecResult
+
+// standardPrograms returns the executables installed on every testbed host,
+// mirroring the binaries the paper's examples submit (hostname, date, echo)
+// plus synthetic science codes for the application-service experiments.
+func standardPrograms() map[string]Program {
+	return map[string]Program{
+		"/bin/hostname": func(ctx ProgramContext) ExecResult {
+			return ExecResult{Stdout: ctx.Host.Name + "\n", CPUTime: 10 * time.Millisecond}
+		},
+		"/bin/date": func(ctx ProgramContext) ExecResult {
+			return ExecResult{Stdout: ctx.Now.Format(time.UnixDate) + "\n", CPUTime: 10 * time.Millisecond}
+		},
+		"/bin/echo": func(ctx ProgramContext) ExecResult {
+			return ExecResult{Stdout: strings.Join(ctx.Args, " ") + "\n", CPUTime: 10 * time.Millisecond}
+		},
+		"/bin/cat": func(ctx ProgramContext) ExecResult {
+			return ExecResult{Stdout: ctx.Stdin, CPUTime: 10 * time.Millisecond}
+		},
+		"/bin/false": func(ctx ProgramContext) ExecResult {
+			return ExecResult{ExitCode: 1, Stderr: "false: exit 1\n", CPUTime: time.Millisecond}
+		},
+		// sleep consumes the requested seconds of walltime.
+		"/bin/sleep": func(ctx ProgramContext) ExecResult {
+			secs := 1
+			if len(ctx.Args) > 0 {
+				if n, err := strconv.Atoi(ctx.Args[0]); err == nil {
+					secs = n
+				}
+			}
+			return ExecResult{CPUTime: time.Duration(secs) * time.Second}
+		},
+		// matmul simulates an O(n^3) dense matrix multiply; runtime scales
+		// with n^3 / nodes. Used by the application-service examples.
+		"/usr/local/bin/matmul": func(ctx ProgramContext) ExecResult {
+			n := 256
+			if len(ctx.Args) > 0 {
+				if v, err := strconv.Atoi(ctx.Args[0]); err == nil && v > 0 {
+					n = v
+				}
+			}
+			nodes := ctx.Nodes
+			if nodes < 1 {
+				nodes = 1
+			}
+			// 1e9 multiply-adds per virtual second per node.
+			flops := float64(n) * float64(n) * float64(n) * 2
+			secs := flops / (1e9 * float64(nodes))
+			cpu := time.Duration(secs * float64(time.Second))
+			if cpu < time.Millisecond {
+				cpu = time.Millisecond
+			}
+			checksum := (uint64(n)*2654435761 + uint64(nodes)) % 1000003
+			return ExecResult{
+				Stdout:  fmt.Sprintf("matmul n=%d nodes=%d checksum=%d\n", n, nodes, checksum),
+				CPUTime: cpu,
+			}
+		},
+		// gaussian simulates the quantum-chemistry code the paper names as
+		// the canonical Application Web Service target. Input is a "route
+		// card" on stdin; runtime scales with basis-set size.
+		"/usr/local/bin/gaussian": func(ctx ProgramContext) ExecResult {
+			basis := 6
+			method := "HF"
+			for _, line := range strings.Split(ctx.Stdin, "\n") {
+				line = strings.TrimSpace(line)
+				if strings.HasPrefix(line, "#") {
+					fields := strings.Fields(strings.TrimPrefix(line, "#"))
+					if len(fields) > 0 {
+						method = fields[0]
+					}
+				}
+				if strings.HasPrefix(line, "basis=") {
+					if v, err := strconv.Atoi(strings.TrimPrefix(line, "basis=")); err == nil {
+						basis = v
+					}
+				}
+			}
+			if strings.TrimSpace(ctx.Stdin) == "" {
+				return ExecResult{ExitCode: 2, Stderr: "gaussian: no input deck\n", CPUTime: time.Millisecond}
+			}
+			secs := float64(basis*basis) / 10.0
+			energy := -76.0 - float64(basis)*0.01
+			return ExecResult{
+				Stdout: fmt.Sprintf("Entering Gaussian System\nMethod: %s basis=%d\nSCF Done: E = %.6f\nNormal termination.\n",
+					method, basis, energy),
+				CPUTime: time.Duration(secs * float64(time.Second)),
+			}
+		},
+	}
+}
+
+// ProgramNames returns the sorted installed program paths of a host.
+func (h *Host) ProgramNames() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	names := make([]string, 0, len(h.programs))
+	for n := range h.programs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

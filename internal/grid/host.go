@@ -1,0 +1,363 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Host is one simulated HPC machine: identity, processor count, installed
+// programs, a small workspace filesystem, and one batch scheduler.
+type Host struct {
+	// Name is the DNS name, e.g. "modi4.ncsa.uiuc.edu".
+	Name string
+	// IP is the dotted-quad address (descriptor metadata).
+	IP string
+	// CPUs is the processor count.
+	CPUs int
+	// WorkDir is the scratch directory path advertised to descriptors.
+	WorkDir string
+	// Scheduler is the host's batch system.
+	Scheduler *Scheduler
+
+	clock    *Clock
+	mu       sync.RWMutex
+	programs map[string]Program
+	files    map[string]string
+}
+
+// HostConfig describes a host to create.
+type HostConfig struct {
+	Name      string
+	IP        string
+	CPUs      int
+	WorkDir   string
+	Scheduler SchedulerKind
+	Queues    []Queue
+}
+
+// NewHost builds a host with the standard program set and the configured
+// scheduler.
+func NewHost(cfg HostConfig, clock *Clock) *Host {
+	h := &Host{
+		Name:     cfg.Name,
+		IP:       cfg.IP,
+		CPUs:     cfg.CPUs,
+		WorkDir:  cfg.WorkDir,
+		clock:    clock,
+		programs: standardPrograms(),
+		files:    map[string]string{},
+	}
+	if h.WorkDir == "" {
+		h.WorkDir = "/scratch"
+	}
+	queues := cfg.Queues
+	if len(queues) == 0 {
+		queues = []Queue{
+			{Name: "batch", MaxWallTime: 12 * time.Hour, MaxNodes: cfg.CPUs, Priority: 1},
+			{Name: "debug", MaxWallTime: 30 * time.Minute, MaxNodes: 4, Priority: 2},
+		}
+	}
+	h.Scheduler = NewScheduler(cfg.Scheduler, shortName(cfg.Name), cfg.CPUs, clock, queues, h.execute)
+	return h
+}
+
+func shortName(dns string) string {
+	if i := strings.IndexByte(dns, '.'); i > 0 {
+		return dns[:i]
+	}
+	return dns
+}
+
+// InstallProgram registers an executable on the host.
+func (h *Host) InstallProgram(path string, p Program) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.programs[path] = p
+}
+
+// WriteFile stores a workspace file (descriptor staging, SRB get/put
+// targets).
+func (h *Host) WriteFile(path, content string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.files[path] = content
+}
+
+// ReadFile reads a workspace file.
+func (h *Host) ReadFile(path string) (string, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	content, ok := h.files[path]
+	if !ok {
+		return "", fmt.Errorf("grid: host %s: no such file %q", h.Name, path)
+	}
+	return content, nil
+}
+
+// ListFiles returns the sorted workspace file paths.
+func (h *Host) ListFiles() []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]string, 0, len(h.files))
+	for p := range h.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// execute runs a program for the scheduler. Stdin values that name a
+// workspace file are resolved from the host filesystem.
+func (h *Host) execute(spec JobSpec, nodes int, now time.Time) ExecResult {
+	h.mu.RLock()
+	prog, ok := h.programs[spec.Executable]
+	stdin := spec.Stdin
+	if content, exists := h.files[stdin]; exists {
+		stdin = content
+	}
+	h.mu.RUnlock()
+	if !ok {
+		return ExecResult{
+			ExitCode: 127,
+			Stderr:   fmt.Sprintf("%s: command not found\n", spec.Executable),
+			CPUTime:  time.Millisecond,
+		}
+	}
+	return prog(ProgramContext{Host: h, Args: spec.Args, Stdin: stdin, Nodes: nodes, Now: now})
+}
+
+// Run executes a program immediately (a GRAM "fork" job), bypassing the
+// batch system; the virtual clock advances by the consumed CPU time.
+func (h *Host) Run(spec JobSpec) ExecResult {
+	now := h.clock.Now()
+	res := h.execute(spec, maxInt(spec.Nodes, 1), now)
+	h.clock.Advance(res.CPUTime)
+	return res
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- Gatekeeper -------------------------------------------------------------
+
+// Gatekeeper is the GRAM-style entry point on a host: it authenticates the
+// caller against the grid-map, parses RSL, and routes to the batch system
+// or to immediate (fork) execution. The paper's Globusrun Web Service is a
+// SOAP facade over exactly this interface.
+type Gatekeeper struct {
+	// Host is the machine the gatekeeper fronts.
+	Host *Host
+
+	mu      sync.RWMutex
+	gridmap map[string]bool
+}
+
+// NewGatekeeper creates a gatekeeper with an empty grid-map.
+func NewGatekeeper(h *Host) *Gatekeeper {
+	return &Gatekeeper{Host: h, gridmap: map[string]bool{}}
+}
+
+// Authorize adds a principal to the grid-map.
+func (g *Gatekeeper) Authorize(principal string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.gridmap[principal] = true
+}
+
+// Authorized reports whether a principal is in the grid-map.
+func (g *Gatekeeper) Authorized(principal string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.gridmap[principal]
+}
+
+// Submit authenticates, parses the RSL request, and submits it to the
+// host's batch system, returning the job contact string.
+func (g *Gatekeeper) Submit(principal, rsl string) (string, error) {
+	if !g.Authorized(principal) {
+		return "", fmt.Errorf("gram: %s: principal %q not in grid-map", g.Host.Name, principal)
+	}
+	req, err := ParseRSL(rsl)
+	if err != nil {
+		return "", err
+	}
+	spec := req.JobSpec()
+	spec.Owner = principal
+	id, err := g.Host.Scheduler.Submit(spec)
+	if err != nil {
+		return "", fmt.Errorf("gram: %s: %w", g.Host.Name, err)
+	}
+	return fmt.Sprintf("https://%s:2119/%s", g.Host.Name, id), nil
+}
+
+// jobIDFromContact extracts the scheduler job ID from a contact string.
+func jobIDFromContact(contact string) string {
+	if i := strings.LastIndex(contact, "/"); i >= 0 {
+		return contact[i+1:]
+	}
+	return contact
+}
+
+// Status polls a submitted job by its contact string.
+func (g *Gatekeeper) Status(contact string) (Job, error) {
+	return g.Host.Scheduler.Status(jobIDFromContact(contact))
+}
+
+// Cancel cancels a submitted job.
+func (g *Gatekeeper) Cancel(contact string) error {
+	return g.Host.Scheduler.Cancel(jobIDFromContact(contact))
+}
+
+// Run authenticates and executes the RSL request synchronously: batch
+// requests are submitted and drained; fork requests run immediately. This
+// mirrors the blocking behaviour of the globusrun command-line tool the
+// SDSC service wrapped.
+func (g *Gatekeeper) Run(principal, rsl string) (Job, error) {
+	if !g.Authorized(principal) {
+		return Job{}, fmt.Errorf("gram: %s: principal %q not in grid-map", g.Host.Name, principal)
+	}
+	req, err := ParseRSL(rsl)
+	if err != nil {
+		return Job{}, err
+	}
+	spec := req.JobSpec()
+	spec.Owner = principal
+	if strings.EqualFold(req.Get("jobType"), "fork") {
+		now := g.Host.clock.Now()
+		res := g.Host.Run(spec)
+		state := StateCompleted
+		reason := ""
+		if res.ExitCode != 0 {
+			state = StateFailed
+			reason = fmt.Sprintf("exit code %d", res.ExitCode)
+		}
+		return Job{
+			ID: "fork." + shortName(g.Host.Name), Spec: spec, State: state,
+			SubmitTime: now, StartTime: now, EndTime: g.Host.clock.Now(),
+			Result: res, Reason: reason,
+		}, nil
+	}
+	id, err := g.Host.Scheduler.Submit(spec)
+	if err != nil {
+		return Job{}, fmt.Errorf("gram: %s: %w", g.Host.Name, err)
+	}
+	g.Host.Scheduler.Drain()
+	return g.Host.Scheduler.Status(id)
+}
+
+// --- Grid (testbed) ---------------------------------------------------------
+
+// Grid is a collection of hosts sharing one virtual clock — the simulated
+// testbed.
+type Grid struct {
+	// Clock is the shared virtual clock.
+	Clock *Clock
+
+	mu          sync.RWMutex
+	hosts       map[string]*Host
+	gatekeepers map[string]*Gatekeeper
+}
+
+// NewGrid returns an empty grid with a fresh clock.
+func NewGrid() *Grid {
+	return &Grid{
+		Clock:       NewClock(),
+		hosts:       map[string]*Host{},
+		gatekeepers: map[string]*Gatekeeper{},
+	}
+}
+
+// AddHost creates a host from config and attaches a gatekeeper.
+func (g *Grid) AddHost(cfg HostConfig) *Host {
+	h := NewHost(cfg, g.Clock)
+	gk := NewGatekeeper(h)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.hosts[cfg.Name] = h
+	g.gatekeepers[cfg.Name] = gk
+	return h
+}
+
+// Host returns a host by DNS name.
+func (g *Grid) Host(name string) (*Host, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	h, ok := g.hosts[name]
+	if !ok {
+		return nil, fmt.Errorf("grid: unknown host %q", name)
+	}
+	return h, nil
+}
+
+// Gatekeeper returns the gatekeeper for a host.
+func (g *Grid) Gatekeeper(name string) (*Gatekeeper, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	gk, ok := g.gatekeepers[name]
+	if !ok {
+		return nil, fmt.Errorf("grid: no gatekeeper on %q", name)
+	}
+	return gk, nil
+}
+
+// HostNames returns the sorted host names.
+func (g *Grid) HostNames() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.hosts))
+	for n := range g.hosts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Authorize adds a principal to every host's grid-map.
+func (g *Grid) Authorize(principal string) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, gk := range g.gatekeepers {
+		gk.Authorize(principal)
+	}
+}
+
+// NewTestbed builds the canonical four-host testbed used by examples,
+// tests, and benchmarks: one host per queuing system the paper's script
+// generators support, with 2002-flavoured names.
+func NewTestbed() *Grid {
+	g := NewGrid()
+	g.AddHost(HostConfig{
+		Name: "modi4.ncsa.uiuc.edu", IP: "141.142.30.72", CPUs: 48, Scheduler: PBS,
+		Queues: []Queue{
+			{Name: "batch", MaxWallTime: 12 * time.Hour, MaxNodes: 48, Priority: 1},
+			{Name: "debug", MaxWallTime: 30 * time.Minute, MaxNodes: 4, Priority: 2},
+		},
+	})
+	g.AddHost(HostConfig{
+		Name: "bluehorizon.sdsc.edu", IP: "198.202.96.41", CPUs: 128, Scheduler: LSF,
+		Queues: []Queue{
+			{Name: "normal", MaxWallTime: 18 * time.Hour, MaxNodes: 128, Priority: 1},
+			{Name: "express", MaxWallTime: 2 * time.Hour, MaxNodes: 8, Priority: 3},
+		},
+	})
+	g.AddHost(HostConfig{
+		Name: "tcsini.psc.edu", IP: "128.182.99.12", CPUs: 64, Scheduler: NQS,
+		Queues: []Queue{
+			{Name: "prod", MaxWallTime: 24 * time.Hour, MaxNodes: 64, Priority: 1},
+		},
+	})
+	g.AddHost(HostConfig{
+		Name: "hpc-sge.iu.edu", IP: "129.79.240.10", CPUs: 32, Scheduler: GRD,
+		Queues: []Queue{
+			{Name: "all.q", MaxWallTime: 8 * time.Hour, MaxNodes: 32, Priority: 1},
+		},
+	})
+	return g
+}

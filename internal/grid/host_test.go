@@ -1,0 +1,241 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHostFilesAndPrograms(t *testing.T) {
+	g := NewTestbed()
+	h, err := g.Host("modi4.ncsa.uiuc.edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.WriteFile("/scratch/input.dat", "data")
+	got, err := h.ReadFile("/scratch/input.dat")
+	if err != nil || got != "data" {
+		t.Errorf("ReadFile = %q, %v", got, err)
+	}
+	if _, err := h.ReadFile("/nope"); err == nil {
+		t.Error("missing file read succeeded")
+	}
+	files := h.ListFiles()
+	if len(files) != 1 || files[0] != "/scratch/input.dat" {
+		t.Errorf("files = %v", files)
+	}
+	progs := h.ProgramNames()
+	if len(progs) < 5 {
+		t.Errorf("programs = %v", progs)
+	}
+}
+
+func TestHostRunFork(t *testing.T) {
+	g := NewTestbed()
+	h, _ := g.Host("modi4.ncsa.uiuc.edu")
+	before := g.Clock.Now()
+	res := h.Run(JobSpec{Executable: "/bin/echo", Args: []string{"hi"}})
+	if res.Stdout != "hi\n" || res.ExitCode != 0 {
+		t.Errorf("res = %+v", res)
+	}
+	if !g.Clock.Now().After(before) {
+		t.Error("fork run did not advance clock")
+	}
+}
+
+func TestStdinFileResolution(t *testing.T) {
+	g := NewTestbed()
+	h, _ := g.Host("modi4.ncsa.uiuc.edu")
+	h.WriteFile("/scratch/deck", "file contents")
+	res := h.Run(JobSpec{Executable: "/bin/cat", Stdin: "/scratch/deck"})
+	if res.Stdout != "file contents" {
+		t.Errorf("stdin resolution failed: %q", res.Stdout)
+	}
+	// Literal stdin still works when no file matches.
+	res = h.Run(JobSpec{Executable: "/bin/cat", Stdin: "literal"})
+	if res.Stdout != "literal" {
+		t.Errorf("literal stdin = %q", res.Stdout)
+	}
+}
+
+func TestGatekeeperAuthz(t *testing.T) {
+	g := NewTestbed()
+	gk, err := g.Gatekeeper("bluehorizon.sdsc.edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gk.Submit("mock@SDSC.EDU", "&(executable=/bin/date)"); err == nil {
+		t.Error("unauthorized submit accepted")
+	}
+	gk.Authorize("mock@SDSC.EDU")
+	if !gk.Authorized("mock@SDSC.EDU") {
+		t.Error("Authorize did not take")
+	}
+	contact, err := gk.Submit("mock@SDSC.EDU", "&(executable=/bin/date)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(contact, "https://bluehorizon.sdsc.edu:2119/") {
+		t.Errorf("contact = %q", contact)
+	}
+	gk.Host.Scheduler.Drain()
+	job, err := gk.Status(contact)
+	if err != nil || job.State != StateCompleted {
+		t.Errorf("job = %+v, %v", job, err)
+	}
+}
+
+func TestGatekeeperRunSynchronous(t *testing.T) {
+	g := NewTestbed()
+	g.Authorize("cyoun@IU.EDU")
+	gk, _ := g.Gatekeeper("modi4.ncsa.uiuc.edu")
+	job, err := gk.Run("cyoun@IU.EDU", "&(executable=/bin/hostname)(queue=debug)(maxWallTime=5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateCompleted || job.Result.Stdout != "modi4.ncsa.uiuc.edu\n" {
+		t.Errorf("job = %+v", job)
+	}
+	if job.Spec.Owner != "cyoun@IU.EDU" {
+		t.Errorf("owner = %q", job.Spec.Owner)
+	}
+}
+
+func TestGatekeeperRunFork(t *testing.T) {
+	g := NewTestbed()
+	g.Authorize("u@X")
+	gk, _ := g.Gatekeeper("hpc-sge.iu.edu")
+	job, err := gk.Run("u@X", "&(executable=/bin/echo)(arguments=fork mode)(jobType=fork)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateCompleted || job.Result.Stdout != "fork mode\n" {
+		t.Errorf("job = %+v", job)
+	}
+	if !strings.HasPrefix(job.ID, "fork.") {
+		t.Errorf("id = %q", job.ID)
+	}
+	// Fork failure propagates state.
+	job, err = gk.Run("u@X", "&(executable=/bin/false)(jobType=fork)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateFailed {
+		t.Errorf("state = %s", job.State)
+	}
+}
+
+func TestGatekeeperRunErrors(t *testing.T) {
+	g := NewTestbed()
+	gk, _ := g.Gatekeeper("modi4.ncsa.uiuc.edu")
+	if _, err := gk.Run("nobody", "&(executable=/bin/date)"); err == nil {
+		t.Error("unauthorized run accepted")
+	}
+	g.Authorize("u@X")
+	if _, err := gk.Run("u@X", "not rsl"); err == nil {
+		t.Error("bad RSL accepted")
+	}
+	if _, err := gk.Run("u@X", "&(executable=/bin/date)(queue=nope)"); err == nil {
+		t.Error("bad queue accepted")
+	}
+	if _, err := gk.Submit("u@X", "garbage"); err == nil {
+		t.Error("bad RSL submit accepted")
+	}
+}
+
+func TestGatekeeperCancel(t *testing.T) {
+	g := NewTestbed()
+	g.Authorize("u@X")
+	gk, _ := g.Gatekeeper("tcsini.psc.edu")
+	contact, err := gk.Submit("u@X", "&(executable=/bin/sleep)(arguments=5000)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gk.Cancel(contact); err != nil {
+		t.Fatal(err)
+	}
+	job, _ := gk.Status(contact)
+	if job.State != StateCancelled {
+		t.Errorf("state = %s", job.State)
+	}
+}
+
+func TestTestbedTopology(t *testing.T) {
+	g := NewTestbed()
+	names := g.HostNames()
+	if len(names) != 4 {
+		t.Fatalf("hosts = %v", names)
+	}
+	kinds := map[SchedulerKind]bool{}
+	for _, n := range names {
+		h, _ := g.Host(n)
+		kinds[h.Scheduler.Kind] = true
+	}
+	for _, k := range AllSchedulerKinds {
+		if !kinds[k] {
+			t.Errorf("testbed missing scheduler %s", k)
+		}
+	}
+	if _, err := g.Host("missing.example.org"); err == nil {
+		t.Error("unknown host returned")
+	}
+	if _, err := g.Gatekeeper("missing.example.org"); err == nil {
+		t.Error("unknown gatekeeper returned")
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock()
+	if !c.Now().Equal(Epoch) {
+		t.Errorf("epoch = %v", c.Now())
+	}
+	c.Advance(time.Hour)
+	if got := c.Now().Sub(Epoch); got != time.Hour {
+		t.Errorf("advanced = %s", got)
+	}
+	c.Advance(-time.Hour) // ignored
+	if got := c.Now().Sub(Epoch); got != time.Hour {
+		t.Errorf("negative advance changed clock: %s", got)
+	}
+	c.AdvanceTo(Epoch) // earlier: ignored
+	if got := c.Now().Sub(Epoch); got != time.Hour {
+		t.Errorf("backwards AdvanceTo changed clock: %s", got)
+	}
+}
+
+func TestGaussianProgram(t *testing.T) {
+	g := NewTestbed()
+	h, _ := g.Host("bluehorizon.sdsc.edu")
+	res := h.Run(JobSpec{
+		Executable: "/usr/local/bin/gaussian",
+		Stdin:      "# B3LYP opt\nbasis=10\n\nwater molecule\n0 1\nO\nH 1 0.96\nH 1 0.96 2 104.5\n",
+	})
+	if res.ExitCode != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if !strings.Contains(res.Stdout, "Method: B3LYP") || !strings.Contains(res.Stdout, "SCF Done") {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+	if res.CPUTime != 10*time.Second {
+		t.Errorf("cputime = %s (basis=10 should give 10s)", res.CPUTime)
+	}
+	// Empty deck fails.
+	res = h.Run(JobSpec{Executable: "/usr/local/bin/gaussian", Stdin: "  "})
+	if res.ExitCode == 0 {
+		t.Error("empty deck accepted")
+	}
+}
+
+func TestMatmulScaling(t *testing.T) {
+	g := NewTestbed()
+	h, _ := g.Host("bluehorizon.sdsc.edu")
+	r1 := h.execute(JobSpec{Executable: "/usr/local/bin/matmul", Args: []string{"512"}}, 1, g.Clock.Now())
+	r4 := h.execute(JobSpec{Executable: "/usr/local/bin/matmul", Args: []string{"512"}}, 4, g.Clock.Now())
+	if r4.CPUTime >= r1.CPUTime {
+		t.Errorf("4 nodes (%s) not faster than 1 (%s)", r4.CPUTime, r1.CPUTime)
+	}
+	ratio := float64(r1.CPUTime) / float64(r4.CPUTime)
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("speedup = %.2f, want ~4", ratio)
+	}
+}

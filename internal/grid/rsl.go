@@ -1,0 +1,306 @@
+package grid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RSL is a parsed Globus Resource Specification Language request: a
+// conjunction of attribute/value relations, e.g.
+//
+//	&(executable=/bin/hostname)(count=4)(queue=batch)(maxWallTime=60)
+//
+// Values with spaces are double-quoted; the arguments attribute takes a
+// whitespace-separated list. Multi-request RSL (+ operator) is handled by
+// ParseMultiRSL.
+type RSL struct {
+	// Attributes maps lower-cased attribute names to their value lists.
+	Attributes map[string][]string
+}
+
+// Get returns the first value of an attribute, or "".
+func (r *RSL) Get(name string) string {
+	vs := r.Attributes[strings.ToLower(name)]
+	if len(vs) == 0 {
+		return ""
+	}
+	return vs[0]
+}
+
+// GetAll returns every value of an attribute.
+func (r *RSL) GetAll(name string) []string {
+	return r.Attributes[strings.ToLower(name)]
+}
+
+// GetInt returns an attribute as an int, or def when absent/invalid.
+func (r *RSL) GetInt(name string, def int) int {
+	v := r.Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// JobSpec converts the RSL request into a scheduler job specification.
+// Globus conventions: executable, arguments, count (processes), queue,
+// maxWallTime (minutes), jobType, stdin, environment.
+func (r *RSL) JobSpec() JobSpec {
+	spec := JobSpec{
+		Name:       r.Get("jobName"),
+		Executable: r.Get("executable"),
+		Args:       r.GetAll("arguments"),
+		Stdin:      r.Get("stdin"),
+		Queue:      r.Get("queue"),
+		Nodes:      r.GetInt("count", 1),
+		WallTime:   time.Duration(r.GetInt("maxWallTime", 0)) * time.Minute,
+	}
+	if spec.Name == "" {
+		spec.Name = "STDIN"
+	}
+	return spec
+}
+
+// ParseRSL parses a single conjunctive RSL request.
+func ParseRSL(input string) (*RSL, error) {
+	p := &rslParser{input: input}
+	p.skipSpace()
+	if !p.consume('&') {
+		return nil, p.errf("expected '&' at start of RSL request")
+	}
+	rsl, err := p.parseRelations()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.done() {
+		return nil, p.errf("trailing input after RSL request")
+	}
+	return rsl, nil
+}
+
+// ParseMultiRSL parses a multi-request: +(&(...))(&(...)) — the form the
+// Globusrun Web Service's XML job DTD maps onto. A single conjunctive
+// request is also accepted and yields one element.
+func ParseMultiRSL(input string) ([]*RSL, error) {
+	p := &rslParser{input: input}
+	p.skipSpace()
+	if !p.consume('+') {
+		one, err := ParseRSL(input)
+		if err != nil {
+			return nil, err
+		}
+		return []*RSL{one}, nil
+	}
+	var out []*RSL
+	for {
+		p.skipSpace()
+		if p.done() {
+			break
+		}
+		if !p.consume('(') {
+			return nil, p.errf("expected '(' opening sub-request")
+		}
+		p.skipSpace()
+		if !p.consume('&') {
+			return nil, p.errf("expected '&' in sub-request")
+		}
+		rsl, err := p.parseRelations()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.consume(')') {
+			return nil, p.errf("expected ')' closing sub-request")
+		}
+		out = append(out, rsl)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("grid: rsl: empty multi-request")
+	}
+	return out, nil
+}
+
+type rslParser struct {
+	input string
+	pos   int
+}
+
+func (p *rslParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("grid: rsl at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *rslParser) done() bool { return p.pos >= len(p.input) }
+
+func (p *rslParser) peek() byte {
+	if p.done() {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *rslParser) consume(c byte) bool {
+	if !p.done() && p.input[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *rslParser) skipSpace() {
+	for !p.done() && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t' || p.input[p.pos] == '\n' || p.input[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+// parseRelations parses a sequence of (name=value...) relations following
+// an '&'.
+func (p *rslParser) parseRelations() (*RSL, error) {
+	rsl := &RSL{Attributes: map[string][]string{}}
+	for {
+		p.skipSpace()
+		if p.done() || p.peek() == ')' {
+			break
+		}
+		if !p.consume('(') {
+			return nil, p.errf("expected '(' opening relation")
+		}
+		p.skipSpace()
+		name := p.readName()
+		if name == "" {
+			return nil, p.errf("expected attribute name")
+		}
+		p.skipSpace()
+		if !p.consume('=') {
+			return nil, p.errf("expected '=' after attribute %q", name)
+		}
+		var values []string
+		for {
+			p.skipSpace()
+			if p.done() {
+				return nil, p.errf("unterminated relation for %q", name)
+			}
+			if p.peek() == ')' {
+				p.pos++
+				break
+			}
+			v, err := p.readValue()
+			if err != nil {
+				return nil, err
+			}
+			values = append(values, v)
+		}
+		key := strings.ToLower(name)
+		rsl.Attributes[key] = append(rsl.Attributes[key], values...)
+	}
+	if len(rsl.Attributes) == 0 {
+		return nil, p.errf("request has no relations")
+	}
+	return rsl, nil
+}
+
+func (p *rslParser) readName() string {
+	start := p.pos
+	for !p.done() {
+		c := p.input[p.pos]
+		if c == '=' || c == ' ' || c == '\t' || c == '(' || c == ')' {
+			break
+		}
+		p.pos++
+	}
+	return p.input[start:p.pos]
+}
+
+func (p *rslParser) readValue() (string, error) {
+	if p.peek() == '"' {
+		p.pos++
+		var b strings.Builder
+		for {
+			if p.done() {
+				return "", p.errf("unterminated quoted value")
+			}
+			c := p.input[p.pos]
+			if c == '"' {
+				// RSL escapes a quote by doubling it.
+				if p.pos+1 < len(p.input) && p.input[p.pos+1] == '"' {
+					b.WriteByte('"')
+					p.pos += 2
+					continue
+				}
+				p.pos++
+				return b.String(), nil
+			}
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	start := p.pos
+	for !p.done() {
+		c := p.input[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == ')' || c == '(' {
+			break
+		}
+		p.pos++
+	}
+	if start == p.pos {
+		return "", p.errf("empty value")
+	}
+	return p.input[start:p.pos], nil
+}
+
+// FormatRSL renders a JobSpec as a conjunctive RSL request, the inverse of
+// ParseRSL followed by JobSpec.
+func FormatRSL(spec JobSpec) string {
+	var b strings.Builder
+	b.WriteByte('&')
+	rel := func(name, value string) {
+		if value == "" {
+			return
+		}
+		b.WriteByte('(')
+		b.WriteString(name)
+		b.WriteByte('=')
+		if strings.ContainsAny(value, " \t()") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(value, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(value)
+		}
+		b.WriteByte(')')
+	}
+	if spec.Name != "" && spec.Name != "STDIN" {
+		rel("jobName", spec.Name)
+	}
+	rel("executable", spec.Executable)
+	if len(spec.Args) > 0 {
+		b.WriteString("(arguments=")
+		for i, a := range spec.Args {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			if strings.ContainsAny(a, " \t()") || a == "" {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(a, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(a)
+			}
+		}
+		b.WriteByte(')')
+	}
+	rel("stdin", spec.Stdin)
+	rel("queue", spec.Queue)
+	if spec.Nodes > 1 {
+		rel("count", strconv.Itoa(spec.Nodes))
+	}
+	if spec.WallTime > 0 {
+		rel("maxWallTime", strconv.Itoa(int(spec.WallTime/time.Minute)))
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package grid
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseRSLBasic(t *testing.T) {
+	rsl, err := ParseRSL(`&(executable=/bin/hostname)(count=4)(queue=batch)(maxWallTime=60)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsl.Get("executable") != "/bin/hostname" {
+		t.Errorf("executable = %q", rsl.Get("executable"))
+	}
+	if rsl.GetInt("count", 1) != 4 {
+		t.Errorf("count = %d", rsl.GetInt("count", 1))
+	}
+	spec := rsl.JobSpec()
+	if spec.Nodes != 4 || spec.Queue != "batch" || spec.WallTime != time.Hour {
+		t.Errorf("spec = %+v", spec)
+	}
+	if spec.Name != "STDIN" {
+		t.Errorf("default name = %q", spec.Name)
+	}
+}
+
+func TestParseRSLArgumentsAndQuotes(t *testing.T) {
+	rsl, err := ParseRSL(`&(executable=/bin/echo)(arguments=hello "grid world" "with ""quotes""")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := rsl.GetAll("arguments")
+	want := []string{"hello", "grid world", `with "quotes"`}
+	if !reflect.DeepEqual(args, want) {
+		t.Errorf("args = %q, want %q", args, want)
+	}
+}
+
+func TestParseRSLCaseInsensitiveAttrs(t *testing.T) {
+	rsl, err := ParseRSL(`&(Executable=/bin/date)(MAXWALLTIME=5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsl.Get("executable") != "/bin/date" || rsl.GetInt("maxwalltime", 0) != 5 {
+		t.Errorf("case-insensitive lookup failed: %+v", rsl.Attributes)
+	}
+}
+
+func TestParseRSLErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"(executable=/bin/date)",        // missing &
+		"&",                             // no relations
+		"&(executable)",                 // no =
+		"&(executable=/bin/date",        // unterminated
+		`&(executable="/bin/date)`,      // unterminated quote
+		"&(executable=/bin/date)extra)", // trailing garbage
+	}
+	for _, in := range bad {
+		if _, err := ParseRSL(in); err == nil {
+			t.Errorf("ParseRSL(%q) succeeded", in)
+		}
+	}
+}
+
+func TestParseMultiRSL(t *testing.T) {
+	multi := `+(&(executable=/bin/date))(&(executable=/bin/hostname)(count=2))`
+	reqs, err := ParseMultiRSL(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("reqs = %d", len(reqs))
+	}
+	if reqs[1].GetInt("count", 0) != 2 {
+		t.Errorf("second count = %d", reqs[1].GetInt("count", 0))
+	}
+	// A single request also parses.
+	one, err := ParseMultiRSL(`&(executable=/bin/date)`)
+	if err != nil || len(one) != 1 {
+		t.Errorf("single = %v, %v", one, err)
+	}
+	if _, err := ParseMultiRSL("+"); err == nil {
+		t.Error("empty multi accepted")
+	}
+	if _, err := ParseMultiRSL("+(executable=x)"); err == nil {
+		t.Error("multi without & accepted")
+	}
+}
+
+func TestFormatRSLRoundTrip(t *testing.T) {
+	spec := JobSpec{
+		Name:       "run42",
+		Executable: "/usr/local/bin/matmul",
+		Args:       []string{"512", "two words"},
+		Stdin:      "input.deck",
+		Queue:      "batch",
+		Nodes:      8,
+		WallTime:   90 * time.Minute,
+	}
+	rsl, err := ParseRSL(FormatRSL(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rsl.JobSpec()
+	got.Owner = spec.Owner
+	if !reflect.DeepEqual(got, spec) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, spec)
+	}
+}
+
+// Property: FormatRSL∘ParseRSL∘JobSpec is identity on well-formed specs.
+func TestPropertyRSLRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		spec := JobSpec{
+			Name:       pick(r, []string{"", "job1", "run-42", "STDIN"}),
+			Executable: pick(r, []string{"/bin/date", "/bin/echo", "/usr/local/bin/matmul"}),
+			Queue:      pick(r, []string{"", "batch", "debug", "all.q"}),
+			Nodes:      1 + r.Intn(16),
+			WallTime:   time.Duration(r.Intn(120)) * time.Minute,
+		}
+		n := r.Intn(4)
+		for i := 0; i < n; i++ {
+			spec.Args = append(spec.Args, pick(r, []string{"a", "with space", `qu"oted`, "128"}))
+		}
+		parsed, err := ParseRSL(FormatRSL(spec))
+		if err != nil {
+			t.Logf("seed %d: %v (rsl=%s)", seed, err, FormatRSL(spec))
+			return false
+		}
+		got := parsed.JobSpec()
+		// Name defaulting: empty name formats to nothing, parses to STDIN.
+		wantName := spec.Name
+		if wantName == "" {
+			wantName = "STDIN"
+		}
+		if got.Name != wantName || got.Executable != spec.Executable ||
+			got.Queue != spec.Queue || got.Nodes != spec.Nodes || got.WallTime != spec.WallTime {
+			t.Logf("seed %d: got %+v want %+v", seed, got, spec)
+			return false
+		}
+		if !reflect.DeepEqual(got.Args, spec.Args) {
+			t.Logf("seed %d: args %q want %q", seed, got.Args, spec.Args)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pick(r *rand.Rand, choices []string) string {
+	return choices[r.Intn(len(choices))]
+}
+
+func TestFormatRSLQuoting(t *testing.T) {
+	out := FormatRSL(JobSpec{Executable: "/bin/echo", Args: []string{"has space"}})
+	if !strings.Contains(out, `"has space"`) {
+		t.Errorf("quoting missing: %s", out)
+	}
+}

@@ -1,0 +1,584 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SchedulerKind names the four queuing systems the paper's batch script
+// services support (Section 3.4): PBS and GRD at IU, LSF and NQS at SDSC.
+type SchedulerKind string
+
+// The supported queuing systems.
+const (
+	PBS SchedulerKind = "PBS" // Portable Batch System
+	LSF SchedulerKind = "LSF" // Load Sharing Facility
+	NQS SchedulerKind = "NQS" // Network Queueing System
+	GRD SchedulerKind = "GRD" // Global Resource Director (SGE lineage)
+)
+
+// AllSchedulerKinds lists every supported queuing system.
+var AllSchedulerKinds = []SchedulerKind{PBS, LSF, NQS, GRD}
+
+// JobState is the lifecycle state of a batch job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued    JobState = "QUEUED"
+	StateRunning   JobState = "RUNNING"
+	StateCompleted JobState = "COMPLETED"
+	StateFailed    JobState = "FAILED"
+	StateCancelled JobState = "CANCELLED"
+)
+
+// JobSpec describes a job to submit.
+type JobSpec struct {
+	// Name is the job name (schedulers default it to STDIN).
+	Name string
+	// Owner is the submitting principal.
+	Owner string
+	// Executable is the program path on the host.
+	Executable string
+	// Args are the program arguments.
+	Args []string
+	// Stdin is the program's standard input.
+	Stdin string
+	// Queue names the target queue; empty selects the default queue.
+	Queue string
+	// Nodes is the processor count requested (>= 1).
+	Nodes int
+	// WallTime is the requested wallclock limit; zero uses the queue
+	// default.
+	WallTime time.Duration
+}
+
+// Job is a submitted job and its progress.
+type Job struct {
+	// ID is the scheduler-assigned identifier (e.g. "1042.modi4").
+	ID string
+	// Spec is the submitted specification after queue defaulting.
+	Spec JobSpec
+	// State is the current lifecycle state.
+	State JobState
+	// SubmitTime, StartTime, EndTime are virtual timestamps; Start/End are
+	// zero until reached.
+	SubmitTime time.Time
+	StartTime  time.Time
+	EndTime    time.Time
+	// Result holds the program outcome once the job completes.
+	Result ExecResult
+	// Reason explains failure or cancellation.
+	Reason string
+}
+
+// Queue describes one scheduler queue.
+type Queue struct {
+	// Name of the queue.
+	Name string
+	// MaxWallTime is the longest run the queue admits.
+	MaxWallTime time.Duration
+	// MaxNodes is the widest job the queue admits.
+	MaxNodes int
+	// Priority orders queues when picking the next job (higher first).
+	Priority int
+}
+
+// Scheduler simulates one batch queuing system on a host: FIFO within
+// priority, node-count capacity, walltime enforcement against the virtual
+// clock.
+type Scheduler struct {
+	// Kind is the queuing-system dialect.
+	Kind SchedulerKind
+	// HostName tags job IDs.
+	HostName string
+	// TotalNodes is the host's processor count.
+	TotalNodes int
+
+	clock *Clock
+
+	mu        sync.Mutex
+	queues    map[string]*Queue
+	defQueue  string
+	pending   []*Job
+	running   []*Job
+	jobs      map[string]*Job
+	seq       int
+	freeNodes int
+	exec      func(spec JobSpec, nodes int, now time.Time) ExecResult
+}
+
+// NewScheduler creates a scheduler with the given queues; the first queue
+// is the default. exec runs a job's program (supplied by the host).
+func NewScheduler(kind SchedulerKind, hostName string, totalNodes int, clock *Clock,
+	queues []Queue, exec func(JobSpec, int, time.Time) ExecResult) *Scheduler {
+	s := &Scheduler{
+		Kind:       kind,
+		HostName:   hostName,
+		TotalNodes: totalNodes,
+		clock:      clock,
+		queues:     map[string]*Queue{},
+		jobs:       map[string]*Job{},
+		freeNodes:  totalNodes,
+		exec:       exec,
+	}
+	for i := range queues {
+		q := queues[i]
+		s.queues[q.Name] = &q
+		if i == 0 {
+			s.defQueue = q.Name
+		}
+	}
+	return s
+}
+
+// Queues returns the queue definitions sorted by descending priority then
+// name.
+func (s *Scheduler) Queues() []Queue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Queue, 0, len(s.queues))
+	for _, q := range s.queues {
+		out = append(out, *q)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Submit validates and enqueues a job, returning its ID.
+func (s *Scheduler) Submit(spec JobSpec) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if spec.Executable == "" {
+		return "", fmt.Errorf("%s: job has no executable", s.Kind)
+	}
+	if spec.Nodes <= 0 {
+		spec.Nodes = 1
+	}
+	if spec.Queue == "" {
+		spec.Queue = s.defQueue
+	}
+	q, ok := s.queues[spec.Queue]
+	if !ok {
+		return "", fmt.Errorf("%s: unknown queue %q", s.Kind, spec.Queue)
+	}
+	if q.MaxNodes > 0 && spec.Nodes > q.MaxNodes {
+		return "", fmt.Errorf("%s: queue %s admits at most %d nodes, requested %d", s.Kind, q.Name, q.MaxNodes, spec.Nodes)
+	}
+	if spec.Nodes > s.TotalNodes {
+		return "", fmt.Errorf("%s: host has %d nodes, requested %d", s.Kind, s.TotalNodes, spec.Nodes)
+	}
+	if spec.WallTime == 0 {
+		spec.WallTime = q.MaxWallTime
+	}
+	if q.MaxWallTime > 0 && spec.WallTime > q.MaxWallTime {
+		return "", fmt.Errorf("%s: queue %s walltime limit %s exceeded by request %s", s.Kind, q.Name, q.MaxWallTime, spec.WallTime)
+	}
+	if spec.Name == "" {
+		spec.Name = "STDIN"
+	}
+	s.seq++
+	job := &Job{
+		ID:         fmt.Sprintf("%d.%s", s.seq, s.HostName),
+		Spec:       spec,
+		State:      StateQueued,
+		SubmitTime: s.clock.Now(),
+	}
+	s.pending = append(s.pending, job)
+	s.jobs[job.ID] = job
+	s.tickLocked()
+	return job.ID, nil
+}
+
+// Status returns a snapshot of a job.
+func (s *Scheduler) Status(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tickLocked()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("%s: unknown job %q", s.Kind, id)
+	}
+	return *j, nil
+}
+
+// Cancel removes a queued job or kills a running one.
+func (s *Scheduler) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("%s: unknown job %q", s.Kind, id)
+	}
+	switch j.State {
+	case StateQueued:
+		for i, p := range s.pending {
+			if p == j {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				break
+			}
+		}
+	case StateRunning:
+		for i, rj := range s.running {
+			if rj == j {
+				s.running = append(s.running[:i], s.running[i+1:]...)
+				s.freeNodes += j.Spec.Nodes
+				break
+			}
+		}
+	default:
+		return fmt.Errorf("%s: job %q already %s", s.Kind, id, j.State)
+	}
+	j.State = StateCancelled
+	j.EndTime = s.clock.Now()
+	j.Reason = "cancelled by user"
+	s.tickLocked()
+	return nil
+}
+
+// Tick processes completions due at the current virtual time and starts
+// queued jobs that fit.
+func (s *Scheduler) Tick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tickLocked()
+}
+
+func (s *Scheduler) tickLocked() {
+	now := s.clock.Now()
+	// Complete running jobs whose end time has passed.
+	var stillRunning []*Job
+	for _, j := range s.running {
+		if !j.EndTime.After(now) {
+			s.freeNodes += j.Spec.Nodes
+			if j.Reason == "walltime" {
+				j.State = StateFailed
+				j.Reason = fmt.Sprintf("job exceeded walltime limit %s", j.Spec.WallTime)
+				j.Result.Stderr += fmt.Sprintf("=>> %s: job killed: walltime %s exceeded\n", s.Kind, j.Spec.WallTime)
+			} else if j.Result.ExitCode != 0 {
+				j.State = StateFailed
+				j.Reason = fmt.Sprintf("exit code %d", j.Result.ExitCode)
+			} else {
+				j.State = StateCompleted
+			}
+		} else {
+			stillRunning = append(stillRunning, j)
+		}
+	}
+	s.running = stillRunning
+	// Start pending jobs in priority order, FIFO within a priority level.
+	sort.SliceStable(s.pending, func(i, j int) bool {
+		pi := s.queues[s.pending[i].Spec.Queue].Priority
+		pj := s.queues[s.pending[j].Spec.Queue].Priority
+		return pi > pj
+	})
+	var stillPending []*Job
+	for _, j := range s.pending {
+		if j.Spec.Nodes <= s.freeNodes {
+			s.startLocked(j, now)
+		} else {
+			stillPending = append(stillPending, j)
+		}
+	}
+	s.pending = stillPending
+}
+
+func (s *Scheduler) startLocked(j *Job, now time.Time) {
+	j.State = StateRunning
+	j.StartTime = now
+	s.freeNodes -= j.Spec.Nodes
+	// Run the program eagerly to learn its duration; the job "finishes" in
+	// virtual time at StartTime + CPUTime (or at the walltime limit).
+	res := s.exec(j.Spec, j.Spec.Nodes, now)
+	dur := res.CPUTime
+	if dur <= 0 {
+		dur = time.Millisecond
+	}
+	if j.Spec.WallTime > 0 && dur > j.Spec.WallTime {
+		j.Reason = "walltime" // resolved at completion in tickLocked
+		dur = j.Spec.WallTime
+		res.Stdout = "" // output lost when the scheduler kills the job
+	}
+	j.Result = res
+	j.EndTime = now.Add(dur)
+	s.running = append(s.running, j)
+}
+
+// NextEvent returns the earliest virtual time at which a running job ends,
+// and whether any job is running.
+func (s *Scheduler) NextEvent() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var earliest time.Time
+	found := false
+	for _, j := range s.running {
+		if !found || j.EndTime.Before(earliest) {
+			earliest = j.EndTime
+			found = true
+		}
+	}
+	return earliest, found
+}
+
+// Idle reports whether the scheduler has no queued or running work.
+func (s *Scheduler) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending) == 0 && len(s.running) == 0
+}
+
+// Drain advances the virtual clock through every event until the scheduler
+// is idle, then returns. Jobs submitted concurrently with Drain may also be
+// processed.
+func (s *Scheduler) Drain() {
+	for {
+		s.Tick()
+		next, ok := s.NextEvent()
+		if !ok {
+			if s.Idle() {
+				return
+			}
+			// Pending but nothing running: capacity freed by next tick.
+			s.Tick()
+			if s.Idle() {
+				return
+			}
+			continue
+		}
+		s.clock.AdvanceTo(next)
+	}
+}
+
+// QueueInfo is a point-in-time snapshot used by status displays (the
+// HotPage-style machine status pages).
+type QueueInfo struct {
+	// Queue is the queue definition.
+	Queue Queue
+	// Queued and Running are job counts.
+	Queued  int
+	Running int
+}
+
+// Snapshot returns per-queue load.
+func (s *Scheduler) Snapshot() []QueueInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	infos := map[string]*QueueInfo{}
+	for name, q := range s.queues {
+		infos[name] = &QueueInfo{Queue: *q}
+	}
+	for _, j := range s.pending {
+		infos[j.Spec.Queue].Queued++
+	}
+	for _, j := range s.running {
+		infos[j.Spec.Queue].Running++
+	}
+	out := make([]QueueInfo, 0, len(infos))
+	for _, qi := range infos {
+		out = append(out, *qi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Queue.Name < out[j].Queue.Name })
+	return out
+}
+
+// --- Batch script dialects -------------------------------------------------
+
+// ParseScript parses a batch script in the scheduler's dialect into a
+// JobSpec. It understands the directive forms the batch script generation
+// services emit, and is the consuming half of the generator/scheduler
+// round-trip property test.
+func ParseScript(kind SchedulerKind, script string) (JobSpec, error) {
+	spec := JobSpec{Nodes: 1}
+	var cmd []string
+	for _, raw := range strings.Split(script, "\n") {
+		line := strings.TrimSpace(raw)
+		switch {
+		case line == "" || line == "#!/bin/sh" || line == "#!/bin/bash" || line == "#!/bin/csh":
+			continue
+		case isDirective(kind, line):
+			if err := parseDirective(kind, line, &spec); err != nil {
+				return JobSpec{}, err
+			}
+		case strings.HasPrefix(line, "#"):
+			continue // plain comment
+		default:
+			cmd = append(cmd, line)
+		}
+	}
+	if len(cmd) == 0 {
+		return JobSpec{}, fmt.Errorf("%s: script has no command", kind)
+	}
+	// First command word is the executable; the rest are arguments. Input
+	// redirection "< file" is captured as stdin reference.
+	fields := strings.Fields(cmd[len(cmd)-1])
+	spec.Executable = fields[0]
+	for i := 1; i < len(fields); i++ {
+		if fields[i] == "<" && i+1 < len(fields) {
+			spec.Stdin = fields[i+1]
+			i++
+			continue
+		}
+		spec.Args = append(spec.Args, fields[i])
+	}
+	return spec, nil
+}
+
+func isDirective(kind SchedulerKind, line string) bool {
+	return strings.HasPrefix(line, directivePrefix(kind)+" ")
+}
+
+func directivePrefix(kind SchedulerKind) string {
+	switch kind {
+	case PBS:
+		return "#PBS"
+	case LSF:
+		return "#BSUB"
+	case NQS:
+		return "#QSUB"
+	case GRD:
+		return "#$"
+	default:
+		return "#???"
+	}
+}
+
+func parseDirective(kind SchedulerKind, line string, spec *JobSpec) error {
+	fields := strings.Fields(strings.TrimPrefix(line, directivePrefix(kind)))
+	if len(fields) == 0 {
+		return nil
+	}
+	flag := fields[0]
+	arg := ""
+	if len(fields) > 1 {
+		arg = strings.Join(fields[1:], " ")
+	}
+	switch kind {
+	case PBS:
+		switch flag {
+		case "-N":
+			spec.Name = arg
+		case "-q":
+			spec.Queue = arg
+		case "-l":
+			return parsePBSResource(arg, spec)
+		}
+	case LSF:
+		switch flag {
+		case "-J":
+			spec.Name = arg
+		case "-q":
+			spec.Queue = arg
+		case "-n":
+			n, err := strconv.Atoi(arg)
+			if err != nil {
+				return fmt.Errorf("LSF: bad -n %q", arg)
+			}
+			spec.Nodes = n
+		case "-W":
+			mins, err := strconv.Atoi(arg)
+			if err != nil {
+				return fmt.Errorf("LSF: bad -W %q", arg)
+			}
+			spec.WallTime = time.Duration(mins) * time.Minute
+		}
+	case NQS:
+		switch flag {
+		case "-r":
+			spec.Name = arg
+		case "-q":
+			spec.Queue = arg
+		case "-lP":
+			n, err := strconv.Atoi(arg)
+			if err != nil {
+				return fmt.Errorf("NQS: bad -lP %q", arg)
+			}
+			spec.Nodes = n
+		case "-lT":
+			secs, err := strconv.Atoi(arg)
+			if err != nil {
+				return fmt.Errorf("NQS: bad -lT %q", arg)
+			}
+			spec.WallTime = time.Duration(secs) * time.Second
+		}
+	case GRD:
+		switch flag {
+		case "-N":
+			spec.Name = arg
+		case "-q":
+			spec.Queue = arg
+		case "-pe":
+			parts := strings.Fields(arg)
+			if len(parts) == 2 {
+				n, err := strconv.Atoi(parts[1])
+				if err != nil {
+					return fmt.Errorf("GRD: bad -pe %q", arg)
+				}
+				spec.Nodes = n
+			}
+		case "-l":
+			if strings.HasPrefix(arg, "h_rt=") {
+				secs, err := strconv.Atoi(strings.TrimPrefix(arg, "h_rt="))
+				if err != nil {
+					return fmt.Errorf("GRD: bad h_rt %q", arg)
+				}
+				spec.WallTime = time.Duration(secs) * time.Second
+			}
+		}
+	}
+	return nil
+}
+
+func parsePBSResource(arg string, spec *JobSpec) error {
+	for _, item := range strings.Split(arg, ",") {
+		kv := strings.SplitN(strings.TrimSpace(item), "=", 2)
+		if len(kv) != 2 {
+			continue
+		}
+		switch kv[0] {
+		case "nodes":
+			n, err := strconv.Atoi(kv[1])
+			if err != nil {
+				return fmt.Errorf("PBS: bad nodes %q", kv[1])
+			}
+			spec.Nodes = n
+		case "walltime":
+			d, err := parseHMS(kv[1])
+			if err != nil {
+				return fmt.Errorf("PBS: bad walltime %q", kv[1])
+			}
+			spec.WallTime = d
+		}
+	}
+	return nil
+}
+
+func parseHMS(s string) (time.Duration, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("want HH:MM:SS, got %q", s)
+	}
+	h, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	sec, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, fmt.Errorf("want HH:MM:SS, got %q", s)
+	}
+	return time.Duration(h)*time.Hour + time.Duration(m)*time.Minute + time.Duration(sec)*time.Second, nil
+}
+
+// FormatHMS renders a duration as HH:MM:SS for PBS walltime directives.
+func FormatHMS(d time.Duration) string {
+	h := int(d / time.Hour)
+	m := int(d/time.Minute) % 60
+	s := int(d/time.Second) % 60
+	return fmt.Sprintf("%02d:%02d:%02d", h, m, s)
+}

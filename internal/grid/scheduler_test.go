@@ -1,0 +1,368 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testHost(t *testing.T, kind SchedulerKind) (*Host, *Clock) {
+	t.Helper()
+	clock := NewClock()
+	h := NewHost(HostConfig{Name: "test.example.edu", IP: "10.0.0.1", CPUs: 8, Scheduler: kind}, clock)
+	return h, clock
+}
+
+func TestSubmitAndDrain(t *testing.T) {
+	h, _ := testHost(t, PBS)
+	id, err := h.Scheduler.Submit(JobSpec{Executable: "/bin/hostname", Queue: "batch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(id, ".test") {
+		t.Errorf("id = %q", id)
+	}
+	h.Scheduler.Drain()
+	job, err := h.Scheduler.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateCompleted {
+		t.Fatalf("state = %s (%s)", job.State, job.Reason)
+	}
+	if job.Result.Stdout != "test.example.edu\n" {
+		t.Errorf("stdout = %q", job.Result.Stdout)
+	}
+	if !job.EndTime.After(job.StartTime) && job.Result.CPUTime > 0 {
+		t.Errorf("times: start=%v end=%v", job.StartTime, job.EndTime)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	h, _ := testHost(t, LSF)
+	cases := []struct {
+		name string
+		spec JobSpec
+	}{
+		{"no executable", JobSpec{Queue: "batch"}},
+		{"unknown queue", JobSpec{Executable: "/bin/date", Queue: "nope"}},
+		{"too many nodes for queue", JobSpec{Executable: "/bin/date", Queue: "debug", Nodes: 6}},
+		{"too many nodes for host", JobSpec{Executable: "/bin/date", Queue: "batch", Nodes: 100}},
+		{"walltime over queue limit", JobSpec{Executable: "/bin/date", Queue: "debug", WallTime: 2 * time.Hour}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := h.Scheduler.Submit(tc.spec); err == nil {
+				t.Errorf("Submit(%+v) succeeded", tc.spec)
+			}
+		})
+	}
+}
+
+func TestQueueDefaulting(t *testing.T) {
+	h, _ := testHost(t, PBS)
+	id, err := h.Scheduler.Submit(JobSpec{Executable: "/bin/date"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, _ := h.Scheduler.Status(id)
+	if job.Spec.Queue != "batch" {
+		t.Errorf("defaulted queue = %q", job.Spec.Queue)
+	}
+	if job.Spec.WallTime != 12*time.Hour {
+		t.Errorf("defaulted walltime = %s", job.Spec.WallTime)
+	}
+	if job.Spec.Name != "STDIN" {
+		t.Errorf("defaulted name = %q", job.Spec.Name)
+	}
+}
+
+func TestWalltimeKill(t *testing.T) {
+	h, _ := testHost(t, PBS)
+	// debug queue: 30 minute cap; sleep 3600s > 30m when explicit walltime
+	// of 1 minute is given.
+	id, err := h.Scheduler.Submit(JobSpec{
+		Executable: "/bin/sleep", Args: []string{"3600"}, Queue: "debug", WallTime: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Scheduler.Drain()
+	job, _ := h.Scheduler.Status(id)
+	if job.State != StateFailed {
+		t.Fatalf("state = %s", job.State)
+	}
+	if !strings.Contains(job.Reason, "walltime") {
+		t.Errorf("reason = %q", job.Reason)
+	}
+	if !strings.Contains(job.Result.Stderr, "killed") {
+		t.Errorf("stderr = %q", job.Result.Stderr)
+	}
+	if got := job.EndTime.Sub(job.StartTime); got != time.Minute {
+		t.Errorf("ran for %s, want 1m", got)
+	}
+}
+
+func TestFailedExitCode(t *testing.T) {
+	h, _ := testHost(t, GRD)
+	id, _ := h.Scheduler.Submit(JobSpec{Executable: "/bin/false"})
+	h.Scheduler.Drain()
+	job, _ := h.Scheduler.Status(id)
+	if job.State != StateFailed || !strings.Contains(job.Reason, "exit code 1") {
+		t.Errorf("job = %s %q", job.State, job.Reason)
+	}
+}
+
+func TestCommandNotFound(t *testing.T) {
+	h, _ := testHost(t, NQS)
+	id, _ := h.Scheduler.Submit(JobSpec{Executable: "/bin/missing"})
+	h.Scheduler.Drain()
+	job, _ := h.Scheduler.Status(id)
+	if job.State != StateFailed || job.Result.ExitCode != 127 {
+		t.Errorf("job = %s exit=%d", job.State, job.Result.ExitCode)
+	}
+}
+
+func TestCapacityQueueing(t *testing.T) {
+	h, clock := testHost(t, PBS) // 8 CPUs
+	// Two 6-node jobs cannot run together.
+	id1, err := h.Scheduler.Submit(JobSpec{Executable: "/bin/sleep", Args: []string{"100"}, Nodes: 6, Queue: "batch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := h.Scheduler.Submit(JobSpec{Executable: "/bin/sleep", Args: []string{"100"}, Nodes: 6, Queue: "batch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := h.Scheduler.Status(id1)
+	j2, _ := h.Scheduler.Status(id2)
+	if j1.State != StateRunning || j2.State != StateQueued {
+		t.Fatalf("states = %s, %s", j1.State, j2.State)
+	}
+	// After the first completes, the second starts.
+	clock.Advance(100 * time.Second)
+	h.Scheduler.Tick()
+	j2, _ = h.Scheduler.Status(id2)
+	if j2.State != StateRunning {
+		t.Fatalf("second job = %s", j2.State)
+	}
+	if !j2.StartTime.Equal(j1.EndTime) {
+		t.Errorf("second start %v != first end %v", j2.StartTime, j1.EndTime)
+	}
+	h.Scheduler.Drain()
+	j2, _ = h.Scheduler.Status(id2)
+	if j2.State != StateCompleted {
+		t.Errorf("final state = %s", j2.State)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	h, _ := testHost(t, PBS)
+	// Fill the machine so later submissions queue.
+	blocker, _ := h.Scheduler.Submit(JobSpec{Executable: "/bin/sleep", Args: []string{"50"}, Nodes: 8, Queue: "batch"})
+	low, _ := h.Scheduler.Submit(JobSpec{Executable: "/bin/sleep", Args: []string{"10"}, Nodes: 4, Queue: "batch"})
+	high, _ := h.Scheduler.Submit(JobSpec{Executable: "/bin/sleep", Args: []string{"10"}, Nodes: 4, Queue: "debug", WallTime: 10 * time.Minute})
+	h.Scheduler.Drain()
+	jb, _ := h.Scheduler.Status(blocker)
+	jl, _ := h.Scheduler.Status(low)
+	jh, _ := h.Scheduler.Status(high)
+	if jh.StartTime.After(jl.StartTime) {
+		t.Errorf("debug (priority 2) started %v after batch %v", jh.StartTime, jl.StartTime)
+	}
+	if jb.State != StateCompleted || jl.State != StateCompleted || jh.State != StateCompleted {
+		t.Error("not all jobs completed")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	h, _ := testHost(t, LSF)
+	// Running job.
+	id1, _ := h.Scheduler.Submit(JobSpec{Executable: "/bin/sleep", Args: []string{"1000"}, Nodes: 8})
+	// Queued job behind it.
+	id2, _ := h.Scheduler.Submit(JobSpec{Executable: "/bin/sleep", Args: []string{"1000"}, Nodes: 8})
+	if err := h.Scheduler.Cancel(id2); err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := h.Scheduler.Status(id2)
+	if j2.State != StateCancelled {
+		t.Errorf("queued cancel = %s", j2.State)
+	}
+	if err := h.Scheduler.Cancel(id1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Scheduler.Cancel(id1); err == nil {
+		t.Error("double cancel accepted")
+	}
+	if err := h.Scheduler.Cancel("bogus.id"); err == nil {
+		t.Error("cancel of unknown job accepted")
+	}
+	if !h.Scheduler.Idle() {
+		t.Error("scheduler not idle after cancels")
+	}
+}
+
+func TestStatusUnknown(t *testing.T) {
+	h, _ := testHost(t, PBS)
+	if _, err := h.Scheduler.Status("1.nowhere"); err == nil {
+		t.Error("unknown job status returned")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	h, _ := testHost(t, PBS)
+	_, _ = h.Scheduler.Submit(JobSpec{Executable: "/bin/sleep", Args: []string{"100"}, Nodes: 8, Queue: "batch"})
+	_, _ = h.Scheduler.Submit(JobSpec{Executable: "/bin/sleep", Args: []string{"100"}, Nodes: 8, Queue: "batch"})
+	snap := h.Scheduler.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("queues = %d", len(snap))
+	}
+	var batch QueueInfo
+	for _, qi := range snap {
+		if qi.Queue.Name == "batch" {
+			batch = qi
+		}
+	}
+	if batch.Running != 1 || batch.Queued != 1 {
+		t.Errorf("batch load = %+v", batch)
+	}
+}
+
+func TestQueuesSorted(t *testing.T) {
+	h, _ := testHost(t, PBS)
+	qs := h.Scheduler.Queues()
+	if len(qs) != 2 || qs[0].Name != "debug" {
+		t.Errorf("queues = %+v (want debug first: priority 2)", qs)
+	}
+}
+
+func TestDeterministicTimeline(t *testing.T) {
+	run := func() []time.Time {
+		h, _ := testHost(t, PBS)
+		var ids []string
+		for i := 0; i < 5; i++ {
+			id, _ := h.Scheduler.Submit(JobSpec{Executable: "/bin/sleep", Args: []string{"60"}, Nodes: 4})
+			ids = append(ids, id)
+		}
+		h.Scheduler.Drain()
+		var ends []time.Time
+		for _, id := range ids {
+			j, _ := h.Scheduler.Status(id)
+			ends = append(ends, j.EndTime)
+		}
+		return ends
+	}
+	a, b := run(), run()
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("run %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// --- Script dialect tests ---------------------------------------------------
+
+func TestParseScriptPBS(t *testing.T) {
+	script := `#!/bin/bash
+#PBS -N myrun
+#PBS -q batch
+#PBS -l nodes=4,walltime=01:30:00
+# a plain comment
+/usr/local/bin/matmul 512 < input.dat`
+	spec, err := ParseScript(PBS, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "myrun" || spec.Queue != "batch" || spec.Nodes != 4 {
+		t.Errorf("spec = %+v", spec)
+	}
+	if spec.WallTime != 90*time.Minute {
+		t.Errorf("walltime = %s", spec.WallTime)
+	}
+	if spec.Executable != "/usr/local/bin/matmul" || len(spec.Args) != 1 || spec.Args[0] != "512" {
+		t.Errorf("cmd = %q %q", spec.Executable, spec.Args)
+	}
+	if spec.Stdin != "input.dat" {
+		t.Errorf("stdin = %q", spec.Stdin)
+	}
+}
+
+func TestParseScriptLSF(t *testing.T) {
+	script := `#!/bin/sh
+#BSUB -J lsfjob
+#BSUB -q normal
+#BSUB -n 16
+#BSUB -W 45
+/bin/hostname`
+	spec, err := ParseScript(LSF, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "lsfjob" || spec.Nodes != 16 || spec.WallTime != 45*time.Minute {
+		t.Errorf("spec = %+v", spec)
+	}
+}
+
+func TestParseScriptNQS(t *testing.T) {
+	script := `#QSUB -r nqsjob
+#QSUB -q prod
+#QSUB -lP 8
+#QSUB -lT 600
+/bin/date`
+	spec, err := ParseScript(NQS, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "nqsjob" || spec.Nodes != 8 || spec.WallTime != 10*time.Minute {
+		t.Errorf("spec = %+v", spec)
+	}
+}
+
+func TestParseScriptGRD(t *testing.T) {
+	script := `#!/bin/sh
+#$ -N grdjob
+#$ -q all.q
+#$ -pe mpi 12
+#$ -l h_rt=7200
+/bin/echo done`
+	spec, err := ParseScript(GRD, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "grdjob" || spec.Nodes != 12 || spec.WallTime != 2*time.Hour {
+		t.Errorf("spec = %+v", spec)
+	}
+	if len(spec.Args) != 1 || spec.Args[0] != "done" {
+		t.Errorf("args = %q", spec.Args)
+	}
+}
+
+func TestParseScriptErrors(t *testing.T) {
+	if _, err := ParseScript(PBS, "#PBS -N x\n"); err == nil {
+		t.Error("script without command accepted")
+	}
+	if _, err := ParseScript(PBS, "#PBS -l walltime=bogus\n/bin/date"); err == nil {
+		t.Error("bad walltime accepted")
+	}
+	if _, err := ParseScript(LSF, "#BSUB -n NaN\n/bin/date"); err == nil {
+		t.Error("bad -n accepted")
+	}
+	if _, err := ParseScript(GRD, "#$ -l h_rt=NaN\n/bin/date"); err == nil {
+		t.Error("bad h_rt accepted")
+	}
+	if _, err := ParseScript(NQS, "#QSUB -lT NaN\n/bin/date"); err == nil {
+		t.Error("bad -lT accepted")
+	}
+}
+
+func TestFormatHMS(t *testing.T) {
+	if got := FormatHMS(90*time.Minute + 5*time.Second); got != "01:30:05" {
+		t.Errorf("FormatHMS = %q", got)
+	}
+	d, err := parseHMS("01:30:05")
+	if err != nil || d != 90*time.Minute+5*time.Second {
+		t.Errorf("parseHMS = %v, %v", d, err)
+	}
+	if _, err := parseHMS("90m"); err == nil {
+		t.Error("bad HMS accepted")
+	}
+}

@@ -1,0 +1,388 @@
+// Package gss simulates the Kerberos + GSS-API security substrate of
+// Section 4: a KDC with principals and keytabs, ticket-granting and service
+// tickets, GSS security-context establishment between an initiator and an
+// acceptor, and the wrap/unwrap (encrypt+sign) and MIC (sign-only)
+// operations the paper's SAML signing is built on ("we are also developing
+// signing methods based on the GSS API wrap and unwrap methods").
+//
+// Cryptography is real (stdlib AES-CTR and HMAC-SHA256) but the protocol is
+// a didactic reduction of RFC 4120/2743: enough structure to reproduce the
+// trust relationships in Figure 2 — the keytab that "must be kept secure
+// and usually is readable only by privileged users", the per-user session
+// objects each holding "one half of the symmetric key set", and signature
+// verification that only the Authentication Service can perform.
+package gss
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultTicketLifetime bounds ticket validity.
+const DefaultTicketLifetime = 8 * time.Hour
+
+// Errors returned by the security layer.
+var (
+	ErrUnknownPrincipal = errors.New("gss: unknown principal")
+	ErrBadPassword      = errors.New("gss: preauthentication failed")
+	ErrExpired          = errors.New("gss: ticket expired")
+	ErrIntegrity        = errors.New("gss: integrity check failed")
+)
+
+// deriveKey turns a password into a long-term key bound to the principal,
+// mimicking Kerberos string-to-key.
+func deriveKey(password, principal, realm string) []byte {
+	sum := sha256.Sum256([]byte("krb-s2k|" + password + "|" + principal + "|" + realm))
+	return sum[:]
+}
+
+// randomKey returns a fresh 256-bit session key.
+func randomKey() []byte {
+	k := make([]byte, 32)
+	if _, err := rand.Read(k); err != nil {
+		panic("gss: entropy unavailable: " + err.Error())
+	}
+	return k
+}
+
+// seal encrypts and authenticates plaintext under key: AES-CTR with a
+// random IV, then HMAC-SHA256 over IV||ciphertext (encrypt-then-MAC with
+// derived subkeys).
+func seal(key, plaintext []byte) []byte {
+	encKey := sha256.Sum256(append([]byte("enc|"), key...))
+	macKey := sha256.Sum256(append([]byte("mac|"), key...))
+	block, err := aes.NewCipher(encKey[:])
+	if err != nil {
+		panic("gss: " + err.Error())
+	}
+	iv := make([]byte, aes.BlockSize)
+	if _, err := rand.Read(iv); err != nil {
+		panic("gss: entropy unavailable: " + err.Error())
+	}
+	ct := make([]byte, len(plaintext))
+	cipher.NewCTR(block, iv).XORKeyStream(ct, plaintext)
+	mac := hmac.New(sha256.New, macKey[:])
+	mac.Write(iv)
+	mac.Write(ct)
+	out := append([]byte{}, iv...)
+	out = append(out, ct...)
+	return mac.Sum(out)
+}
+
+// open verifies and decrypts a sealed blob.
+func open(key, sealed []byte) ([]byte, error) {
+	if len(sealed) < aes.BlockSize+sha256.Size {
+		return nil, ErrIntegrity
+	}
+	encKey := sha256.Sum256(append([]byte("enc|"), key...))
+	macKey := sha256.Sum256(append([]byte("mac|"), key...))
+	body := sealed[:len(sealed)-sha256.Size]
+	tag := sealed[len(sealed)-sha256.Size:]
+	mac := hmac.New(sha256.New, macKey[:])
+	mac.Write(body)
+	if !hmac.Equal(mac.Sum(nil), tag) {
+		return nil, ErrIntegrity
+	}
+	iv := body[:aes.BlockSize]
+	ct := body[aes.BlockSize:]
+	block, err := aes.NewCipher(encKey[:])
+	if err != nil {
+		return nil, err
+	}
+	pt := make([]byte, len(ct))
+	cipher.NewCTR(block, iv).XORKeyStream(pt, ct)
+	return pt, nil
+}
+
+// ticketBody is the plaintext of a ticket, sealed to the target service's
+// long-term key.
+type ticketBody struct {
+	Client     string    `json:"client"`
+	Service    string    `json:"service"`
+	SessionKey []byte    `json:"sessionKey"`
+	Expiry     time.Time `json:"expiry"`
+}
+
+// Ticket is an opaque sealed ticket.
+type Ticket struct {
+	// Service is the target principal (cleartext routing hint).
+	Service string
+	// Blob is the sealed ticket body.
+	Blob []byte
+}
+
+// Keytab holds a service principal's long-term key — the file the paper
+// says should live only on a single well-secured server.
+type Keytab struct {
+	// Principal is the service identity.
+	Principal string
+	// Realm is the Kerberos realm.
+	Realm string
+	// key is the long-term secret.
+	key []byte
+}
+
+// Credentials is what a client holds after obtaining a ticket: the ticket
+// plus its session key half.
+type Credentials struct {
+	// Client is the authenticated principal.
+	Client string
+	// Service is the ticket's target.
+	Service string
+	// SessionKey is the client's half of the shared key.
+	SessionKey []byte
+	// Ticket is the sealed ticket to present.
+	Ticket Ticket
+	// Expiry is the validity bound.
+	Expiry time.Time
+}
+
+// KDC is the key distribution center for one realm.
+type KDC struct {
+	// Realm is the Kerberos realm, e.g. "GRID.IU.EDU".
+	Realm string
+
+	mu         sync.RWMutex
+	principals map[string][]byte
+	lifetime   time.Duration
+	now        func() time.Time
+}
+
+// NewKDC creates a KDC for a realm.
+func NewKDC(realm string) *KDC {
+	return &KDC{
+		Realm:      realm,
+		principals: map[string][]byte{},
+		lifetime:   DefaultTicketLifetime,
+		now:        time.Now,
+	}
+}
+
+// SetTimeSource overrides the clock (expiry tests, virtual time).
+func (k *KDC) SetTimeSource(now func() time.Time) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.now = now
+}
+
+// SetTicketLifetime overrides the ticket validity window.
+func (k *KDC) SetTicketLifetime(d time.Duration) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.lifetime = d
+}
+
+// AddPrincipal registers a user or service principal with a password.
+func (k *KDC) AddPrincipal(name, password string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.principals[name] = deriveKey(password, name, k.Realm)
+}
+
+// Keytab exports a service principal's keytab.
+func (k *KDC) Keytab(principal string) (Keytab, error) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	key, ok := k.principals[principal]
+	if !ok {
+		return Keytab{}, fmt.Errorf("%w: %s", ErrUnknownPrincipal, principal)
+	}
+	return Keytab{Principal: principal, Realm: k.Realm, key: append([]byte(nil), key...)}, nil
+}
+
+// Login performs the AS exchange: password authentication yielding
+// credentials for a target service principal. (The simulation folds the
+// TGT+TGS exchanges into one step; the trust structure — client never sees
+// the service's key, service never sees the password — is preserved.)
+func (k *KDC) Login(client, password, service string) (*Credentials, error) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	clientKey, ok := k.principals[client]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPrincipal, client)
+	}
+	if !hmac.Equal(clientKey, deriveKey(password, client, k.Realm)) {
+		return nil, ErrBadPassword
+	}
+	serviceKey, ok := k.principals[service]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPrincipal, service)
+	}
+	sessionKey := randomKey()
+	expiry := k.now().Add(k.lifetime)
+	body, err := json.Marshal(ticketBody{
+		Client: client, Service: service, SessionKey: sessionKey, Expiry: expiry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Credentials{
+		Client:     client,
+		Service:    service,
+		SessionKey: sessionKey,
+		Ticket:     Ticket{Service: service, Blob: seal(serviceKey, body)},
+		Expiry:     expiry,
+	}, nil
+}
+
+// --- GSS context establishment ---------------------------------------------
+
+// contextToken is the initiator's first (and only) token: the ticket plus
+// an authenticator sealed under the session key.
+type contextToken struct {
+	Service       string `json:"service"`
+	TicketBlob    []byte `json:"ticket"`
+	Authenticator []byte `json:"authenticator"`
+}
+
+type authenticatorBody struct {
+	Client string    `json:"client"`
+	Time   time.Time `json:"time"`
+}
+
+// Context is an established GSS security context: a shared session key and
+// per-direction sequence counters. Each peer's Context is its "half" of the
+// symmetric key set in the paper's description.
+type Context struct {
+	// Peer is the authenticated remote principal.
+	Peer string
+	// Local is this side's principal.
+	Local string
+
+	key    []byte
+	mu     sync.Mutex
+	sendSq uint64
+	recvSq uint64
+}
+
+// InitContext builds the initiator's context token and local context from
+// credentials.
+func InitContext(creds *Credentials, now time.Time) (string, *Context, error) {
+	if now.After(creds.Expiry) {
+		return "", nil, ErrExpired
+	}
+	auth, err := json.Marshal(authenticatorBody{Client: creds.Client, Time: now})
+	if err != nil {
+		return "", nil, err
+	}
+	tok, err := json.Marshal(contextToken{
+		Service:       creds.Service,
+		TicketBlob:    creds.Ticket.Blob,
+		Authenticator: seal(creds.SessionKey, auth),
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	ctx := &Context{Peer: creds.Service, Local: creds.Client, key: append([]byte(nil), creds.SessionKey...)}
+	return base64.StdEncoding.EncodeToString(tok), ctx, nil
+}
+
+// AcceptContext validates an initiator token against the service keytab and
+// returns the acceptor's context half.
+func AcceptContext(kt Keytab, token string, now time.Time) (*Context, error) {
+	raw, err := base64.StdEncoding.DecodeString(token)
+	if err != nil {
+		return nil, fmt.Errorf("gss: bad token encoding: %w", err)
+	}
+	var tok contextToken
+	if err := json.Unmarshal(raw, &tok); err != nil {
+		return nil, fmt.Errorf("gss: bad token: %w", err)
+	}
+	body, err := open(kt.key, tok.TicketBlob)
+	if err != nil {
+		return nil, err
+	}
+	var tb ticketBody
+	if err := json.Unmarshal(body, &tb); err != nil {
+		return nil, fmt.Errorf("gss: bad ticket body: %w", err)
+	}
+	if tb.Service != kt.Principal {
+		return nil, fmt.Errorf("gss: ticket for %q presented to %q", tb.Service, kt.Principal)
+	}
+	if now.After(tb.Expiry) {
+		return nil, ErrExpired
+	}
+	authRaw, err := open(tb.SessionKey, tok.Authenticator)
+	if err != nil {
+		return nil, err
+	}
+	var auth authenticatorBody
+	if err := json.Unmarshal(authRaw, &auth); err != nil {
+		return nil, fmt.Errorf("gss: bad authenticator: %w", err)
+	}
+	if auth.Client != tb.Client {
+		return nil, fmt.Errorf("gss: authenticator client %q != ticket client %q", auth.Client, tb.Client)
+	}
+	return &Context{Peer: tb.Client, Local: kt.Principal, key: append([]byte(nil), tb.SessionKey...)}, nil
+}
+
+// Wrap seals a message (confidentiality + integrity + replay counter).
+func (c *Context) Wrap(data []byte) string {
+	c.mu.Lock()
+	sq := c.sendSq
+	c.sendSq++
+	c.mu.Unlock()
+	framed := append([]byte(fmt.Sprintf("%016x|", sq)), data...)
+	return base64.StdEncoding.EncodeToString(seal(c.key, framed))
+}
+
+// Unwrap opens a wrapped message, enforcing in-order sequence numbers.
+func (c *Context) Unwrap(token string) ([]byte, error) {
+	raw, err := base64.StdEncoding.DecodeString(token)
+	if err != nil {
+		return nil, fmt.Errorf("gss: bad wrap encoding: %w", err)
+	}
+	framed, err := open(c.key, raw)
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(string(framed), "|", 2)
+	if len(parts) != 2 {
+		return nil, ErrIntegrity
+	}
+	var sq uint64
+	if _, err := fmt.Sscanf(parts[0], "%016x", &sq); err != nil {
+		return nil, ErrIntegrity
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sq < c.recvSq {
+		return nil, fmt.Errorf("gss: replayed sequence %d (expect >= %d)", sq, c.recvSq)
+	}
+	c.recvSq = sq + 1
+	return []byte(parts[1]), nil
+}
+
+// GetMIC computes a detached signature over data — the primitive the SAML
+// layer uses to sign assertions.
+func (c *Context) GetMIC(data []byte) string {
+	mac := hmac.New(sha256.New, c.key)
+	mac.Write([]byte("mic|"))
+	mac.Write(data)
+	return base64.StdEncoding.EncodeToString(mac.Sum(nil))
+}
+
+// VerifyMIC checks a detached signature.
+func (c *Context) VerifyMIC(data []byte, mic string) error {
+	want, err := base64.StdEncoding.DecodeString(mic)
+	if err != nil {
+		return fmt.Errorf("gss: bad MIC encoding: %w", err)
+	}
+	mac := hmac.New(sha256.New, c.key)
+	mac.Write([]byte("mic|"))
+	mac.Write(data)
+	if !hmac.Equal(mac.Sum(nil), want) {
+		return ErrIntegrity
+	}
+	return nil
+}

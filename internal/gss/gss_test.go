@@ -1,0 +1,241 @@
+package gss
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testKDC(t *testing.T) *KDC {
+	t.Helper()
+	k := NewKDC("GRID.IU.EDU")
+	k.AddPrincipal("cyoun", "hunter2")
+	k.AddPrincipal("authsvc/grids.iu.edu", "service-secret")
+	return k
+}
+
+func TestLoginSuccess(t *testing.T) {
+	k := testKDC(t)
+	creds, err := k.Login("cyoun", "hunter2", "authsvc/grids.iu.edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if creds.Client != "cyoun" || creds.Service != "authsvc/grids.iu.edu" {
+		t.Errorf("creds = %+v", creds)
+	}
+	if len(creds.SessionKey) != 32 {
+		t.Errorf("session key length = %d", len(creds.SessionKey))
+	}
+	if creds.Expiry.Before(time.Now()) {
+		t.Error("ticket already expired")
+	}
+}
+
+func TestLoginFailures(t *testing.T) {
+	k := testKDC(t)
+	if _, err := k.Login("ghost", "x", "authsvc/grids.iu.edu"); !errors.Is(err, ErrUnknownPrincipal) {
+		t.Errorf("unknown client err = %v", err)
+	}
+	if _, err := k.Login("cyoun", "wrong", "authsvc/grids.iu.edu"); !errors.Is(err, ErrBadPassword) {
+		t.Errorf("bad password err = %v", err)
+	}
+	if _, err := k.Login("cyoun", "hunter2", "ghost/svc"); !errors.Is(err, ErrUnknownPrincipal) {
+		t.Errorf("unknown service err = %v", err)
+	}
+}
+
+func TestKeytab(t *testing.T) {
+	k := testKDC(t)
+	if _, err := k.Keytab("ghost"); !errors.Is(err, ErrUnknownPrincipal) {
+		t.Errorf("keytab err = %v", err)
+	}
+	kt, err := k.Keytab("authsvc/grids.iu.edu")
+	if err != nil || kt.Realm != "GRID.IU.EDU" {
+		t.Errorf("keytab = %+v, %v", kt, err)
+	}
+}
+
+func establishPair(t *testing.T, k *KDC) (*Context, *Context) {
+	t.Helper()
+	creds, err := k.Login("cyoun", "hunter2", "authsvc/grids.iu.edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	token, initiator, err := InitContext(creds, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, _ := k.Keytab("authsvc/grids.iu.edu")
+	acceptor, err := AcceptContext(kt, token, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return initiator, acceptor
+}
+
+func TestContextEstablishment(t *testing.T) {
+	k := testKDC(t)
+	initiator, acceptor := establishPair(t, k)
+	if acceptor.Peer != "cyoun" || initiator.Peer != "authsvc/grids.iu.edu" {
+		t.Errorf("peers = %q / %q", acceptor.Peer, initiator.Peer)
+	}
+}
+
+func TestWrapUnwrap(t *testing.T) {
+	k := testKDC(t)
+	initiator, acceptor := establishPair(t, k)
+	msg := []byte("SOAP body bytes")
+	wrapped := initiator.Wrap(msg)
+	if strings.Contains(wrapped, "SOAP body") {
+		t.Error("wrap leaked plaintext")
+	}
+	got, err := acceptor.Unwrap(wrapped)
+	if err != nil || string(got) != string(msg) {
+		t.Errorf("unwrap = %q, %v", got, err)
+	}
+	// Reverse direction has its own counters.
+	back := acceptor.Wrap([]byte("reply"))
+	got, err = initiator.Unwrap(back)
+	if err != nil || string(got) != "reply" {
+		t.Errorf("reverse unwrap = %q, %v", got, err)
+	}
+}
+
+func TestUnwrapReplayRejected(t *testing.T) {
+	k := testKDC(t)
+	initiator, acceptor := establishPair(t, k)
+	w1 := initiator.Wrap([]byte("one"))
+	w2 := initiator.Wrap([]byte("two"))
+	if _, err := acceptor.Unwrap(w1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acceptor.Unwrap(w2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acceptor.Unwrap(w1); err == nil {
+		t.Error("replay accepted")
+	}
+}
+
+func TestUnwrapTamperRejected(t *testing.T) {
+	k := testKDC(t)
+	initiator, acceptor := establishPair(t, k)
+	w := initiator.Wrap([]byte("payload"))
+	tampered := "AAAA" + w[4:]
+	if _, err := acceptor.Unwrap(tampered); err == nil {
+		t.Error("tampered wrap accepted")
+	}
+	if _, err := acceptor.Unwrap("!!! not base64"); err == nil {
+		t.Error("garbage wrap accepted")
+	}
+}
+
+func TestMIC(t *testing.T) {
+	k := testKDC(t)
+	initiator, acceptor := establishPair(t, k)
+	doc := []byte("<Assertion>...</Assertion>")
+	mic := initiator.GetMIC(doc)
+	if err := acceptor.VerifyMIC(doc, mic); err != nil {
+		t.Errorf("valid MIC rejected: %v", err)
+	}
+	if err := acceptor.VerifyMIC([]byte("<Assertion>tampered</Assertion>"), mic); err == nil {
+		t.Error("MIC over tampered doc accepted")
+	}
+	if err := acceptor.VerifyMIC(doc, "!!!"); err == nil {
+		t.Error("garbage MIC accepted")
+	}
+	// A context from a different login has a different key.
+	other, _ := establishPair(t, k)
+	if err := other.VerifyMIC(doc, mic); err == nil {
+		t.Error("cross-context MIC accepted")
+	}
+}
+
+func TestTicketExpiry(t *testing.T) {
+	k := testKDC(t)
+	base := time.Date(2002, 6, 1, 9, 0, 0, 0, time.UTC)
+	now := base
+	k.SetTimeSource(func() time.Time { return now })
+	k.SetTicketLifetime(time.Hour)
+	creds, err := k.Login("cyoun", "hunter2", "authsvc/grids.iu.edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, _ := k.Keytab("authsvc/grids.iu.edu")
+	// Within validity.
+	token, _, err := InitContext(creds, base.Add(30*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AcceptContext(kt, token, base.Add(45*time.Minute)); err != nil {
+		t.Errorf("valid ticket rejected: %v", err)
+	}
+	// Initiator refuses expired creds.
+	if _, _, err := InitContext(creds, base.Add(2*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Errorf("expired init err = %v", err)
+	}
+	// Acceptor refuses expired ticket.
+	token2, _, _ := InitContext(creds, base.Add(59*time.Minute))
+	if _, err := AcceptContext(kt, token2, base.Add(2*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Errorf("expired accept err = %v", err)
+	}
+}
+
+func TestAcceptContextWrongService(t *testing.T) {
+	k := testKDC(t)
+	k.AddPrincipal("other/svc", "pw")
+	creds, _ := k.Login("cyoun", "hunter2", "authsvc/grids.iu.edu")
+	token, _, _ := InitContext(creds, time.Now())
+	otherKT, _ := k.Keytab("other/svc")
+	if _, err := AcceptContext(otherKT, token, time.Now()); err == nil {
+		t.Error("ticket accepted by wrong service keytab")
+	}
+}
+
+func TestAcceptContextGarbage(t *testing.T) {
+	k := testKDC(t)
+	kt, _ := k.Keytab("authsvc/grids.iu.edu")
+	for _, tok := range []string{"", "!!!", "aGVsbG8="} {
+		if _, err := AcceptContext(kt, tok, time.Now()); err == nil {
+			t.Errorf("garbage token %q accepted", tok)
+		}
+	}
+}
+
+func TestSealOpenProperty(t *testing.T) {
+	key := randomKey()
+	for _, msg := range []string{"", "a", strings.Repeat("xyz", 1000)} {
+		sealed := seal(key, []byte(msg))
+		got, err := open(key, sealed)
+		if err != nil || string(got) != msg {
+			t.Errorf("seal/open(%d bytes) = %q, %v", len(msg), got, err)
+		}
+		// Wrong key fails.
+		if _, err := open(randomKey(), sealed); err == nil {
+			t.Error("open with wrong key succeeded")
+		}
+	}
+	if _, err := open(key, []byte("short")); err == nil {
+		t.Error("short blob accepted")
+	}
+}
+
+func TestPasswordsNotStoredDirectly(t *testing.T) {
+	// Keys are derived; two principals with equal passwords get distinct
+	// keys (salted by principal name).
+	k := NewKDC("R")
+	k.AddPrincipal("a", "same")
+	k.AddPrincipal("b", "same")
+	k.AddPrincipal("svc", "s")
+	ca, _ := k.Login("a", "same", "svc")
+	cb, _ := k.Login("b", "same", "svc")
+	if ca == nil || cb == nil {
+		t.Fatal("logins failed")
+	}
+	ka := deriveKey("same", "a", "R")
+	kb := deriveKey("same", "b", "R")
+	if string(ka) == string(kb) {
+		t.Error("derived keys not salted by principal")
+	}
+}

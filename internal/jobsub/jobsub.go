@@ -1,0 +1,536 @@
+// Package jobsub implements the job submission Web Services of Section
+// 3.1, all three variants the paper describes:
+//
+//   - GlobusrunService (the SDSC flavour): a GSI-authenticated SOAP facade
+//     over the grid gatekeeper, exposing "two different methods for job
+//     execution, one that accepts the parameters of a job as a set of
+//     plain strings and returns the results as a string, and one that
+//     accepts an XML definition of a job" whose DTD "was designed to allow
+//     multiple jobs to be included in a single XML string"; multi-job
+//     requests execute sequentially.
+//
+//   - BatchJobService: "a method that takes string arguments that define
+//     the host and batch scheduler commands to be run"; it parses those
+//     strings and "uses the Globusrun job submission service previously
+//     described to submit the job" — a Web Service using another Web
+//     Service, the paper's service-composition demonstration.
+//
+//   - WebFlowBridgeService (the IU flavour): "a wrapper around a client
+//     for the legacy CORBA-based WebFlow system", bridging SOAP to the
+//     mini-ORB.
+package jobsub
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/soap"
+	"repro/internal/webflow"
+	"repro/internal/wsdl"
+	"repro/internal/xmlutil"
+)
+
+// GlobusrunNS is the Globusrun service namespace.
+const GlobusrunNS = "urn:gce:globusrun"
+
+// GlobusrunContract returns the Globusrun WSDL interface.
+func GlobusrunContract() *wsdl.Interface {
+	return &wsdl.Interface{
+		Name:     "Globusrun",
+		TargetNS: GlobusrunNS,
+		Doc:      "Secure, authenticated job execution on remote computational resources over the Grid.",
+		Operations: []wsdl.Operation{
+			{
+				Name: "run",
+				Doc:  "Runs one job described by plain strings; blocks and returns its output.",
+				Input: []wsdl.Param{
+					{Name: "host", Type: "string"},
+					{Name: "rsl", Type: "string"},
+				},
+				Output: []wsdl.Param{{Name: "output", Type: "string"}},
+			},
+			{
+				Name:   "runXML",
+				Doc:    "Runs one or more jobs from an XML job request, sequentially, returning XML results.",
+				Input:  []wsdl.Param{{Name: "request", Type: "xml"}},
+				Output: []wsdl.Param{{Name: "results", Type: "xml"}},
+			},
+			{
+				Name: "submit",
+				Doc:  "Submits one job asynchronously and returns its contact string.",
+				Input: []wsdl.Param{
+					{Name: "host", Type: "string"},
+					{Name: "rsl", Type: "string"},
+				},
+				Output: []wsdl.Param{{Name: "contact", Type: "string"}},
+			},
+			{
+				Name: "status",
+				Input: []wsdl.Param{
+					{Name: "host", Type: "string"},
+					{Name: "contact", Type: "string"},
+				},
+				Output: []wsdl.Param{{Name: "state", Type: "string"}},
+			},
+		},
+	}
+}
+
+// principalOf resolves the acting grid principal: the verified SAML
+// principal when the SPP authenticates requests, else the configured
+// default (unauthenticated deployments, e.g. the GCE testbed exercises).
+func principalOf(ctx *core.Context, def string) string {
+	if ctx.Principal != "" {
+		return ctx.Principal
+	}
+	return def
+}
+
+// NewGlobusrunService builds the deployable Globusrun service over a grid.
+// defaultPrincipal is used for unauthenticated calls; pass "" to require a
+// verified principal on every call.
+func NewGlobusrunService(g *grid.Grid, defaultPrincipal string) *core.Service {
+	svc := core.NewService(GlobusrunContract())
+	requirePrincipal := func(ctx *core.Context) (string, error) {
+		p := principalOf(ctx, defaultPrincipal)
+		if p == "" {
+			return "", soap.NewPortalError("Globusrun", soap.ErrCodeAuthFailed,
+				"no authenticated principal and no default configured")
+		}
+		return p, nil
+	}
+	svc.Handle("run", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
+		p, err := requirePrincipal(ctx)
+		if err != nil {
+			return nil, err
+		}
+		gk, err := g.Gatekeeper(args.String("host"))
+		if err != nil {
+			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeNoSuchResource, "%v", err)
+		}
+		job, err := gk.Run(p, args.String("rsl"))
+		if err != nil {
+			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeJobFailed, "%v", err)
+		}
+		if job.State != grid.StateCompleted {
+			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeJobFailed,
+				"job %s: %s (%s)", job.ID, job.State, job.Reason)
+		}
+		return []soap.Value{soap.Str("output", job.Result.Stdout)}, nil
+	})
+	svc.Handle("runXML", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
+		p, err := requirePrincipal(ctx)
+		if err != nil {
+			return nil, err
+		}
+		req := args.XML("request")
+		if req == nil {
+			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeBadRequest, "missing job request document")
+		}
+		jobs, err := ParseJobRequest(req)
+		if err != nil {
+			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeBadRequest, "%v", err)
+		}
+		results := xmlutil.New("jobResults")
+		// Sequential execution, as the paper specifies.
+		for i, jr := range jobs {
+			results.Add(runOne(g, p, i, jr))
+		}
+		return []soap.Value{soap.XMLDoc("results", results)}, nil
+	})
+	svc.Handle("submit", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
+		p, err := requirePrincipal(ctx)
+		if err != nil {
+			return nil, err
+		}
+		gk, err := g.Gatekeeper(args.String("host"))
+		if err != nil {
+			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeNoSuchResource, "%v", err)
+		}
+		contact, err := gk.Submit(p, args.String("rsl"))
+		if err != nil {
+			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeJobFailed, "%v", err)
+		}
+		return []soap.Value{soap.Str("contact", contact)}, nil
+	})
+	svc.Handle("status", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
+		if _, err := requirePrincipal(ctx); err != nil {
+			return nil, err
+		}
+		gk, err := g.Gatekeeper(args.String("host"))
+		if err != nil {
+			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeNoSuchResource, "%v", err)
+		}
+		job, err := gk.Status(args.String("contact"))
+		if err != nil {
+			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeNoSuchResource, "%v", err)
+		}
+		return []soap.Value{soap.Str("state", string(job.State))}, nil
+	})
+	return svc
+}
+
+func runOne(g *grid.Grid, principal string, index int, jr JobRequest) *xmlutil.Element {
+	el := xmlutil.New("jobResult").SetAttr("index", strconv.Itoa(index))
+	fail := func(format string, a ...interface{}) *xmlutil.Element {
+		el.AddText("state", string(grid.StateFailed))
+		el.AddText("error", fmt.Sprintf(format, a...))
+		return el
+	}
+	gk, err := g.Gatekeeper(jr.Host)
+	if err != nil {
+		return fail("%v", err)
+	}
+	job, err := gk.Run(principal, grid.FormatRSL(jr.Spec))
+	if err != nil {
+		return fail("%v", err)
+	}
+	el.AddText("state", string(job.State))
+	el.AddText("jobID", job.ID)
+	el.AddText("stdout", job.Result.Stdout)
+	el.AddText("stderr", job.Result.Stderr)
+	el.AddText("exitCode", strconv.Itoa(job.Result.ExitCode))
+	if job.Reason != "" {
+		el.AddText("error", job.Reason)
+	}
+	return el
+}
+
+// JobRequest is one job inside the XML multi-job DTD.
+type JobRequest struct {
+	// Host is the target machine.
+	Host string
+	// Spec is the job specification.
+	Spec grid.JobSpec
+}
+
+// BuildJobRequest renders one or more job requests into the DTD's
+// <jobRequest> document.
+func BuildJobRequest(jobs []JobRequest) *xmlutil.Element {
+	root := xmlutil.New("jobRequest")
+	for _, jr := range jobs {
+		j := xmlutil.New("job")
+		j.AddText("host", jr.Host)
+		j.AddText("executable", jr.Spec.Executable)
+		for _, a := range jr.Spec.Args {
+			j.AddText("argument", a)
+		}
+		if jr.Spec.Stdin != "" {
+			j.AddText("stdin", jr.Spec.Stdin)
+		}
+		if jr.Spec.Queue != "" {
+			j.AddText("queue", jr.Spec.Queue)
+		}
+		if jr.Spec.Nodes > 1 {
+			j.AddText("count", strconv.Itoa(jr.Spec.Nodes))
+		}
+		if jr.Spec.WallTime > 0 {
+			j.AddText("maxWallTime", strconv.Itoa(int(jr.Spec.WallTime/time.Minute)))
+		}
+		if jr.Spec.Name != "" {
+			j.AddText("jobName", jr.Spec.Name)
+		}
+		root.Add(j)
+	}
+	return root
+}
+
+// ParseJobRequest parses a <jobRequest> document into its jobs.
+func ParseJobRequest(root *xmlutil.Element) ([]JobRequest, error) {
+	if root.Name != "jobRequest" {
+		return nil, fmt.Errorf("jobsub: root element %q is not jobRequest", root.Name)
+	}
+	jobEls := root.ChildrenNamed("job")
+	if len(jobEls) == 0 {
+		return nil, fmt.Errorf("jobsub: request contains no jobs")
+	}
+	var out []JobRequest
+	for i, j := range jobEls {
+		jr := JobRequest{Host: j.ChildText("host")}
+		if jr.Host == "" {
+			return nil, fmt.Errorf("jobsub: job %d has no host", i)
+		}
+		jr.Spec.Executable = j.ChildText("executable")
+		if jr.Spec.Executable == "" {
+			return nil, fmt.Errorf("jobsub: job %d has no executable", i)
+		}
+		for _, a := range j.ChildrenNamed("argument") {
+			jr.Spec.Args = append(jr.Spec.Args, a.Text)
+		}
+		jr.Spec.Stdin = j.ChildText("stdin")
+		jr.Spec.Queue = j.ChildText("queue")
+		jr.Spec.Name = j.ChildText("jobName")
+		jr.Spec.Nodes = 1
+		if c := j.Child("count"); c != nil {
+			n, err := c.Int()
+			if err != nil {
+				return nil, fmt.Errorf("jobsub: job %d: bad count: %v", i, err)
+			}
+			jr.Spec.Nodes = n
+		}
+		if w := j.Child("maxWallTime"); w != nil {
+			mins, err := w.Int()
+			if err != nil {
+				return nil, fmt.Errorf("jobsub: job %d: bad maxWallTime: %v", i, err)
+			}
+			jr.Spec.WallTime = time.Duration(mins) * time.Minute
+		}
+		out = append(out, jr)
+	}
+	return out, nil
+}
+
+// JobResult is one decoded entry of the XML results document.
+type JobResult struct {
+	// Index is the job's position in the request.
+	Index int
+	// State is the final lifecycle state.
+	State grid.JobState
+	// JobID is the scheduler ID (empty on pre-submission failure).
+	JobID string
+	// Stdout and Stderr are the captured streams.
+	Stdout string
+	Stderr string
+	// ExitCode is the program exit status.
+	ExitCode int
+	// Error describes a failure.
+	Error string
+}
+
+// ParseJobResults decodes the service's <jobResults> document.
+func ParseJobResults(root *xmlutil.Element) ([]JobResult, error) {
+	if root.Name != "jobResults" {
+		return nil, fmt.Errorf("jobsub: root element %q is not jobResults", root.Name)
+	}
+	var out []JobResult
+	for _, el := range root.ChildrenNamed("jobResult") {
+		r := JobResult{
+			State:  grid.JobState(el.ChildText("state")),
+			JobID:  el.ChildText("jobID"),
+			Stdout: el.ChildText("stdout"),
+			Stderr: el.ChildText("stderr"),
+			Error:  el.ChildText("error"),
+		}
+		r.Index, _ = strconv.Atoi(el.AttrDefault("index", "0"))
+		if ec := el.Child("exitCode"); ec != nil {
+			r.ExitCode, _ = ec.Int()
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// GlobusrunClient is a typed proxy to a Globusrun service.
+type GlobusrunClient struct {
+	c *core.Client
+}
+
+// NewGlobusrunClient binds to a Globusrun endpoint.
+func NewGlobusrunClient(t soap.Transport, endpoint string) *GlobusrunClient {
+	return &GlobusrunClient{c: core.NewClient(t, endpoint, GlobusrunContract())}
+}
+
+// Use adds a client interceptor (e.g. a SAML-attaching session).
+func (cl *GlobusrunClient) Use(i core.ClientInterceptor) *GlobusrunClient {
+	cl.c.Use(i)
+	return cl
+}
+
+// Run executes one job synchronously and returns its stdout.
+func (cl *GlobusrunClient) Run(host, rsl string) (string, error) {
+	return cl.c.CallText("run", soap.Str("host", host), soap.Str("rsl", rsl))
+}
+
+// RunXML executes a multi-job request and returns the decoded results.
+func (cl *GlobusrunClient) RunXML(jobs []JobRequest) ([]JobResult, error) {
+	doc, err := cl.c.CallXML("runXML", soap.XMLDoc("request", BuildJobRequest(jobs)))
+	if err != nil {
+		return nil, err
+	}
+	return ParseJobResults(doc)
+}
+
+// Submit starts a job asynchronously.
+func (cl *GlobusrunClient) Submit(host, rsl string) (string, error) {
+	return cl.c.CallText("submit", soap.Str("host", host), soap.Str("rsl", rsl))
+}
+
+// Status polls a job by contact.
+func (cl *GlobusrunClient) Status(host, contact string) (grid.JobState, error) {
+	s, err := cl.c.CallText("status", soap.Str("host", host), soap.Str("contact", contact))
+	return grid.JobState(s), err
+}
+
+// --- Batch job service (service composition) ---------------------------------
+
+// BatchJobNS is the batch job service namespace.
+const BatchJobNS = "urn:gce:batchjob"
+
+// BatchJobContract returns the batch job submission interface: one method
+// taking the host and scheduler command strings.
+func BatchJobContract() *wsdl.Interface {
+	return &wsdl.Interface{
+		Name:     "BatchJobSubmission",
+		TargetNS: BatchJobNS,
+		Doc:      "Submits batch jobs described by scheduler command strings; delegates to the Globusrun Web Service.",
+		Operations: []wsdl.Operation{{
+			Name: "submitBatch",
+			Doc:  "Parses host and scheduler command strings and runs the job via Globusrun.",
+			Input: []wsdl.Param{
+				{Name: "host", Type: "string"},
+				{Name: "command", Type: "string"},
+			},
+			Output: []wsdl.Param{{Name: "output", Type: "string"}},
+		}},
+	}
+}
+
+// ParseSchedulerCommand parses a qsub/bsub-flavoured command string of the
+// form "[-q queue] [-n nodes] [-w minutes] executable [args...]" into RSL.
+func ParseSchedulerCommand(command string) (string, error) {
+	fields := strings.Fields(command)
+	spec := grid.JobSpec{Nodes: 1}
+	i := 0
+	for i < len(fields) {
+		switch fields[i] {
+		case "-q":
+			if i+1 >= len(fields) {
+				return "", fmt.Errorf("jobsub: -q requires a queue name")
+			}
+			spec.Queue = fields[i+1]
+			i += 2
+		case "-n":
+			if i+1 >= len(fields) {
+				return "", fmt.Errorf("jobsub: -n requires a node count")
+			}
+			n, err := strconv.Atoi(fields[i+1])
+			if err != nil {
+				return "", fmt.Errorf("jobsub: bad node count %q", fields[i+1])
+			}
+			spec.Nodes = n
+			i += 2
+		case "-w":
+			if i+1 >= len(fields) {
+				return "", fmt.Errorf("jobsub: -w requires minutes")
+			}
+			mins, err := strconv.Atoi(fields[i+1])
+			if err != nil {
+				return "", fmt.Errorf("jobsub: bad walltime %q", fields[i+1])
+			}
+			spec.WallTime = time.Duration(mins) * time.Minute
+			i += 2
+		default:
+			spec.Executable = fields[i]
+			spec.Args = fields[i+1:]
+			i = len(fields)
+		}
+	}
+	if spec.Executable == "" {
+		return "", fmt.Errorf("jobsub: command %q has no executable", command)
+	}
+	return grid.FormatRSL(spec), nil
+}
+
+// NewBatchJobService builds the batch job service delegating to a Globusrun
+// client — the inter-service call the paper demonstrates.
+func NewBatchJobService(globusrun *GlobusrunClient) *core.Service {
+	svc := core.NewService(BatchJobContract())
+	svc.Handle("submitBatch", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
+		rsl, err := ParseSchedulerCommand(args.String("command"))
+		if err != nil {
+			return nil, soap.NewPortalError("BatchJobSubmission", soap.ErrCodeBadRequest, "%v", err)
+		}
+		out, err := globusrun.Run(args.String("host"), rsl)
+		if err != nil {
+			if pe := soap.AsPortalError(err); pe != nil {
+				return nil, pe
+			}
+			return nil, soap.NewPortalError("BatchJobSubmission", soap.ErrCodeJobFailed, "%v", err)
+		}
+		return []soap.Value{soap.Str("output", out)}, nil
+	})
+	return svc
+}
+
+// BatchJobClient is a typed proxy to the batch job service.
+type BatchJobClient struct {
+	c *core.Client
+}
+
+// NewBatchJobClient binds to a batch job service endpoint.
+func NewBatchJobClient(t soap.Transport, endpoint string) *BatchJobClient {
+	return &BatchJobClient{c: core.NewClient(t, endpoint, BatchJobContract())}
+}
+
+// SubmitBatch submits a scheduler command string.
+func (cl *BatchJobClient) SubmitBatch(host, command string) (string, error) {
+	return cl.c.CallText("submitBatch", soap.Str("host", host), soap.Str("command", command))
+}
+
+// --- WebFlow bridge service (IU flavour) --------------------------------------
+
+// WebFlowBridgeNS is the IU bridge service namespace.
+const WebFlowBridgeNS = "urn:gce:webflow-jobsub"
+
+// WebFlowBridgeContract returns the IU job submission interface: the SOAP
+// server methods "wrapped the existing WebFlow methods".
+func WebFlowBridgeContract() *wsdl.Interface {
+	return &wsdl.Interface{
+		Name:     "WebFlowJobSubmission",
+		TargetNS: WebFlowBridgeNS,
+		Doc:      "SOAP wrapper around the legacy CORBA-based WebFlow job submission module.",
+		Operations: []wsdl.Operation{
+			{
+				Name: "runJob",
+				Input: []wsdl.Param{
+					{Name: "host", Type: "string"},
+					{Name: "rsl", Type: "string"},
+				},
+				Output: []wsdl.Param{{Name: "output", Type: "string"}},
+			},
+			{
+				Name: "submitJob",
+				Input: []wsdl.Param{
+					{Name: "host", Type: "string"},
+					{Name: "rsl", Type: "string"},
+				},
+				Output: []wsdl.Param{{Name: "contact", Type: "string"}},
+			},
+		},
+	}
+}
+
+// NewWebFlowBridgeService builds the SOAP-to-ORB bridge: it initialises a
+// client ORB, resolves the WebFlow job submission module, and forwards.
+func NewWebFlowBridgeService(orb *webflow.ORB, moduleIOR, defaultPrincipal string) (*core.Service, error) {
+	ref, err := orb.Resolve(moduleIOR)
+	if err != nil {
+		return nil, err
+	}
+	svc := core.NewService(WebFlowBridgeContract())
+	svc.Handle("runJob", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
+		p := principalOf(ctx, defaultPrincipal)
+		res, err := ref.Invoke("runJob", p, args.String("host"), args.String("rsl"))
+		if err != nil {
+			return nil, soap.NewPortalError("WebFlowJobSubmission", soap.ErrCodeJobFailed, "%v", err)
+		}
+		if len(res) < 2 || res[0] != string(grid.StateCompleted) {
+			return nil, soap.NewPortalError("WebFlowJobSubmission", soap.ErrCodeJobFailed,
+				"webflow job state %v", res)
+		}
+		return []soap.Value{soap.Str("output", res[1])}, nil
+	})
+	svc.Handle("submitJob", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
+		p := principalOf(ctx, defaultPrincipal)
+		res, err := ref.Invoke("submitJob", p, args.String("host"), args.String("rsl"))
+		if err != nil {
+			return nil, soap.NewPortalError("WebFlowJobSubmission", soap.ErrCodeJobFailed, "%v", err)
+		}
+		return []soap.Value{soap.Str("contact", res[0])}, nil
+	})
+	return svc, nil
+}

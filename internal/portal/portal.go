@@ -1,0 +1,321 @@
+// Package portal is the top of Figure 4: the User Interface server that
+// fronts the whole service-based architecture. It realises the paper's
+// closing image of the portal as "a distributed operating system: user
+// interactions are through a finite list of basic commands that operate in
+// a 'shell' or execution environment. These commands encapsulate 'system'
+// level calls to actually interact with computing resources" — and "one
+// may envision a scripting environment ... that provides the syntax for
+// linking the various core services (redirecting output through pipes, for
+// example)".
+//
+// Shell is that scripting environment: a command table where each command
+// wraps a core portal Web Service (script generation, job submission, SRB
+// data management, context storage), and a pipeline executor that feeds
+// one command's output into the next. The user never touches the system
+// level (gatekeepers, schedulers, brokers) directly — only the tool chest
+// of core services, which in turn speak to the system-level interfaces.
+package portal
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/batchscript"
+	"repro/internal/contextmgr"
+	"repro/internal/grid"
+	"repro/internal/jobsub"
+	"repro/internal/srbws"
+)
+
+// CommandFunc executes one shell command: args are the command arguments,
+// stdin is the piped input (empty for the first stage).
+type CommandFunc func(args []string, stdin string) (string, error)
+
+// Command couples a name with its implementation and usage line.
+type Command struct {
+	// Name invokes the command.
+	Name string
+	// Usage is the help line.
+	Usage string
+	// Run executes the command.
+	Run CommandFunc
+}
+
+// Shell is the portal shell: a registered command table plus the pipeline
+// executor.
+type Shell struct {
+	commands map[string]Command
+}
+
+// NewShell returns a shell with only the built-in help command.
+func NewShell() *Shell {
+	sh := &Shell{commands: map[string]Command{}}
+	sh.Register(Command{
+		Name:  "help",
+		Usage: "help — list available portal commands",
+		Run: func(args []string, stdin string) (string, error) {
+			var names []string
+			for n := range sh.commands {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			var b strings.Builder
+			for _, n := range names {
+				b.WriteString(sh.commands[n].Usage + "\n")
+			}
+			return b.String(), nil
+		},
+	})
+	sh.Register(Command{
+		Name:  "echo",
+		Usage: "echo [words...] — emit arguments",
+		Run: func(args []string, stdin string) (string, error) {
+			return strings.Join(args, " ") + "\n", nil
+		},
+	})
+	return sh
+}
+
+// Register adds a command to the shell's tool chest.
+func (sh *Shell) Register(c Command) {
+	sh.commands[c.Name] = c
+}
+
+// Commands returns the sorted command names.
+func (sh *Shell) Commands() []string {
+	out := make([]string, 0, len(sh.commands))
+	for n := range sh.commands {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tokenize splits a command line into fields, honouring double quotes.
+func tokenize(line string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range line {
+		switch {
+		case r == '"':
+			if inQuote {
+				out = append(out, cur.String())
+				cur.Reset()
+				inQuote = false
+			} else {
+				inQuote = true
+			}
+		case !inQuote && (r == ' ' || r == '\t'):
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("portal: unterminated quote in %q", line)
+	}
+	flush()
+	return out, nil
+}
+
+// Run executes a pipeline: stages separated by '|', each stage's output
+// becoming the next stage's stdin.
+func (sh *Shell) Run(line string) (string, error) {
+	stages := strings.Split(line, "|")
+	stdin := ""
+	for _, stage := range stages {
+		fields, err := tokenize(strings.TrimSpace(stage))
+		if err != nil {
+			return "", err
+		}
+		if len(fields) == 0 {
+			return "", fmt.Errorf("portal: empty pipeline stage in %q", line)
+		}
+		cmd, ok := sh.commands[fields[0]]
+		if !ok {
+			return "", fmt.Errorf("portal: unknown command %q (try help)", fields[0])
+		}
+		stdin, err = cmd.Run(fields[1:], stdin)
+		if err != nil {
+			return "", fmt.Errorf("portal: %s: %w", fields[0], err)
+		}
+	}
+	return stdin, nil
+}
+
+// Services groups the core-service clients a portal shell binds to. Any
+// nil client simply leaves its commands unregistered.
+type Services struct {
+	// Script generates batch scripts.
+	Script *batchscript.Client
+	// Globusrun executes grid jobs.
+	Globusrun *jobsub.GlobusrunClient
+	// SRB manages data.
+	SRB *srbws.Client
+	// Context stores session state (used directly; the decomposed store
+	// client shape is a string-array path API).
+	Context *contextmgr.Store
+}
+
+// NewStandardShell builds the paper's tool chest: script generation, job
+// submission, data management, and context commands, each encapsulating a
+// core portal Web Service.
+func NewStandardShell(s Services) *Shell {
+	sh := NewShell()
+	if s.Script != nil {
+		sh.Register(Command{
+			Name:  "genscript",
+			Usage: "genscript <scheduler> <queue> <nodes> <wallMinutes> <executable> [args...] — generate a batch script",
+			Run: func(args []string, stdin string) (string, error) {
+				if len(args) < 5 {
+					return "", fmt.Errorf("usage: genscript <scheduler> <queue> <nodes> <wallMinutes> <executable> [args...]")
+				}
+				nodes, err := strconv.Atoi(args[2])
+				if err != nil {
+					return "", fmt.Errorf("bad node count %q", args[2])
+				}
+				mins, err := strconv.Atoi(args[3])
+				if err != nil {
+					return "", fmt.Errorf("bad walltime %q", args[3])
+				}
+				return s.Script.GenerateScript(batchscript.Request{
+					Scheduler:  grid.SchedulerKind(strings.ToUpper(args[0])),
+					Queue:      args[1],
+					Nodes:      nodes,
+					WallTime:   time.Duration(mins) * time.Minute,
+					JobName:    "shell",
+					Executable: args[4],
+					Arguments:  args[5:],
+				})
+			},
+		})
+		sh.Register(Command{
+			Name:  "schedulers",
+			Usage: "schedulers — list queuing systems the bound script service supports",
+			Run: func(args []string, stdin string) (string, error) {
+				names, err := s.Script.ListSchedulers()
+				if err != nil {
+					return "", err
+				}
+				return strings.Join(names, "\n") + "\n", nil
+			},
+		})
+	}
+	if s.Globusrun != nil {
+		sh.Register(Command{
+			Name:  "run",
+			Usage: "run <host> <rsl> — run a grid job synchronously (RSL may come from stdin)",
+			Run: func(args []string, stdin string) (string, error) {
+				if len(args) < 1 {
+					return "", fmt.Errorf("usage: run <host> [rsl]")
+				}
+				rsl := strings.TrimSpace(strings.Join(args[1:], " "))
+				if rsl == "" {
+					rsl = strings.TrimSpace(stdin)
+				}
+				if rsl == "" {
+					return "", fmt.Errorf("no RSL given")
+				}
+				return s.Globusrun.Run(args[0], rsl)
+			},
+		})
+		sh.Register(Command{
+			Name:  "submitscript",
+			Usage: "submitscript <host> <scheduler> — parse a batch script from stdin and run it on the host",
+			Run: func(args []string, stdin string) (string, error) {
+				if len(args) != 2 {
+					return "", fmt.Errorf("usage: submitscript <host> <scheduler>")
+				}
+				spec, err := grid.ParseScript(grid.SchedulerKind(strings.ToUpper(args[1])), stdin)
+				if err != nil {
+					return "", err
+				}
+				return s.Globusrun.Run(args[0], grid.FormatRSL(spec))
+			},
+		})
+	}
+	if s.SRB != nil {
+		sh.Register(Command{
+			Name:  "srbls",
+			Usage: "srbls <collection> — list an SRB collection",
+			Run: func(args []string, stdin string) (string, error) {
+				if len(args) != 1 {
+					return "", fmt.Errorf("usage: srbls <collection>")
+				}
+				entries, err := s.SRB.Ls(args[0])
+				if err != nil {
+					return "", err
+				}
+				var b strings.Builder
+				for _, e := range entries {
+					kind := "-"
+					if e.IsCollection {
+						kind = "C"
+					}
+					fmt.Fprintf(&b, "%s %8d %-10s %s\n", kind, e.Size, e.Owner, e.Name)
+				}
+				return b.String(), nil
+			},
+		})
+		sh.Register(Command{
+			Name:  "srbget",
+			Usage: "srbget <path> — fetch a file from SRB",
+			Run: func(args []string, stdin string) (string, error) {
+				if len(args) != 1 {
+					return "", fmt.Errorf("usage: srbget <path>")
+				}
+				return s.SRB.Get(args[0])
+			},
+		})
+		sh.Register(Command{
+			Name:  "srbput",
+			Usage: "srbput <path> — store stdin into SRB (pipes output into storage)",
+			Run: func(args []string, stdin string) (string, error) {
+				if len(args) != 1 {
+					return "", fmt.Errorf("usage: srbput <path>")
+				}
+				if err := s.SRB.Put(args[0], stdin, ""); err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("stored %d bytes at %s\n", len(stdin), args[0]), nil
+			},
+		})
+	}
+	if s.Context != nil {
+		sh.Register(Command{
+			Name:  "ctxset",
+			Usage: "ctxset <user/problem/session> <name> — store stdin as a context property",
+			Run: func(args []string, stdin string) (string, error) {
+				if len(args) != 2 {
+					return "", fmt.Errorf("usage: ctxset <user/problem/session> <name>")
+				}
+				path := strings.Split(args[0], "/")
+				if err := s.Context.SetProp(path, args[1], stdin); err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("set %s on %s\n", args[1], args[0]), nil
+			},
+		})
+		sh.Register(Command{
+			Name:  "ctxget",
+			Usage: "ctxget <user/problem/session> <name> — read a context property",
+			Run: func(args []string, stdin string) (string, error) {
+				if len(args) != 2 {
+					return "", fmt.Errorf("usage: ctxget <user/problem/session> <name>")
+				}
+				return s.Context.GetProp(strings.Split(args[0], "/"), args[1])
+			},
+		})
+	}
+	return sh
+}

@@ -1,0 +1,377 @@
+// Package portlet implements the portlet aggregation layer of Section 5.4,
+// modelled on Jetspeed: a registry configured from an xreg-style XML file,
+// a container that composes portlets into "a collection of nested HTML
+// tables, each containing material loaded from the specified content
+// server", per-user customisation ("users can customize their portal
+// displays by decorating them with only those portlets that interest
+// them"), and two portlet types:
+//
+//   - WebPagePortlet loads a remote URL and keeps an in-memory copy for
+//     reformatting.
+//   - WebFormPortlet extends it with the paper's three features: it "can
+//     post HTML Form parameters", "maintains session state with remote
+//     Tomcat servers", and "remaps URLs in the remote page, so that the
+//     content of pages loaded from followed links and clicked buttons is
+//     loaded inside the portlet window".
+package portlet
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+	"regexp"
+	"strings"
+	"sync"
+
+	"repro/internal/xmlutil"
+)
+
+// Entry is one registered portlet definition (an xreg entry).
+type Entry struct {
+	// Name is the unique portlet name.
+	Name string
+	// Type is "WebPagePortlet" or "WebFormPortlet".
+	Type string
+	// URL is the remote content source.
+	URL string
+	// Title is the display title (defaults to Name).
+	Title string
+}
+
+// ParseRegistry reads an xreg-style registry document:
+//
+//	<registry>
+//	  <portlet-entry name="..." type="WebFormPortlet">
+//	    <url>http://...</url><title>...</title>
+//	  </portlet-entry>
+//	</registry>
+func ParseRegistry(doc string) ([]Entry, error) {
+	root, err := xmlutil.ParseString(doc)
+	if err != nil {
+		return nil, fmt.Errorf("portlet: %w", err)
+	}
+	if root.Name != "registry" {
+		return nil, fmt.Errorf("portlet: root element %q is not registry", root.Name)
+	}
+	var out []Entry
+	for _, el := range root.ChildrenNamed("portlet-entry") {
+		e := Entry{
+			Name:  el.AttrDefault("name", ""),
+			Type:  el.AttrDefault("type", "WebPagePortlet"),
+			URL:   el.ChildText("url"),
+			Title: el.ChildText("title"),
+		}
+		if e.Name == "" || e.URL == "" {
+			return nil, fmt.Errorf("portlet: entry missing name or url")
+		}
+		if e.Title == "" {
+			e.Title = e.Name
+		}
+		if e.Type != "WebPagePortlet" && e.Type != "WebFormPortlet" {
+			return nil, fmt.Errorf("portlet: unknown portlet type %q", e.Type)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// RenderRegistry emits the xreg document for a set of entries.
+func RenderRegistry(entries []Entry) string {
+	root := xmlutil.New("registry")
+	for _, e := range entries {
+		el := xmlutil.New("portlet-entry").SetAttr("name", e.Name).SetAttr("type", e.Type)
+		el.AddText("url", e.URL)
+		el.AddText("title", e.Title)
+		root.Add(el)
+	}
+	return root.Render()
+}
+
+// Container is the portlet container: registry plus per-user layout and
+// per-user remote sessions.
+type Container struct {
+	// Client fetches remote content.
+	Client *http.Client
+	// BasePath is the container's mount path, used in remapped URLs.
+	BasePath string
+
+	mu       sync.RWMutex
+	entries  map[string]Entry
+	order    []string
+	layouts  map[string][]string       // user -> chosen portlet names
+	jars     map[string]http.CookieJar // user|portlet -> session jar
+	lastURLs map[string]string         // user|portlet -> current page URL
+	cache    map[string]string         // user|portlet -> in-memory copy
+}
+
+// NewContainer creates an empty container.
+func NewContainer(client *http.Client, basePath string) *Container {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Container{
+		Client:   client,
+		BasePath: strings.TrimSuffix(basePath, "/"),
+		entries:  map[string]Entry{},
+		layouts:  map[string][]string{},
+		jars:     map[string]http.CookieJar{},
+		lastURLs: map[string]string{},
+		cache:    map[string]string{},
+	}
+}
+
+// Register adds a portlet entry (administrator action: "Portal
+// administrators decide which content sources to provide").
+func (c *Container) Register(e Entry) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[e.Name]; dup {
+		return fmt.Errorf("portlet: %q already registered", e.Name)
+	}
+	c.entries[e.Name] = e
+	c.order = append(c.order, e.Name)
+	return nil
+}
+
+// LoadRegistry registers every entry of an xreg document.
+func (c *Container) LoadRegistry(doc string) error {
+	entries, err := ParseRegistry(doc)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := c.Register(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Entries lists registered portlets in registration order.
+func (c *Container) Entries() []Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Entry, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.entries[n])
+	}
+	return out
+}
+
+// Customize sets a user's chosen portlets; unknown names are rejected.
+func (c *Container) Customize(user string, portlets []string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range portlets {
+		if _, ok := c.entries[n]; !ok {
+			return fmt.Errorf("portlet: unknown portlet %q", n)
+		}
+	}
+	c.layouts[user] = append([]string(nil), portlets...)
+	return nil
+}
+
+// Layout returns a user's chosen portlets (all registered when the user
+// never customised).
+func (c *Container) Layout(user string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if l, ok := c.layouts[user]; ok {
+		return append([]string(nil), l...)
+	}
+	return append([]string(nil), c.order...)
+}
+
+func sessionKey(user, portlet string) string { return user + "|" + portlet }
+
+// jarFor returns (creating) the user+portlet cookie jar implementing the
+// "maintains session state with remote Tomcat servers" feature.
+func (c *Container) jarFor(user, portlet string) http.CookieJar {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := sessionKey(user, portlet)
+	if j, ok := c.jars[key]; ok {
+		return j
+	}
+	j, err := cookiejar.New(nil)
+	if err != nil {
+		panic("portlet: cookiejar: " + err.Error())
+	}
+	c.jars[key] = j
+	return j
+}
+
+// fetch performs one remote request on behalf of a user's portlet,
+// carrying its session cookies, and returns the (remapped) content.
+func (c *Container) fetch(user string, e Entry, method, target string, form url.Values) (string, error) {
+	jar := c.jarFor(user, e.Name)
+	var req *http.Request
+	var err error
+	if method == http.MethodPost {
+		req, err = http.NewRequest(method, target, strings.NewReader(form.Encode()))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		}
+	} else {
+		req, err = http.NewRequest(method, target, nil)
+	}
+	if err != nil {
+		return "", fmt.Errorf("portlet: %s: %w", e.Name, err)
+	}
+	u, err := url.Parse(target)
+	if err != nil {
+		return "", err
+	}
+	for _, ck := range jar.Cookies(u) {
+		req.AddCookie(ck)
+	}
+	resp, err := c.Client.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("portlet: %s: fetch %s: %w", e.Name, target, err)
+	}
+	defer resp.Body.Close()
+	jar.SetCookies(u, resp.Cookies())
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return "", err
+	}
+	content := string(body)
+	if e.Type == "WebFormPortlet" {
+		content = c.remapURLs(e.Name, target, content)
+	}
+	c.mu.Lock()
+	c.lastURLs[sessionKey(user, e.Name)] = target
+	c.cache[sessionKey(user, e.Name)] = content
+	c.mu.Unlock()
+	return content, nil
+}
+
+// CachedCopy returns the portlet's in-memory copy of its last page.
+func (c *Container) CachedCopy(user, portlet string) (string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.cache[sessionKey(user, portlet)]
+	return s, ok
+}
+
+var (
+	hrefPattern = regexp.MustCompile(`(href|action)\s*=\s*"([^"]*)"`)
+)
+
+// remapURLs rewrites link and form-action URLs so navigation stays inside
+// the portlet window: each target becomes
+// <base>/portlet?name=<n>&url=<absolute-target>.
+func (c *Container) remapURLs(portletName, pageURL, content string) string {
+	base, err := url.Parse(pageURL)
+	if err != nil {
+		return content
+	}
+	return hrefPattern.ReplaceAllStringFunc(content, func(m string) string {
+		parts := hrefPattern.FindStringSubmatch(m)
+		attr, target := parts[1], parts[2]
+		if target == "" || strings.HasPrefix(target, "#") ||
+			strings.HasPrefix(target, "javascript:") || strings.HasPrefix(target, "mailto:") {
+			return m
+		}
+		abs, err := base.Parse(target)
+		if err != nil {
+			return m
+		}
+		remapped := fmt.Sprintf("%s/portlet?name=%s&url=%s",
+			c.BasePath, url.QueryEscape(portletName), url.QueryEscape(abs.String()))
+		return fmt.Sprintf(`%s="%s"`, attr, html.EscapeString(remapped))
+	})
+}
+
+// RenderPage composes the user's portal page: the outer table contains one
+// nested table per chosen portlet, each holding that portlet's content.
+// Fetch failures render as an error cell rather than failing the page.
+func (c *Container) RenderPage(user string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>Computational Portal — %s</title></head><body>\n",
+		html.EscapeString(user))
+	b.WriteString(`<table class="portal" width="100%">` + "\n")
+	for _, name := range c.Layout(user) {
+		c.mu.RLock()
+		e := c.entries[name]
+		c.mu.RUnlock()
+		b.WriteString("<tr><td>\n")
+		fmt.Fprintf(&b, `<table class="portlet" border="1" width="100%%"><tr><th>%s</th></tr><tr><td>`+"\n",
+			html.EscapeString(e.Title))
+		content, err := c.fetch(user, e, http.MethodGet, e.URL, nil)
+		if err != nil {
+			fmt.Fprintf(&b, `<em>portlet error: %s</em>`, html.EscapeString(err.Error()))
+		} else {
+			b.WriteString(content)
+		}
+		b.WriteString("\n</td></tr></table>\n</td></tr>\n")
+	}
+	b.WriteString("</table></body></html>\n")
+	return b.String()
+}
+
+// userOf resolves the acting user from the request (the "user" query or
+// form parameter; "guest" otherwise).
+func userOf(r *http.Request) string {
+	if u := r.URL.Query().Get("user"); u != "" {
+		return u
+	}
+	if u := r.PostFormValue("user"); u != "" {
+		return u
+	}
+	return "guest"
+}
+
+// ServeHTTP exposes the container: GET <base>/ renders the page; GET/POST
+// <base>/portlet?name=N&url=U navigates inside a portlet window.
+func (c *Container) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case strings.HasSuffix(r.URL.Path, "/portlet"):
+		c.servePortletNav(w, r)
+	default:
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = io.WriteString(w, c.RenderPage(userOf(r)))
+	}
+}
+
+func (c *Container) servePortletNav(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	target := r.URL.Query().Get("url")
+	c.mu.RLock()
+	e, ok := c.entries[name]
+	c.mu.RUnlock()
+	if !ok {
+		http.Error(w, "unknown portlet", http.StatusNotFound)
+		return
+	}
+	if target == "" {
+		target = e.URL
+	}
+	if e.Type != "WebFormPortlet" && r.Method == http.MethodPost {
+		http.Error(w, "portlet does not accept form posts", http.StatusMethodNotAllowed)
+		return
+	}
+	user := userOf(r)
+	var form url.Values
+	method := r.Method
+	if method == http.MethodPost {
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		form = r.PostForm
+	}
+	content, err := c.fetch(user, e, method, target, form)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<html><body><table class=\"portlet\" border=\"1\"><tr><th>%s</th></tr><tr><td>\n",
+		html.EscapeString(e.Title))
+	_, _ = io.WriteString(w, content)
+	_, _ = io.WriteString(w, "\n</td></tr></table></body></html>\n")
+}

@@ -1,0 +1,231 @@
+package portlet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func TestRegistryRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Name: "gateway-ui", Type: "WebFormPortlet", URL: "http://gateway.iu.edu/forms", Title: "Gateway"},
+		{Name: "hotpage-status", Type: "WebPagePortlet", URL: "http://hotpage.sdsc.edu/status", Title: "HotPage"},
+	}
+	doc := RenderRegistry(entries)
+	parsed, err := ParseRegistry(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 2 || parsed[0].Name != "gateway-ui" || parsed[1].Type != "WebPagePortlet" {
+		t.Errorf("parsed = %+v", parsed)
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	bad := []string{
+		"garbage",
+		"<wrongroot/>",
+		`<registry><portlet-entry name="x"/></registry>`,                                                // no url
+		`<registry><portlet-entry name="x" type="Rogue"><url>http://u</url></portlet-entry></registry>`, // bad type
+	}
+	for i, doc := range bad {
+		if _, err := ParseRegistry(doc); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Title defaults to name.
+	entries, err := ParseRegistry(`<registry><portlet-entry name="x"><url>http://u</url></portlet-entry></registry>`)
+	if err != nil || entries[0].Title != "x" || entries[0].Type != "WebPagePortlet" {
+		t.Errorf("defaults = %+v, %v", entries, err)
+	}
+}
+
+// remoteApp is a small stateful form application standing in for the
+// legacy Gateway user interface: it counts visits per session cookie and
+// serves linked pages.
+func remoteApp(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		ck, err := r.Cookie("JSESSIONID")
+		if err != nil {
+			http.SetCookie(w, &http.Cookie{Name: "JSESSIONID", Value: "sess-1", Path: "/"})
+			fmt.Fprint(w, `<p>new session</p><a href="/page2">next</a>`)
+			return
+		}
+		fmt.Fprintf(w, `<p>resumed %s</p><a href="/page2">next</a>`, ck.Value)
+	})
+	mux.HandleFunc("/page2", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `<form action="/submit" method="POST"><input name="q"/></form>`)
+	})
+	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		_ = r.ParseForm()
+		fmt.Fprintf(w, "<p>you said %s</p>", r.PostForm.Get("q"))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRenderPageAggregation(t *testing.T) {
+	remote := remoteApp(t)
+	c := NewContainer(remote.Client(), "/portal")
+	_ = c.Register(Entry{Name: "app", Type: "WebFormPortlet", URL: remote.URL + "/", Title: "Gateway UI"})
+	_ = c.Register(Entry{Name: "static", Type: "WebPagePortlet", URL: remote.URL + "/page2", Title: "Static"})
+
+	page := c.RenderPage("cyoun")
+	if strings.Count(page, `<table class="portlet"`) != 2 {
+		t.Errorf("nested tables = %d:\n%s", strings.Count(page, `<table class="portlet"`), page)
+	}
+	if !strings.Contains(page, "Gateway UI") || !strings.Contains(page, "new session") {
+		t.Errorf("page:\n%s", page)
+	}
+	// In-memory copy kept.
+	if copyHTML, ok := c.CachedCopy("cyoun", "app"); !ok || !strings.Contains(copyHTML, "new session") {
+		t.Error("in-memory copy missing")
+	}
+}
+
+func TestCustomization(t *testing.T) {
+	remote := remoteApp(t)
+	c := NewContainer(remote.Client(), "")
+	_ = c.Register(Entry{Name: "a", Type: "WebPagePortlet", URL: remote.URL + "/", Title: "A"})
+	_ = c.Register(Entry{Name: "b", Type: "WebPagePortlet", URL: remote.URL + "/page2", Title: "B"})
+	// Default layout: everything.
+	if got := c.Layout("new-user"); len(got) != 2 {
+		t.Errorf("default layout = %v", got)
+	}
+	if err := c.Customize("cyoun", []string{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	page := c.RenderPage("cyoun")
+	if strings.Contains(page, ">A<") || !strings.Contains(page, ">B<") {
+		t.Errorf("customized page:\n%s", page)
+	}
+	if err := c.Customize("cyoun", []string{"ghost"}); err == nil {
+		t.Error("unknown portlet accepted in layout")
+	}
+	if err := c.Register(Entry{Name: "a", URL: "http://x"}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+// TestSessionStateMaintained verifies WebFormPortlet feature 2: cookies
+// from the remote server persist across portlet fetches per user.
+func TestSessionStateMaintained(t *testing.T) {
+	remote := remoteApp(t)
+	c := NewContainer(remote.Client(), "")
+	_ = c.Register(Entry{Name: "app", Type: "WebFormPortlet", URL: remote.URL + "/", Title: "App"})
+	first := c.RenderPage("cyoun")
+	if !strings.Contains(first, "new session") {
+		t.Fatalf("first visit:\n%s", first)
+	}
+	second := c.RenderPage("cyoun")
+	if !strings.Contains(second, "resumed sess-1") {
+		t.Errorf("second visit did not resume session:\n%s", second)
+	}
+	// Sessions are per-user.
+	other := c.RenderPage("marpierce")
+	if !strings.Contains(other, "new session") {
+		t.Errorf("other user inherited session:\n%s", other)
+	}
+}
+
+// TestURLRemapping verifies WebFormPortlet feature 3: links and form
+// actions route back through the portlet window.
+func TestURLRemapping(t *testing.T) {
+	remote := remoteApp(t)
+	c := NewContainer(remote.Client(), "/portal")
+	_ = c.Register(Entry{Name: "app", Type: "WebFormPortlet", URL: remote.URL + "/", Title: "App"})
+	page := c.RenderPage("u")
+	wantLink := "/portal/portlet?name=app&amp;url=" + url.QueryEscape(remote.URL+"/page2")
+	if !strings.Contains(page, wantLink) {
+		t.Errorf("remapped link %q missing in:\n%s", wantLink, page)
+	}
+	// Plain WebPagePortlet does not remap.
+	c2 := NewContainer(remote.Client(), "/portal")
+	_ = c2.Register(Entry{Name: "app", Type: "WebPagePortlet", URL: remote.URL + "/", Title: "App"})
+	page2 := c2.RenderPage("u")
+	if strings.Contains(page2, "/portal/portlet?name=app") {
+		t.Error("WebPagePortlet content was remapped")
+	}
+	// Anchors and javascript links are left alone.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `<a href="#top">top</a><a href="javascript:void(0)">js</a><a href="">empty</a>`)
+	})
+	special := httptest.NewServer(mux)
+	defer special.Close()
+	c3 := NewContainer(special.Client(), "/portal")
+	_ = c3.Register(Entry{Name: "s", Type: "WebFormPortlet", URL: special.URL + "/", Title: "S"})
+	page3 := c3.RenderPage("u")
+	if !strings.Contains(page3, `href="#top"`) || !strings.Contains(page3, `href="javascript:void(0)"`) {
+		t.Errorf("special links rewritten:\n%s", page3)
+	}
+}
+
+// TestNavigationInsideWindow drives the full flow over the container's
+// HTTP surface: aggregate page -> follow remapped link -> submit the form
+// through the portlet (WebFormPortlet feature 1).
+func TestNavigationInsideWindow(t *testing.T) {
+	remote := remoteApp(t)
+	c := NewContainer(remote.Client(), "")
+	_ = c.Register(Entry{Name: "app", Type: "WebFormPortlet", URL: remote.URL + "/", Title: "App"})
+	portal := httptest.NewServer(c)
+	defer portal.Close()
+
+	// Follow the remapped link to page2 inside the portlet window.
+	resp, err := portal.Client().Get(portal.URL + "/portlet?name=app&user=cyoun&url=" +
+		url.QueryEscape(remote.URL+"/page2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "portlet?name=app") || !strings.Contains(string(body), url.QueryEscape(remote.URL+"/submit")) {
+		t.Fatalf("page2 in window:\n%s", body)
+	}
+	// Post the form through the portlet.
+	resp, err = portal.Client().Post(
+		portal.URL+"/portlet?name=app&user=cyoun&url="+url.QueryEscape(remote.URL+"/submit"),
+		"application/x-www-form-urlencoded",
+		strings.NewReader("q=interop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "you said interop") {
+		t.Errorf("form post result:\n%s", body)
+	}
+	// Unknown portlet 404s.
+	resp, _ = portal.Client().Get(portal.URL + "/portlet?name=ghost")
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("ghost portlet status = %d", resp.StatusCode)
+	}
+	// POST to a WebPagePortlet is refused.
+	_ = c.Register(Entry{Name: "static", Type: "WebPagePortlet", URL: remote.URL + "/page2", Title: "S"})
+	resp, _ = portal.Client().Post(portal.URL+"/portlet?name=static", "application/x-www-form-urlencoded", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST to WebPagePortlet status = %d", resp.StatusCode)
+	}
+}
+
+func TestFetchFailureRendersInline(t *testing.T) {
+	c := NewContainer(&http.Client{}, "")
+	_ = c.Register(Entry{Name: "dead", Type: "WebPagePortlet", URL: "http://127.0.0.1:1/nothing", Title: "Dead"})
+	page := c.RenderPage("u")
+	if !strings.Contains(page, "portlet error") {
+		t.Errorf("failure not inlined:\n%s", page)
+	}
+}

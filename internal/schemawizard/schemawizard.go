@@ -1,0 +1,379 @@
+// Package schemawizard implements the schema wizard of Section 5.3 and
+// Figure 3: automatic user-interface generation from XML schemas. The
+// pipeline mirrors the paper's architecture —
+//
+//	XML Schema -> SchemaParser -> SOM -> data-bound objects
+//	                      \-> widget templates -> HTML forms
+//
+// A SchemaParser is "initialized with a URL for the desired schema and a
+// package name"; it validates the schema, builds the Schema Object Model
+// (databind.Schema), detects the four templated constituent types (single
+// simple, enumerated simple, unbounded simple, complex), instantiates the
+// matching widget template for each, assembles the form page, and deploys
+// the result as a web application on the server. Submitted forms rebuild
+// data objects that marshal back to XML instances of the schema; saved
+// instances can be reloaded to prefill the form ("Old instances can be
+// read in and unmarshaled to fill out the form elements").
+package schemawizard
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/databind"
+	"repro/internal/xmlutil"
+)
+
+// WidgetKind names the visual widget a schema constituent maps to.
+type WidgetKind string
+
+// The widget vocabulary: one per templated schema constituent type.
+const (
+	WidgetText     WidgetKind = "text"     // single simple type
+	WidgetSelect   WidgetKind = "select"   // enumerated simple type
+	WidgetMulti    WidgetKind = "multi"    // unbounded simple type
+	WidgetFieldset WidgetKind = "fieldset" // complex type
+)
+
+// Widget is one resolved form control.
+type Widget struct {
+	// Kind selects the template.
+	Kind WidgetKind
+	// Path is the dotted field path from the root element, used as the
+	// HTML control name (e.g. "application.execution.host").
+	Path string
+	// Label is the element name.
+	Label string
+	// Doc is the schema documentation string, rendered as help text.
+	Doc string
+	// Type is the builtin type for validation hints.
+	Type string
+	// Options are the permitted values for WidgetSelect.
+	Options []string
+	// Default prefills the control.
+	Default string
+	// Required marks minOccurs=1 simple fields.
+	Required bool
+	// Depth is the nesting level (for fieldset indentation).
+	Depth int
+}
+
+// Widgets flattens a declaration into its widget list, in schema order —
+// the wizard's "transverse the schema to detect if the element corresponds
+// to one of the templated types" step.
+func Widgets(decl *databind.ElementDecl) []Widget {
+	var out []Widget
+	var walk func(d *databind.ElementDecl, prefix string, depth int)
+	walk = func(d *databind.ElementDecl, prefix string, depth int) {
+		path := d.Name
+		if prefix != "" {
+			path = prefix + "." + d.Name
+		}
+		w := Widget{
+			Path: path, Label: d.Name, Doc: d.Doc, Type: d.Type,
+			Default: d.Default, Required: d.MinOccurs > 0, Depth: depth,
+		}
+		switch d.Kind {
+		case databind.KindSimple:
+			w.Kind = WidgetText
+			out = append(out, w)
+		case databind.KindEnumerated:
+			w.Kind = WidgetSelect
+			w.Options = append([]string(nil), d.Enum...)
+			out = append(out, w)
+		case databind.KindUnbounded:
+			w.Kind = WidgetMulti
+			out = append(out, w)
+		case databind.KindComplex:
+			w.Kind = WidgetFieldset
+			out = append(out, w)
+			for _, c := range d.Children {
+				walk(c, path, depth+1)
+			}
+		}
+	}
+	walk(decl, "", 0)
+	return out
+}
+
+// RenderForm builds the HTML form page for a declaration, prefilled from
+// obj when non-nil. Each widget is rendered by its template "nugget" and
+// the nuggets are concatenated into the final page, mirroring the JSP
+// include assembly.
+func RenderForm(action string, decl *databind.ElementDecl, obj *databind.DataObject) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n", html.EscapeString(decl.Name))
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(decl.Name))
+	fmt.Fprintf(&b, `<form method="POST" action="%s">`+"\n", html.EscapeString(action))
+	openFieldsets := 0
+	for _, w := range Widgets(decl) {
+		value := widgetValue(decl, obj, w)
+		switch w.Kind {
+		case WidgetFieldset:
+			// Close deeper fieldsets before opening a sibling.
+			for openFieldsets >= w.Depth+1 {
+				b.WriteString("</fieldset>\n")
+				openFieldsets--
+			}
+			fmt.Fprintf(&b, "<fieldset><legend>%s</legend>\n", html.EscapeString(w.Label))
+			openFieldsets++
+		case WidgetText:
+			writeLabel(&b, w)
+			fmt.Fprintf(&b, `<input type="text" name="%s" value="%s"/><br/>`+"\n",
+				html.EscapeString(w.Path), html.EscapeString(value))
+		case WidgetSelect:
+			writeLabel(&b, w)
+			fmt.Fprintf(&b, `<select name="%s">`+"\n", html.EscapeString(w.Path))
+			for _, opt := range w.Options {
+				sel := ""
+				if opt == value {
+					sel = ` selected="selected"`
+				}
+				fmt.Fprintf(&b, `<option value="%s"%s>%s</option>`+"\n",
+					html.EscapeString(opt), sel, html.EscapeString(opt))
+			}
+			b.WriteString("</select><br/>\n")
+		case WidgetMulti:
+			writeLabel(&b, w)
+			fmt.Fprintf(&b, `<textarea name="%s" rows="4">%s</textarea><br/>`+"\n",
+				html.EscapeString(w.Path), html.EscapeString(value))
+		}
+	}
+	for openFieldsets > 0 {
+		b.WriteString("</fieldset>\n")
+		openFieldsets--
+	}
+	b.WriteString(`<input type="submit" value="Create Instance"/>` + "\n</form></body></html>\n")
+	return b.String()
+}
+
+func writeLabel(b *strings.Builder, w Widget) {
+	req := ""
+	if w.Required {
+		req = " *"
+	}
+	fmt.Fprintf(b, `<label for="%s">%s%s</label> `, html.EscapeString(w.Path), html.EscapeString(w.Label), req)
+	if w.Doc != "" {
+		fmt.Fprintf(b, `<small>%s</small> `, html.EscapeString(w.Doc))
+	}
+}
+
+// widgetValue resolves the current value of a widget from a data object.
+func widgetValue(root *databind.ElementDecl, obj *databind.DataObject, w Widget) string {
+	if obj == nil {
+		return w.Default
+	}
+	segs := strings.Split(w.Path, ".")
+	cur := obj
+	for _, seg := range segs[1:] { // segs[0] is the root itself
+		next, err := cur.Field(seg)
+		if err != nil {
+			return w.Default
+		}
+		cur = next
+	}
+	switch w.Kind {
+	case WidgetMulti:
+		return strings.Join(cur.Values(), "\n")
+	case WidgetFieldset:
+		return ""
+	default:
+		if v := cur.Get(); v != "" {
+			return v
+		}
+		return w.Default
+	}
+}
+
+// ParseForm rebuilds a data object from submitted form values. Multi
+// widgets take one value per line; empty optional fields are skipped;
+// empty required fields with defaults fall back to the default.
+func ParseForm(decl *databind.ElementDecl, values url.Values) (*databind.DataObject, error) {
+	obj := databind.NewDataObject(decl)
+	for _, w := range Widgets(decl) {
+		if w.Kind == WidgetFieldset {
+			continue
+		}
+		raw := values.Get(w.Path)
+		segs := strings.Split(w.Path, ".")
+		cur := obj
+		for _, seg := range segs[1 : len(segs)-1] {
+			next, err := cur.Field(seg)
+			if err != nil {
+				return nil, err
+			}
+			cur = next
+		}
+		leaf := segs[len(segs)-1]
+		if w.Kind == WidgetMulti {
+			for _, line := range strings.Split(raw, "\n") {
+				line = strings.TrimSpace(line)
+				if line == "" {
+					continue
+				}
+				if err := cur.AddFieldValue(leaf, line); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if raw == "" {
+			if w.Required && w.Default == "" {
+				return nil, fmt.Errorf("schemawizard: required field %s is empty", w.Path)
+			}
+			continue
+		}
+		if err := cur.SetField(leaf, raw); err != nil {
+			return nil, err
+		}
+	}
+	return obj, nil
+}
+
+// WebApp is one deployed wizard application: a parsed schema, its root
+// declaration, and the saved instances (the session-archive backbone).
+type WebApp struct {
+	// Name is the deployment ("project") name, from the parser's package
+	// name argument.
+	Name string
+	// Schema is the SOM.
+	Schema *databind.Schema
+	// Root is the element the form edits.
+	Root *databind.ElementDecl
+
+	mu        sync.RWMutex
+	instances map[string]string
+}
+
+// SaveInstance stores a marshalled instance under a name.
+func (a *WebApp) SaveInstance(name string, obj *databind.DataObject) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.instances[name] = obj.Marshal().Render()
+}
+
+// LoadInstance reloads a saved instance as a data object.
+func (a *WebApp) LoadInstance(name string) (*databind.DataObject, error) {
+	a.mu.RLock()
+	doc, ok := a.instances[name]
+	a.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("schemawizard: no instance %q", name)
+	}
+	el, err := xmlutil.ParseString(doc)
+	if err != nil {
+		return nil, err
+	}
+	return databind.Unmarshal(a.Root, el)
+}
+
+// InstanceNames lists saved instances sorted by name.
+func (a *WebApp) InstanceNames() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.instances))
+	for n := range a.instances {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InstanceXML returns the raw stored instance document.
+func (a *WebApp) InstanceXML(name string) (string, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	doc, ok := a.instances[name]
+	if !ok {
+		return "", fmt.Errorf("schemawizard: no instance %q", name)
+	}
+	return doc, nil
+}
+
+// SchemaParser drives the Figure 3 pipeline. Fetch abstracts retrieval of
+// the schema document from its URL (HTTP in production, in-memory in
+// tests).
+type SchemaParser struct {
+	// Fetch retrieves a schema document by URL.
+	Fetch func(url string) (string, error)
+}
+
+// Parse fetches, validates, and binds a schema, returning the web
+// application for its first root element (or the named root when rootName
+// is non-empty).
+func (p *SchemaParser) Parse(schemaURL, packageName, rootName string) (*WebApp, error) {
+	doc, err := p.Fetch(schemaURL)
+	if err != nil {
+		return nil, fmt.Errorf("schemawizard: fetch %s: %w", schemaURL, err)
+	}
+	schema, err := databind.ParseSchema(doc)
+	if err != nil {
+		return nil, err
+	}
+	root := schema.Roots[0]
+	if rootName != "" {
+		root = schema.Root(rootName)
+		if root == nil {
+			return nil, fmt.Errorf("schemawizard: schema has no root element %q", rootName)
+		}
+	}
+	return &WebApp{
+		Name:      packageName,
+		Schema:    schema,
+		Root:      root,
+		instances: map[string]string{},
+	}, nil
+}
+
+// Deploy mounts the web application on a mux under /<name>/: GET serves
+// the (optionally prefilled) form, POST creates an instance, and
+// /<name>/instances lists saved instances — the wizard's automatic
+// deployment step.
+func (a *WebApp) Deploy(mux *http.ServeMux) {
+	base := "/" + a.Name
+	mux.HandleFunc(base+"/", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			var obj *databind.DataObject
+			if inst := r.URL.Query().Get("instance"); inst != "" {
+				loaded, err := a.LoadInstance(inst)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusNotFound)
+					return
+				}
+				obj = loaded
+			}
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			_, _ = w.Write([]byte(RenderForm(base+"/", a.Root, obj)))
+		case http.MethodPost:
+			if err := r.ParseForm(); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			obj, err := ParseForm(a.Root, r.PostForm)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			name := r.PostForm.Get("_instanceName")
+			if name == "" {
+				name = fmt.Sprintf("instance-%d", len(a.InstanceNames())+1)
+			}
+			a.SaveInstance(name, obj)
+			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+			doc, _ := a.InstanceXML(name)
+			_, _ = w.Write([]byte(doc))
+		default:
+			http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc(base+"/instances", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(strings.Join(a.InstanceNames(), "\n")))
+	})
+}

@@ -1,0 +1,311 @@
+package schemawizard
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/databind"
+)
+
+const testSchema = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:gce:app">
+  <xs:element name="application">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="name" type="xs:string">
+          <xs:annotation><xs:documentation>Code name</xs:documentation></xs:annotation>
+        </xs:element>
+        <xs:element name="nodes" type="xs:int" default="1"/>
+        <xs:element name="method">
+          <xs:simpleType>
+            <xs:restriction base="xs:string">
+              <xs:enumeration value="HF"/>
+              <xs:enumeration value="B3LYP"/>
+            </xs:restriction>
+          </xs:simpleType>
+        </xs:element>
+        <xs:element name="flag" type="xs:string" maxOccurs="unbounded" minOccurs="0"/>
+        <xs:element name="execution">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="host" type="xs:string"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+func parseApp(t *testing.T) *WebApp {
+	t.Helper()
+	p := &SchemaParser{Fetch: func(u string) (string, error) {
+		if u != "http://schemas.example.org/app.xsd" {
+			return "", fmt.Errorf("no schema at %q", u)
+		}
+		return testSchema, nil
+	}}
+	app, err := p.Parse("http://schemas.example.org/app.xsd", "gaussianportal", "application")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
+func TestWidgetDetection(t *testing.T) {
+	app := parseApp(t)
+	widgets := Widgets(app.Root)
+	kinds := map[string]WidgetKind{}
+	for _, w := range widgets {
+		kinds[w.Path] = w.Kind
+	}
+	want := map[string]WidgetKind{
+		"application":                WidgetFieldset,
+		"application.name":           WidgetText,
+		"application.nodes":          WidgetText,
+		"application.method":         WidgetSelect,
+		"application.flag":           WidgetMulti,
+		"application.execution":      WidgetFieldset,
+		"application.execution.host": WidgetText,
+	}
+	for path, kind := range want {
+		if kinds[path] != kind {
+			t.Errorf("%s = %s, want %s", path, kinds[path], kind)
+		}
+	}
+	if len(widgets) != len(want) {
+		t.Errorf("widget count = %d, want %d", len(widgets), len(want))
+	}
+	// Select options and docs survive.
+	for _, w := range widgets {
+		if w.Path == "application.method" && (len(w.Options) != 2 || w.Options[1] != "B3LYP") {
+			t.Errorf("options = %v", w.Options)
+		}
+		if w.Path == "application.name" && w.Doc != "Code name" {
+			t.Errorf("doc = %q", w.Doc)
+		}
+		if w.Path == "application.nodes" && w.Default != "1" {
+			t.Errorf("default = %q", w.Default)
+		}
+	}
+}
+
+func TestRenderFormStructure(t *testing.T) {
+	app := parseApp(t)
+	page := RenderForm("/gaussianportal/", app.Root, nil)
+	for _, want := range []string{
+		`<form method="POST" action="/gaussianportal/">`,
+		`<input type="text" name="application.name"`,
+		`<select name="application.method">`,
+		`<option value="B3LYP">B3LYP</option>`,
+		`<textarea name="application.flag"`,
+		`<fieldset><legend>execution</legend>`,
+		`value="1"`, // nodes default prefilled
+		`<small>Code name</small>`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q:\n%s", want, page)
+		}
+	}
+	// Balanced fieldsets.
+	if strings.Count(page, "<fieldset>") != strings.Count(page, "</fieldset>") {
+		t.Error("unbalanced fieldsets")
+	}
+}
+
+func TestParseFormRoundTrip(t *testing.T) {
+	app := parseApp(t)
+	values := url.Values{
+		"application.name":           {"gaussian"},
+		"application.nodes":          {"16"},
+		"application.method":         {"B3LYP"},
+		"application.flag":           {"-direct\n-nosym\n"},
+		"application.execution.host": {"modi4.ncsa.uiuc.edu"},
+	}
+	obj, err := ParseForm(app.Root, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.GetField("name") != "gaussian" || obj.GetField("nodes") != "16" {
+		t.Error("scalar fields wrong")
+	}
+	if got := obj.FieldValues("flag"); len(got) != 2 || got[1] != "-nosym" {
+		t.Errorf("flags = %v", got)
+	}
+	exec, _ := obj.Field("execution")
+	if exec.GetField("host") != "modi4.ncsa.uiuc.edu" {
+		t.Error("nested field wrong")
+	}
+	// Prefill: rendering with the object shows current values.
+	page := RenderForm("/x", app.Root, obj)
+	if !strings.Contains(page, `value="gaussian"`) ||
+		!strings.Contains(page, `<option value="B3LYP" selected="selected">`) ||
+		!strings.Contains(page, "-direct\n-nosym</textarea>") {
+		t.Errorf("prefill missing:\n%s", page)
+	}
+}
+
+func TestParseFormValidation(t *testing.T) {
+	app := parseApp(t)
+	// Missing required field.
+	_, err := ParseForm(app.Root, url.Values{
+		"application.method": {"HF"}, "application.execution.host": {"h"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "application.name") {
+		t.Errorf("err = %v", err)
+	}
+	// Bad int.
+	_, err = ParseForm(app.Root, url.Values{
+		"application.name": {"x"}, "application.nodes": {"NaN"},
+		"application.method": {"HF"}, "application.execution.host": {"h"},
+	})
+	if err == nil {
+		t.Error("bad int accepted")
+	}
+	// Bad enum.
+	_, err = ParseForm(app.Root, url.Values{
+		"application.name": {"x"}, "application.method": {"CCSD"},
+		"application.execution.host": {"h"},
+	})
+	if err == nil {
+		t.Error("bad enum accepted")
+	}
+	// Defaulted required field may be empty.
+	obj, err := ParseForm(app.Root, url.Values{
+		"application.name": {"x"}, "application.method": {"HF"},
+		"application.execution.host": {"h"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.GetField("nodes") != "1" {
+		t.Errorf("defaulted nodes = %q", obj.GetField("nodes"))
+	}
+}
+
+func TestInstanceSaveLoad(t *testing.T) {
+	app := parseApp(t)
+	obj, _ := ParseForm(app.Root, url.Values{
+		"application.name": {"run-a"}, "application.method": {"HF"},
+		"application.execution.host": {"h1"},
+	})
+	app.SaveInstance("run-a", obj)
+	names := app.InstanceNames()
+	if len(names) != 1 || names[0] != "run-a" {
+		t.Errorf("instances = %v", names)
+	}
+	loaded, err := app.LoadInstance("run-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.GetField("name") != "run-a" {
+		t.Error("loaded instance wrong")
+	}
+	if _, err := app.LoadInstance("ghost"); err == nil {
+		t.Error("missing instance loaded")
+	}
+	xml, err := app.InstanceXML("run-a")
+	if err != nil || !strings.Contains(xml, "<name>run-a</name>") {
+		t.Errorf("xml = %q, %v", xml, err)
+	}
+	if _, err := app.InstanceXML("ghost"); err == nil {
+		t.Error("missing instance xml returned")
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	p := &SchemaParser{Fetch: func(string) (string, error) { return "", fmt.Errorf("404") }}
+	if _, err := p.Parse("http://x", "p", ""); err == nil {
+		t.Error("fetch failure swallowed")
+	}
+	p = &SchemaParser{Fetch: func(string) (string, error) { return "not a schema", nil }}
+	if _, err := p.Parse("http://x", "p", ""); err == nil {
+		t.Error("bad schema accepted")
+	}
+	p = &SchemaParser{Fetch: func(string) (string, error) { return testSchema, nil }}
+	if _, err := p.Parse("http://x", "p", "nonexistent"); err == nil {
+		t.Error("missing root accepted")
+	}
+}
+
+// TestDeployedWebApp drives the full deployment over HTTP: GET the form,
+// POST an instance, list instances, reload prefilled.
+func TestDeployedWebApp(t *testing.T) {
+	app := parseApp(t)
+	mux := http.NewServeMux()
+	app.Deploy(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// GET the generated form.
+	resp, err := srv.Client().Get(srv.URL + "/gaussianportal/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `name="application.method"`) {
+		t.Fatalf("form page:\n%s", body)
+	}
+
+	// POST an instance.
+	form := url.Values{
+		"_instanceName":              {"water-hf"},
+		"application.name":           {"gaussian"},
+		"application.nodes":          {"4"},
+		"application.method":         {"HF"},
+		"application.flag":           {"-direct"},
+		"application.execution.host": {"bluehorizon.sdsc.edu"},
+	}
+	resp, err = srv.Client().PostForm(srv.URL+"/gaussianportal/", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "<host>bluehorizon.sdsc.edu</host>") {
+		t.Fatalf("POST result %d:\n%s", resp.StatusCode, body)
+	}
+
+	// Instance list.
+	resp, _ = srv.Client().Get(srv.URL + "/gaussianportal/instances")
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(body)) != "water-hf" {
+		t.Errorf("instances = %q", body)
+	}
+
+	// Reload prefilled form.
+	resp, _ = srv.Client().Get(srv.URL + "/gaussianportal/?instance=water-hf")
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `value="gaussian"`) {
+		t.Error("prefill from saved instance missing")
+	}
+
+	// Missing instance 404s; invalid POST 400s.
+	resp, _ = srv.Client().Get(srv.URL + "/gaussianportal/?instance=ghost")
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("ghost instance status = %d", resp.StatusCode)
+	}
+	resp, _ = srv.Client().PostForm(srv.URL+"/gaussianportal/", url.Values{"application.nodes": {"NaN"}})
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("invalid POST status = %d", resp.StatusCode)
+	}
+}
+
+func TestWidgetValueOnNestedDefaults(t *testing.T) {
+	app := parseApp(t)
+	obj := databind.NewDataObject(app.Root)
+	page := RenderForm("/x", app.Root, obj)
+	if !strings.Contains(page, `value="1"`) {
+		t.Error("default not rendered from fresh object")
+	}
+}

@@ -1,0 +1,516 @@
+// Package soap implements the SOAP 1.1 messaging layer the portal services
+// communicate with: envelope construction and parsing, header entries, RPC
+// style call encoding, SOAP faults, and the portal-standard implementation
+// error relay described in Section 3 of the paper ("the standard set of
+// portal services that we are building must define and relay a common set of
+// error messages" for failures that are not SOAP faults, such as a file
+// transfer failing because the disk was full).
+//
+// The Go ecosystem has no SOAP tooling, so envelopes are hand-rolled on top
+// of the xmlutil element tree, exactly as the paper's Python services
+// hand-assembled their payloads.
+package soap
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmlutil"
+)
+
+// Namespace URIs for SOAP 1.1 messaging.
+const (
+	EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+	EncodingNS = "http://schemas.xmlsoap.org/soap/encoding/"
+	XSINS      = "http://www.w3.org/2001/XMLSchema-instance"
+	XSDNS      = "http://www.w3.org/2001/XMLSchema"
+)
+
+// Fault codes defined by SOAP 1.1.
+const (
+	FaultVersionMismatch = "VersionMismatch"
+	FaultMustUnderstand  = "MustUnderstand"
+	FaultClient          = "Client"
+	FaultServer          = "Server"
+)
+
+// PortalErrorNS is the namespace of the portal-standard error detail entry
+// that relays implementation errors (as opposed to messaging faults).
+const PortalErrorNS = "urn:gce:portal-error"
+
+// Portal-standard implementation error codes, the "common set of error
+// messages" Section 3 calls for. These cover the failure classes the basic
+// portal services share.
+const (
+	ErrCodeNone           = ""
+	ErrCodeAuthFailed     = "AuthenticationFailed"
+	ErrCodeAccessDenied   = "AccessDenied"
+	ErrCodeNoSuchResource = "NoSuchResource"
+	ErrCodeNoSuchMethod   = "NoSuchMethod"
+	ErrCodeBadRequest     = "BadRequest"
+	ErrCodeResourceFull   = "ResourceFull"
+	ErrCodeJobFailed      = "JobFailed"
+	ErrCodeTimeout        = "Timeout"
+	ErrCodeInternal       = "InternalError"
+	ErrCodeUnavailable    = "ServiceUnavailable"
+)
+
+// Envelope is a parsed or under-construction SOAP 1.1 envelope.
+type Envelope struct {
+	// Header entries, may be empty.
+	Header []*xmlutil.Element
+	// Body entries. For an RPC request the first entry is the call element;
+	// for a response it is the <methodName>Response element; for a fault it
+	// is the Fault element.
+	Body []*xmlutil.Element
+}
+
+// NewEnvelope returns an empty envelope.
+func NewEnvelope() *Envelope {
+	return &Envelope{}
+}
+
+// AddHeader appends a header entry.
+func (e *Envelope) AddHeader(h *xmlutil.Element) *Envelope {
+	e.Header = append(e.Header, h)
+	return e
+}
+
+// AddBody appends a body entry.
+func (e *Envelope) AddBody(b *xmlutil.Element) *Envelope {
+	e.Body = append(e.Body, b)
+	return e
+}
+
+// HeaderNamed returns the first header entry with the given local name, or
+// nil.
+func (e *Envelope) HeaderNamed(name string) *xmlutil.Element {
+	for _, h := range e.Header {
+		if h.Name == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// Element builds the full envelope element tree.
+func (e *Envelope) Element() *xmlutil.Element {
+	env := xmlutil.NewNS(EnvelopeNS, "Envelope")
+	if len(e.Header) > 0 {
+		hdr := xmlutil.NewNS(EnvelopeNS, "Header")
+		hdr.Add(e.Header...)
+		env.Add(hdr)
+	}
+	body := xmlutil.NewNS(EnvelopeNS, "Body")
+	body.Add(e.Body...)
+	env.Add(body)
+	return env
+}
+
+// Render serialises the envelope with an XML declaration, ready to be sent
+// as an HTTP request or response body.
+func (e *Envelope) Render() string {
+	return `<?xml version="1.0" encoding="UTF-8"?>` + "\n" + e.Element().Render()
+}
+
+// ParseEnvelope parses a SOAP 1.1 envelope from its serialised form.
+func ParseEnvelope(data string) (*Envelope, error) {
+	root, err := xmlutil.ParseString(data)
+	if err != nil {
+		return nil, fmt.Errorf("soap: %w", err)
+	}
+	if root.Name != "Envelope" {
+		return nil, fmt.Errorf("soap: root element %q is not Envelope", root.Name)
+	}
+	if root.Space != EnvelopeNS {
+		return nil, &Fault{Code: FaultVersionMismatch, String: fmt.Sprintf("soap: unsupported envelope namespace %q", root.Space)}
+	}
+	env := NewEnvelope()
+	if hdr := root.ChildNS(EnvelopeNS, "Header"); hdr != nil {
+		env.Header = hdr.Children
+	}
+	body := root.ChildNS(EnvelopeNS, "Body")
+	if body == nil {
+		return nil, errors.New("soap: envelope has no Body")
+	}
+	env.Body = body.Children
+	return env, nil
+}
+
+// Fault is a SOAP 1.1 Fault. It doubles as a Go error so transport and
+// dispatch layers can return it directly.
+type Fault struct {
+	// Code is the fault code local part (Client, Server, ...).
+	Code string
+	// String is the human-readable fault string.
+	String string
+	// Actor optionally identifies the node that faulted.
+	Actor string
+	// Detail carries application detail entries. The portal error relay
+	// lives here as a PortalErrorNS entry.
+	Detail []*xmlutil.Element
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
+}
+
+// PortalError extracts the portal-standard implementation error from the
+// fault detail, or nil when the fault carries none.
+func (f *Fault) PortalError() *PortalError {
+	for _, d := range f.Detail {
+		if d.Space == PortalErrorNS && d.Name == "PortalError" {
+			return &PortalError{
+				Code:    d.ChildText("code"),
+				Message: d.ChildText("message"),
+				Service: d.ChildText("service"),
+			}
+		}
+	}
+	return nil
+}
+
+// Element renders the fault as a Body entry.
+func (f *Fault) Element() *xmlutil.Element {
+	fe := xmlutil.NewNS(EnvelopeNS, "Fault")
+	fe.AddText("faultcode", "soap:"+f.Code)
+	fe.AddText("faultstring", f.String)
+	if f.Actor != "" {
+		fe.AddText("faultactor", f.Actor)
+	}
+	if len(f.Detail) > 0 {
+		det := xmlutil.New("detail")
+		det.Add(f.Detail...)
+		fe.Add(det)
+	}
+	return fe
+}
+
+// ParseFault converts a Fault body entry back into a Fault value.
+func ParseFault(el *xmlutil.Element) *Fault {
+	f := &Fault{
+		Code:   localPart(el.ChildText("faultcode")),
+		String: el.ChildText("faultstring"),
+		Actor:  el.ChildText("faultactor"),
+	}
+	if det := el.Child("detail"); det != nil {
+		f.Detail = det.Children
+	}
+	return f
+}
+
+func localPart(qname string) string {
+	if i := strings.LastIndex(qname, ":"); i >= 0 {
+		return qname[i+1:]
+	}
+	return qname
+}
+
+// PortalError is the portal-standard implementation error: a failure in the
+// service implementation rather than in SOAP messaging (Section 3's example:
+// "the file didn't get transferred because the disk was full"). It is
+// relayed inside the Fault detail so every portal client can decode every
+// portal service's failures uniformly.
+type PortalError struct {
+	// Code is one of the ErrCode constants.
+	Code string
+	// Message is the human-readable explanation.
+	Message string
+	// Service names the service that raised the error.
+	Service string
+}
+
+// Error implements the error interface.
+func (p *PortalError) Error() string {
+	if p.Service != "" {
+		return fmt.Sprintf("%s: %s: %s", p.Service, p.Code, p.Message)
+	}
+	return fmt.Sprintf("%s: %s", p.Code, p.Message)
+}
+
+// Element renders the portal error as a fault detail entry.
+func (p *PortalError) Element() *xmlutil.Element {
+	el := xmlutil.NewNS(PortalErrorNS, "PortalError")
+	el.AddText("code", p.Code)
+	el.AddText("message", p.Message)
+	if p.Service != "" {
+		el.AddText("service", p.Service)
+	}
+	return el
+}
+
+// Fault wraps the portal error into a Server fault carrying it as detail.
+func (p *PortalError) Fault() *Fault {
+	return &Fault{Code: FaultServer, String: p.Message, Detail: []*xmlutil.Element{p.Element()}}
+}
+
+// NewPortalError constructs a PortalError.
+func NewPortalError(service, code, format string, args ...interface{}) *PortalError {
+	return &PortalError{Code: code, Service: service, Message: fmt.Sprintf(format, args...)}
+}
+
+// AsPortalError unwraps err into a *PortalError if it is one or carries one
+// (directly or inside a Fault); otherwise it returns nil.
+func AsPortalError(err error) *PortalError {
+	var pe *PortalError
+	if errors.As(err, &pe) {
+		return pe
+	}
+	var f *Fault
+	if errors.As(err, &f) {
+		return f.PortalError()
+	}
+	return nil
+}
+
+// --- RPC encoding ---------------------------------------------------------
+
+// Value is a SOAP RPC parameter or return value: a name, an XSD type tag,
+// and either scalar text, an array of values, or a literal XML subtree.
+type Value struct {
+	// Name is the accessor (parameter) name.
+	Name string
+	// Type is the xsd type local name: "string", "int", "boolean", "double",
+	// "Array" for arrays, or "" for untyped literal XML payloads.
+	Type string
+	// Text is the scalar value when Type is a scalar type.
+	Text string
+	// Items holds array members when Type is "Array".
+	Items []Value
+	// XML holds a literal child tree when the parameter carries an XML
+	// document (the paper's services pass XML job descriptions and multi-
+	// command requests as single parameters).
+	XML *xmlutil.Element
+}
+
+// Str builds a string-typed value.
+func Str(name, v string) Value { return Value{Name: name, Type: "string", Text: v} }
+
+// Int builds an int-typed value.
+func Int(name string, v int) Value { return Value{Name: name, Type: "int", Text: strconv.Itoa(v)} }
+
+// Bool builds a boolean-typed value.
+func Bool(name string, v bool) Value {
+	return Value{Name: name, Type: "boolean", Text: strconv.FormatBool(v)}
+}
+
+// StrArray builds a string array value.
+func StrArray(name string, items []string) Value {
+	v := Value{Name: name, Type: "Array"}
+	for _, s := range items {
+		v.Items = append(v.Items, Value{Name: "item", Type: "string", Text: s})
+	}
+	return v
+}
+
+// XMLDoc builds a value carrying a literal XML subtree.
+func XMLDoc(name string, doc *xmlutil.Element) Value {
+	return Value{Name: name, XML: doc}
+}
+
+// Element renders the value as an RPC parameter element.
+func (v Value) Element() *xmlutil.Element {
+	el := xmlutil.New(v.Name)
+	switch {
+	case v.XML != nil:
+		el.Add(v.XML)
+	case v.Type == "Array":
+		el.SetAttrNS(XSINS, "type", "soapenc:Array")
+		for _, item := range v.Items {
+			el.Add(item.Element())
+		}
+	default:
+		if v.Type != "" {
+			el.SetAttrNS(XSINS, "type", "xsd:"+v.Type)
+		}
+		el.Text = v.Text
+	}
+	return el
+}
+
+// ParseValue reads an RPC parameter element back into a Value.
+func ParseValue(el *xmlutil.Element) Value {
+	v := Value{Name: el.Name}
+	typeAttr, _ := el.Attr("type")
+	switch {
+	case typeAttr == "soapenc:Array" || len(el.ChildrenNamed("item")) > 0 && typeAttr == "":
+		v.Type = "Array"
+		for _, c := range el.Children {
+			v.Items = append(v.Items, ParseValue(c))
+		}
+	case len(el.Children) > 0 && typeAttr == "":
+		v.XML = el.Children[0]
+	default:
+		v.Type = strings.TrimPrefix(typeAttr, "xsd:")
+		if v.Type == "" {
+			v.Type = "string"
+		}
+		v.Text = el.Text
+	}
+	return v
+}
+
+// Call is an RPC-style SOAP request: a method in a service namespace with
+// ordered parameters.
+type Call struct {
+	// ServiceNS is the namespace URI identifying the service interface.
+	ServiceNS string
+	// Method is the operation name.
+	Method string
+	// Params are the in parameters, in order.
+	Params []Value
+}
+
+// Envelope builds the request envelope for the call.
+func (c *Call) Envelope() *Envelope {
+	op := xmlutil.NewNS(c.ServiceNS, c.Method)
+	op.SetAttrNS(EnvelopeNS, "encodingStyle", EncodingNS)
+	for _, p := range c.Params {
+		op.Add(p.Element())
+	}
+	return NewEnvelope().AddBody(op)
+}
+
+// ParseCall extracts the RPC call from a request envelope.
+func ParseCall(env *Envelope) (*Call, error) {
+	if len(env.Body) == 0 {
+		return nil, &Fault{Code: FaultClient, String: "empty request body"}
+	}
+	op := env.Body[0]
+	c := &Call{ServiceNS: op.Space, Method: op.Name}
+	for _, p := range op.Children {
+		c.Params = append(c.Params, ParseValue(p))
+	}
+	return c, nil
+}
+
+// Response is an RPC-style SOAP response: either return values or a fault.
+type Response struct {
+	// Method is the operation the response answers.
+	Method string
+	// ServiceNS is the service interface namespace.
+	ServiceNS string
+	// Returns are the out parameters, in order.
+	Returns []Value
+	// Fault is non-nil when the call failed.
+	Fault *Fault
+}
+
+// Envelope builds the response envelope.
+func (r *Response) Envelope() *Envelope {
+	env := NewEnvelope()
+	if r.Fault != nil {
+		return env.AddBody(r.Fault.Element())
+	}
+	op := xmlutil.NewNS(r.ServiceNS, r.Method+"Response")
+	for _, v := range r.Returns {
+		op.Add(v.Element())
+	}
+	return env.AddBody(op)
+}
+
+// ParseResponse extracts an RPC response from an envelope. A Fault body
+// yields a Response with Fault set (and is also returned as the error).
+func ParseResponse(env *Envelope) (*Response, error) {
+	if len(env.Body) == 0 {
+		return nil, errors.New("soap: empty response body")
+	}
+	first := env.Body[0]
+	if first.Name == "Fault" && first.Space == EnvelopeNS {
+		f := ParseFault(first)
+		return &Response{Fault: f}, f
+	}
+	r := &Response{ServiceNS: first.Space, Method: strings.TrimSuffix(first.Name, "Response")}
+	for _, c := range first.Children {
+		r.Returns = append(r.Returns, ParseValue(c))
+	}
+	return r, nil
+}
+
+// Return returns the named out parameter, or the first one when name is
+// empty, along with whether it was found.
+func (r *Response) Return(name string) (Value, bool) {
+	if name == "" && len(r.Returns) > 0 {
+		return r.Returns[0], true
+	}
+	for _, v := range r.Returns {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+// ReturnText returns the text of the named (or first, when name == "") out
+// parameter, or "".
+func (r *Response) ReturnText(name string) string {
+	v, _ := r.Return(name)
+	return v.Text
+}
+
+// Args is a convenience view over call parameters by name.
+type Args []Value
+
+// Get returns the named parameter and whether it exists.
+func (a Args) Get(name string) (Value, bool) {
+	for _, v := range a {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+// String returns the named string parameter or "".
+func (a Args) String(name string) string {
+	v, _ := a.Get(name)
+	return v.Text
+}
+
+// Int returns the named int parameter or 0.
+func (a Args) Int(name string) int {
+	v, ok := a.Get(name)
+	if !ok {
+		return 0
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(v.Text))
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Bool returns the named boolean parameter or false.
+func (a Args) Bool(name string) bool {
+	v, ok := a.Get(name)
+	if !ok {
+		return false
+	}
+	b, _ := strconv.ParseBool(strings.TrimSpace(v.Text))
+	return b
+}
+
+// Strings returns the named string-array parameter as a slice.
+func (a Args) Strings(name string) []string {
+	v, ok := a.Get(name)
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(v.Items))
+	for _, item := range v.Items {
+		out = append(out, item.Text)
+	}
+	return out
+}
+
+// XML returns the literal XML subtree of the named parameter, or nil.
+func (a Args) XML(name string) *xmlutil.Element {
+	v, ok := a.Get(name)
+	if !ok {
+		return nil
+	}
+	return v.XML
+}

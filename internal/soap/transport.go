@@ -1,0 +1,158 @@
+package soap
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ContentType is the media type of SOAP 1.1 messages.
+const ContentType = "text/xml; charset=utf-8"
+
+// Transport posts a request envelope to an endpoint and returns the
+// response envelope. Implementations include the HTTP transport below and
+// the in-process loopback used by tests and benchmarks to isolate encoding
+// cost from network cost.
+type Transport interface {
+	RoundTrip(endpoint string, action string, req *Envelope) (*Envelope, error)
+}
+
+// HTTPTransport sends SOAP messages over HTTP POST with a SOAPAction
+// header, as the paper's Apache SOAP and Python SOAP services did.
+type HTTPTransport struct {
+	// Client is the underlying HTTP client; http.DefaultClient when nil.
+	Client *http.Client
+}
+
+// RoundTrip implements Transport over HTTP.
+func (t *HTTPTransport) RoundTrip(endpoint, action string, req *Envelope) (*Envelope, error) {
+	hc := t.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader([]byte(req.Render())))
+	if err != nil {
+		return nil, fmt.Errorf("soap: build request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", ContentType)
+	httpReq.Header.Set("SOAPAction", `"`+action+`"`)
+	resp, err := hc.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("soap: post %s: %w", endpoint, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("soap: read response: %w", err)
+	}
+	// SOAP 1.1 uses HTTP 500 for faults; the envelope still parses.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusInternalServerError {
+		return nil, fmt.Errorf("soap: endpoint %s returned HTTP %d", endpoint, resp.StatusCode)
+	}
+	return ParseEnvelope(string(body))
+}
+
+// EnvelopeHandler processes one request envelope and produces a response
+// envelope. Returning an error that is (or wraps) a *Fault sends that
+// fault; any other error becomes a generic Server fault.
+type EnvelopeHandler func(req *Envelope, httpReq *http.Request) (*Envelope, error)
+
+// Handler adapts an EnvelopeHandler into an http.Handler implementing the
+// SOAP 1.1 HTTP binding (faults are sent with status 500).
+func Handler(h EnvelopeHandler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "soap endpoint: POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			http.Error(w, "soap endpoint: read error", http.StatusBadRequest)
+			return
+		}
+		env, err := ParseEnvelope(string(body))
+		var respEnv *Envelope
+		if err != nil {
+			respEnv = faultEnvelope(err, FaultClient)
+		} else {
+			out, herr := h(env, r)
+			if herr != nil {
+				respEnv = faultEnvelope(herr, FaultServer)
+			} else {
+				respEnv = out
+			}
+		}
+		status := http.StatusOK
+		if isFaultEnvelope(respEnv) {
+			status = http.StatusInternalServerError
+		}
+		w.Header().Set("Content-Type", ContentType)
+		w.WriteHeader(status)
+		_, _ = io.WriteString(w, respEnv.Render())
+	})
+}
+
+// faultEnvelope converts any error into a fault response envelope. Portal
+// errors are relayed in the detail entry so clients can decode them.
+func faultEnvelope(err error, defaultCode string) *Envelope {
+	if f, ok := err.(*Fault); ok {
+		return NewEnvelope().AddBody(f.Element())
+	}
+	if pe := AsPortalError(err); pe != nil {
+		return NewEnvelope().AddBody(pe.Fault().Element())
+	}
+	f := &Fault{Code: defaultCode, String: err.Error()}
+	return NewEnvelope().AddBody(f.Element())
+}
+
+func isFaultEnvelope(env *Envelope) bool {
+	return env != nil && len(env.Body) > 0 && env.Body[0].Name == "Fault" && env.Body[0].Space == EnvelopeNS
+}
+
+// LoopbackTransport invokes an EnvelopeHandler in-process, serialising and
+// reparsing the envelopes so the encoding path is identical to the wire
+// path. Benchmarks use it to separate XML processing cost from TCP cost.
+type LoopbackTransport struct {
+	// Handler receives every request regardless of endpoint.
+	Handler EnvelopeHandler
+	// Endpoints optionally routes per-endpoint when Handler is nil.
+	Endpoints map[string]EnvelopeHandler
+}
+
+// RoundTrip implements Transport in-process.
+func (t *LoopbackTransport) RoundTrip(endpoint, action string, req *Envelope) (*Envelope, error) {
+	h := t.Handler
+	if h == nil {
+		var ok bool
+		h, ok = t.Endpoints[endpoint]
+		if !ok {
+			return nil, fmt.Errorf("soap: loopback: no handler for endpoint %q", endpoint)
+		}
+	}
+	// Serialise and reparse to keep byte-level fidelity with HTTP.
+	wire, err := ParseEnvelope(req.Render())
+	if err != nil {
+		return nil, err
+	}
+	httpReq, _ := http.NewRequest(http.MethodPost, endpoint, nil)
+	httpReq.Header.Set("SOAPAction", `"`+action+`"`)
+	out, herr := h(wire, httpReq)
+	if herr != nil {
+		out = faultEnvelope(herr, FaultServer)
+	}
+	return ParseEnvelope(out.Render())
+}
+
+// Invoke performs a full RPC round trip: encode the call, send it through
+// the transport, decode the response. A fault response is returned as the
+// error (of type *Fault).
+func Invoke(t Transport, endpoint string, call *Call) (*Response, error) {
+	env := call.Envelope()
+	respEnv, err := t.RoundTrip(endpoint, call.ServiceNS+"#"+call.Method, env)
+	if err != nil {
+		return nil, err
+	}
+	return ParseResponse(respEnv)
+}

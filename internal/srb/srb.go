@@ -1,0 +1,557 @@
+// Package srb simulates the SDSC Storage Resource Broker (SRB), the data
+// management substrate of Section 3.2: a federated logical namespace of
+// collections and data objects backed by named physical resources, an
+// MCAT-style metadata catalog, and per-object access control. The SRB Web
+// Services (internal/srbws) expose the same subset of functionality the
+// paper's Python services did — ls, cat, get, put, and xml_call — on top of
+// this simulator via the command-utility-shaped API (Sls, Scat, Sget,
+// Sput), mirroring how the real services shelled out to the GSI-
+// authenticated SRB command line tools.
+package srb
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Permission is an access level on a collection or data object.
+type Permission string
+
+// Access levels.
+const (
+	PermNone  Permission = ""
+	PermRead  Permission = "read"
+	PermWrite Permission = "write"
+	PermOwn   Permission = "own"
+)
+
+// allows reports whether holding p grants the access need.
+func (p Permission) allows(need Permission) bool {
+	switch need {
+	case PermRead:
+		return p == PermRead || p == PermWrite || p == PermOwn
+	case PermWrite:
+		return p == PermWrite || p == PermOwn
+	case PermOwn:
+		return p == PermOwn
+	default:
+		return true
+	}
+}
+
+// Metadata is one MCAT attribute-value-unit triple.
+type Metadata struct {
+	Attribute string
+	Value     string
+	Unit      string
+}
+
+// Entry is a directory listing row.
+type Entry struct {
+	// Name is the object or collection name.
+	Name string
+	// IsCollection distinguishes collections from data objects.
+	IsCollection bool
+	// Size is the data object size in bytes (0 for collections).
+	Size int
+	// Resource is the physical resource holding the object.
+	Resource string
+	// Owner is the creating principal.
+	Owner string
+}
+
+// object is a stored data object.
+type object struct {
+	content  string
+	resource string
+	owner    string
+	created  time.Time
+	acl      map[string]Permission
+	metadata []Metadata
+}
+
+// collection is a directory in the logical namespace.
+type collection struct {
+	owner    string
+	acl      map[string]Permission
+	children map[string]*collection
+	objects  map[string]*object
+}
+
+func newCollection(owner string) *collection {
+	return &collection{
+		owner:    owner,
+		acl:      map[string]Permission{owner: PermOwn},
+		children: map[string]*collection{},
+		objects:  map[string]*object{},
+	}
+}
+
+// Resource is one physical storage resource registered with the broker.
+type Resource struct {
+	// Name is the resource identifier, e.g. "sdsc-disk1".
+	Name string
+	// Capacity is the byte capacity; writes beyond it fail with a
+	// disk-full error (the paper's canonical implementation-error example).
+	Capacity int
+
+	used int
+}
+
+// Broker is the SRB server: namespace, resources, catalog.
+type Broker struct {
+	// Zone is the SRB zone name used in logical paths.
+	Zone string
+
+	mu        sync.RWMutex
+	root      *collection
+	resources map[string]*Resource
+	defRes    string
+	now       func() time.Time
+}
+
+// NewBroker creates a broker with one unlimited default resource.
+func NewBroker(zone string) *Broker {
+	b := &Broker{
+		Zone:      zone,
+		root:      newCollection("srbAdmin"),
+		resources: map[string]*Resource{},
+		now:       time.Now,
+	}
+	b.AddResource(Resource{Name: "default-disk", Capacity: 0})
+	return b
+}
+
+// SetTimeSource overrides the wall clock (virtual-clock integration).
+func (b *Broker) SetTimeSource(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// AddResource registers a physical resource; the first becomes the default.
+func (b *Broker) AddResource(r Resource) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	stored := r
+	b.resources[r.Name] = &stored
+	if b.defRes == "" {
+		b.defRes = r.Name
+	}
+}
+
+// ResourceUsage returns used and capacity bytes for a resource.
+func (b *Broker) ResourceUsage(name string) (used, capacity int, err error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	r, ok := b.resources[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("srb: unknown resource %q", name)
+	}
+	return r.used, r.Capacity, nil
+}
+
+// CreateUser provisions a user's home collection
+// (/<zone>/home/<user>), the layout SRB clients expect.
+func (b *Broker) CreateUser(user string) string {
+	home := fmt.Sprintf("/%s/home/%s", b.Zone, user)
+	_ = b.Mkdir("srbAdmin", home)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c, _ := b.lookupCollection(home); c != nil {
+		c.owner = user
+		c.acl[user] = PermOwn
+	}
+	return home
+}
+
+// splitPath normalises and splits a logical path.
+func splitPath(p string) ([]string, error) {
+	p = path.Clean("/" + strings.TrimSpace(p))
+	if p == "/" {
+		return nil, nil
+	}
+	segs := strings.Split(strings.TrimPrefix(p, "/"), "/")
+	for _, s := range segs {
+		if s == "" || s == ".." {
+			return nil, fmt.Errorf("srb: invalid path %q", p)
+		}
+	}
+	return segs, nil
+}
+
+// lookupCollection walks to a collection; caller holds the lock.
+func (b *Broker) lookupCollection(p string) (*collection, error) {
+	segs, err := splitPath(p)
+	if err != nil {
+		return nil, err
+	}
+	cur := b.root
+	for _, s := range segs {
+		next, ok := cur.children[s]
+		if !ok {
+			return nil, fmt.Errorf("srb: no such collection %q", p)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// lookupObject walks to a data object's parent and the object; caller
+// holds the lock.
+func (b *Broker) lookupObject(p string) (*collection, *object, string, error) {
+	dir, name := path.Split(path.Clean("/" + strings.TrimSpace(p)))
+	if name == "" {
+		return nil, nil, "", fmt.Errorf("srb: invalid object path %q", p)
+	}
+	parent, err := b.lookupCollection(dir)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	obj, ok := parent.objects[name]
+	if !ok {
+		return nil, nil, "", fmt.Errorf("srb: no such object %q", p)
+	}
+	return parent, obj, name, nil
+}
+
+// permFor resolves a user's effective permission on an ACL.
+func permFor(acl map[string]Permission, user string) Permission {
+	if p, ok := acl[user]; ok {
+		return p
+	}
+	if p, ok := acl["public"]; ok {
+		return p
+	}
+	return PermNone
+}
+
+// AccessError marks authorization failures so the web service layer can map
+// them to the portal AccessDenied code.
+type AccessError struct {
+	User string
+	Path string
+	Need Permission
+}
+
+// Error implements the error interface.
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("srb: %s denied %s access to %s", e.User, e.Need, e.Path)
+}
+
+// Mkdir creates a collection (parents must exist; srbAdmin bypasses ACLs).
+func (b *Broker) Mkdir(user, p string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	dir, name := path.Split(path.Clean("/" + strings.TrimSpace(p)))
+	if name == "" {
+		return fmt.Errorf("srb: invalid collection path %q", p)
+	}
+	parent, err := b.lookupCollection(dir)
+	if err != nil {
+		// srbAdmin may create intermediate collections (provisioning).
+		if user != "srbAdmin" {
+			return err
+		}
+		if err := b.mkdirAllLocked(dir); err != nil {
+			return err
+		}
+		parent, _ = b.lookupCollection(dir)
+	}
+	if user != "srbAdmin" && !permFor(parent.acl, user).allows(PermWrite) {
+		return &AccessError{User: user, Path: dir, Need: PermWrite}
+	}
+	if _, exists := parent.children[name]; exists {
+		return fmt.Errorf("srb: collection %q already exists", p)
+	}
+	if _, exists := parent.objects[name]; exists {
+		return fmt.Errorf("srb: %q exists as a data object", p)
+	}
+	c := newCollection(user)
+	// Children inherit the parent's ACL entries below the creating owner.
+	for u, perm := range parent.acl {
+		if _, ok := c.acl[u]; !ok {
+			c.acl[u] = perm
+		}
+	}
+	parent.children[name] = c
+	return nil
+}
+
+func (b *Broker) mkdirAllLocked(p string) error {
+	segs, err := splitPath(p)
+	if err != nil {
+		return err
+	}
+	cur := b.root
+	for _, s := range segs {
+		next, ok := cur.children[s]
+		if !ok {
+			next = newCollection("srbAdmin")
+			cur.children[s] = next
+		}
+		cur = next
+	}
+	return nil
+}
+
+// Sput stores a data object (overwriting requires write access; creating
+// requires write on the parent). resource may be empty for the default.
+func (b *Broker) Sput(user, p, content, resource string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	dir, name := path.Split(path.Clean("/" + strings.TrimSpace(p)))
+	if name == "" {
+		return fmt.Errorf("srb: invalid object path %q", p)
+	}
+	parent, err := b.lookupCollection(dir)
+	if err != nil {
+		return err
+	}
+	if resource == "" {
+		resource = b.defRes
+	}
+	res, ok := b.resources[resource]
+	if !ok {
+		return fmt.Errorf("srb: unknown resource %q", resource)
+	}
+	existing, exists := parent.objects[name]
+	if exists {
+		if !permFor(existing.acl, user).allows(PermWrite) {
+			return &AccessError{User: user, Path: p, Need: PermWrite}
+		}
+	} else {
+		if !permFor(parent.acl, user).allows(PermWrite) {
+			return &AccessError{User: user, Path: dir, Need: PermWrite}
+		}
+		if _, isColl := parent.children[name]; isColl {
+			return fmt.Errorf("srb: %q exists as a collection", p)
+		}
+	}
+	delta := len(content)
+	if exists {
+		delta -= len(existing.content)
+	}
+	if res.Capacity > 0 && res.used+delta > res.Capacity {
+		return fmt.Errorf("srb: resource %s full: %d + %d exceeds capacity %d",
+			resource, res.used, delta, res.Capacity)
+	}
+	res.used += delta
+	if exists {
+		existing.content = content
+		existing.resource = resource
+		return nil
+	}
+	parent.objects[name] = &object{
+		content:  content,
+		resource: resource,
+		owner:    user,
+		created:  b.now(),
+		acl:      map[string]Permission{user: PermOwn},
+	}
+	return nil
+}
+
+// Sget retrieves a data object's content.
+func (b *Broker) Sget(user, p string) (string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	_, obj, _, err := b.lookupObject(p)
+	if err != nil {
+		return "", err
+	}
+	if !permFor(obj.acl, user).allows(PermRead) {
+		return "", &AccessError{User: user, Path: p, Need: PermRead}
+	}
+	return obj.content, nil
+}
+
+// Scat is Sget's alias matching the SRB utility names (the web service
+// exposes both cat and get with different transfer semantics).
+func (b *Broker) Scat(user, p string) (string, error) {
+	return b.Sget(user, p)
+}
+
+// SgetRange reads size bytes at offset from a data object without copying
+// the remainder — the bounded read the chunked-transfer extension needs.
+// Reads past the end are truncated; a wholly out-of-range offset fails.
+func (b *Broker) SgetRange(user, p string, offset, size int) (string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	_, obj, _, err := b.lookupObject(p)
+	if err != nil {
+		return "", err
+	}
+	if !permFor(obj.acl, user).allows(PermRead) {
+		return "", &AccessError{User: user, Path: p, Need: PermRead}
+	}
+	if offset < 0 || size <= 0 || offset > len(obj.content) {
+		return "", fmt.Errorf("srb: bad range offset=%d size=%d len=%d", offset, size, len(obj.content))
+	}
+	end := offset + size
+	if end > len(obj.content) {
+		end = len(obj.content)
+	}
+	return obj.content[offset:end], nil
+}
+
+// Size returns a data object's length in bytes.
+func (b *Broker) Size(user, p string) (int, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	_, obj, _, err := b.lookupObject(p)
+	if err != nil {
+		return 0, err
+	}
+	if !permFor(obj.acl, user).allows(PermRead) {
+		return 0, &AccessError{User: user, Path: p, Need: PermRead}
+	}
+	return len(obj.content), nil
+}
+
+// Sls lists a collection.
+func (b *Broker) Sls(user, p string) ([]Entry, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	c, err := b.lookupCollection(p)
+	if err != nil {
+		return nil, err
+	}
+	if !permFor(c.acl, user).allows(PermRead) {
+		return nil, &AccessError{User: user, Path: p, Need: PermRead}
+	}
+	var out []Entry
+	for name, child := range c.children {
+		out = append(out, Entry{Name: name, IsCollection: true, Owner: child.owner})
+	}
+	for name, obj := range c.objects {
+		out = append(out, Entry{
+			Name: name, Size: len(obj.content), Resource: obj.resource, Owner: obj.owner,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].IsCollection != out[j].IsCollection {
+			return out[i].IsCollection
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
+// Srm removes a data object, releasing its resource space.
+func (b *Broker) Srm(user, p string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	parent, obj, name, err := b.lookupObject(p)
+	if err != nil {
+		return err
+	}
+	if !permFor(obj.acl, user).allows(PermWrite) {
+		return &AccessError{User: user, Path: p, Need: PermWrite}
+	}
+	if res, ok := b.resources[obj.resource]; ok {
+		res.used -= len(obj.content)
+	}
+	delete(parent.objects, name)
+	return nil
+}
+
+// Chmod grants a permission on an object or collection (owner only).
+func (b *Broker) Chmod(owner, p, user string, perm Permission) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if c, err := b.lookupCollection(p); err == nil {
+		if !permFor(c.acl, owner).allows(PermOwn) {
+			return &AccessError{User: owner, Path: p, Need: PermOwn}
+		}
+		c.acl[user] = perm
+		return nil
+	}
+	_, obj, _, err := b.lookupObject(p)
+	if err != nil {
+		return err
+	}
+	if !permFor(obj.acl, owner).allows(PermOwn) {
+		return &AccessError{User: owner, Path: p, Need: PermOwn}
+	}
+	obj.acl[user] = perm
+	return nil
+}
+
+// AddMetadata attaches an MCAT triple to a data object.
+func (b *Broker) AddMetadata(user, p string, m Metadata) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, obj, _, err := b.lookupObject(p)
+	if err != nil {
+		return err
+	}
+	if !permFor(obj.acl, user).allows(PermWrite) {
+		return &AccessError{User: user, Path: p, Need: PermWrite}
+	}
+	obj.metadata = append(obj.metadata, m)
+	return nil
+}
+
+// GetMetadata lists a data object's MCAT triples.
+func (b *Broker) GetMetadata(user, p string) ([]Metadata, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	_, obj, _, err := b.lookupObject(p)
+	if err != nil {
+		return nil, err
+	}
+	if !permFor(obj.acl, user).allows(PermRead) {
+		return nil, &AccessError{User: user, Path: p, Need: PermRead}
+	}
+	return append([]Metadata(nil), obj.metadata...), nil
+}
+
+// QueryMetadata finds object paths under root whose metadata contains an
+// attribute=value match — the MCAT discovery query.
+func (b *Broker) QueryMetadata(user, root, attribute, value string) ([]string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	start, err := b.lookupCollection(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	var walk func(c *collection, p string)
+	walk = func(c *collection, p string) {
+		if !permFor(c.acl, user).allows(PermRead) {
+			return
+		}
+		var names []string
+		for name := range c.objects {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			obj := c.objects[name]
+			if !permFor(obj.acl, user).allows(PermRead) {
+				continue
+			}
+			for _, m := range obj.metadata {
+				if m.Attribute == attribute && m.Value == value {
+					out = append(out, p+"/"+name)
+					break
+				}
+			}
+		}
+		var dirs []string
+		for name := range c.children {
+			dirs = append(dirs, name)
+		}
+		sort.Strings(dirs)
+		for _, name := range dirs {
+			walk(c.children[name], p+"/"+name)
+		}
+	}
+	walk(start, strings.TrimSuffix(path.Clean("/"+strings.TrimSpace(root)), "/"))
+	return out, nil
+}

@@ -1,0 +1,293 @@
+package srb
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testBroker(t *testing.T) (*Broker, string) {
+	t.Helper()
+	b := NewBroker("sdsc")
+	home := b.CreateUser("mock")
+	return b, home
+}
+
+func TestHomeProvisioning(t *testing.T) {
+	b, home := testBroker(t)
+	if home != "/sdsc/home/mock" {
+		t.Fatalf("home = %q", home)
+	}
+	entries, err := b.Sls("mock", home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("fresh home not empty: %v", entries)
+	}
+}
+
+func TestPutGetCatRoundTrip(t *testing.T) {
+	b, home := testBroker(t)
+	if err := b.Sput("mock", home+"/results.dat", "simulation output", ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Sget("mock", home+"/results.dat")
+	if err != nil || got != "simulation output" {
+		t.Errorf("Sget = %q, %v", got, err)
+	}
+	got, err = b.Scat("mock", home+"/results.dat")
+	if err != nil || got != "simulation output" {
+		t.Errorf("Scat = %q, %v", got, err)
+	}
+	// Overwrite.
+	if err := b.Sput("mock", home+"/results.dat", "v2", ""); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = b.Sget("mock", home+"/results.dat")
+	if got != "v2" {
+		t.Errorf("after overwrite = %q", got)
+	}
+}
+
+func TestLsOrderingAndEntries(t *testing.T) {
+	b, home := testBroker(t)
+	_ = b.Mkdir("mock", home+"/zdir")
+	_ = b.Mkdir("mock", home+"/adir")
+	_ = b.Sput("mock", home+"/bfile", "12345", "")
+	entries, err := b.Sls("mock", home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %v", entries)
+	}
+	// Collections first, then objects, each alphabetical.
+	if !entries[0].IsCollection || entries[0].Name != "adir" {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+	if entries[2].IsCollection || entries[2].Name != "bfile" || entries[2].Size != 5 {
+		t.Errorf("entry 2 = %+v", entries[2])
+	}
+	if entries[2].Resource != "default-disk" || entries[2].Owner != "mock" {
+		t.Errorf("entry 2 meta = %+v", entries[2])
+	}
+}
+
+func TestACLEnforcement(t *testing.T) {
+	b, home := testBroker(t)
+	b.CreateUser("kurt")
+	_ = b.Sput("mock", home+"/secret", "classified", "")
+	if _, err := b.Sget("kurt", home+"/secret"); !isAccess(err) {
+		t.Errorf("foreign read err = %v", err)
+	}
+	if err := b.Sput("kurt", home+"/intruder", "x", ""); !isAccess(err) {
+		t.Errorf("foreign write err = %v", err)
+	}
+	if _, err := b.Sls("kurt", home); !isAccess(err) {
+		t.Errorf("foreign ls err = %v", err)
+	}
+	// Grant read on the object.
+	if err := b.Chmod("mock", home+"/secret", "kurt", PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := b.Sget("kurt", home+"/secret"); err != nil || got != "classified" {
+		t.Errorf("after grant = %q, %v", got, err)
+	}
+	// Read does not grant write.
+	if err := b.Srm("kurt", home+"/secret"); !isAccess(err) {
+		t.Errorf("rm with read-only err = %v", err)
+	}
+	// Non-owner cannot chmod.
+	if err := b.Chmod("kurt", home+"/secret", "kurt", PermOwn); !isAccess(err) {
+		t.Errorf("foreign chmod err = %v", err)
+	}
+	// Public grant on collection.
+	if err := b.Chmod("mock", home, "public", PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Sls("kurt", home); err != nil {
+		t.Errorf("public ls err = %v", err)
+	}
+}
+
+func isAccess(err error) bool {
+	var ae *AccessError
+	return errors.As(err, &ae)
+}
+
+func TestDiskFull(t *testing.T) {
+	b, home := testBroker(t)
+	b.AddResource(Resource{Name: "tiny", Capacity: 10})
+	if err := b.Sput("mock", home+"/a", "123456", "tiny"); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Sput("mock", home+"/b", "123456", "tiny")
+	if err == nil || !strings.Contains(err.Error(), "full") {
+		t.Errorf("err = %v, want disk full", err)
+	}
+	// Overwrite that shrinks is fine.
+	if err := b.Sput("mock", home+"/a", "1", "tiny"); err != nil {
+		t.Errorf("shrink overwrite err = %v", err)
+	}
+	used, capacity, err := b.ResourceUsage("tiny")
+	if err != nil || used != 1 || capacity != 10 {
+		t.Errorf("usage = %d/%d, %v", used, capacity, err)
+	}
+	// rm releases space.
+	if err := b.Srm("mock", home+"/a"); err != nil {
+		t.Fatal(err)
+	}
+	used, _, _ = b.ResourceUsage("tiny")
+	if used != 0 {
+		t.Errorf("used after rm = %d", used)
+	}
+	if _, _, err := b.ResourceUsage("ghost"); err == nil {
+		t.Error("unknown resource usage returned")
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	b, home := testBroker(t)
+	if _, err := b.Sget("mock", home+"/missing"); err == nil {
+		t.Error("missing object read")
+	}
+	if _, err := b.Sls("mock", "/sdsc/home/ghost"); err == nil {
+		t.Error("missing collection listed")
+	}
+	if err := b.Sput("mock", "/sdsc/home/ghost/x", "v", ""); err == nil {
+		t.Error("put into missing collection")
+	}
+	if err := b.Sput("mock", home+"/x", "v", "ghost-resource"); err == nil {
+		t.Error("put to unknown resource")
+	}
+	if err := b.Mkdir("mock", home+"/../../etc"); err == nil {
+		t.Error("path traversal accepted")
+	}
+	if err := b.Srm("mock", home+"/missing"); err == nil {
+		t.Error("rm of missing object")
+	}
+	if err := b.Chmod("mock", home+"/missing", "kurt", PermRead); err == nil {
+		t.Error("chmod of missing path")
+	}
+}
+
+func TestNameCollisions(t *testing.T) {
+	b, home := testBroker(t)
+	_ = b.Mkdir("mock", home+"/data")
+	if err := b.Mkdir("mock", home+"/data"); err == nil {
+		t.Error("duplicate mkdir accepted")
+	}
+	if err := b.Sput("mock", home+"/data", "x", ""); err == nil {
+		t.Error("object over collection accepted")
+	}
+	_ = b.Sput("mock", home+"/file", "x", "")
+	if err := b.Mkdir("mock", home+"/file"); err == nil {
+		t.Error("collection over object accepted")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	b, home := testBroker(t)
+	_ = b.Mkdir("mock", home+"/runs")
+	_ = b.Sput("mock", home+"/runs/run1.out", "data1", "")
+	_ = b.Sput("mock", home+"/runs/run2.out", "data2", "")
+	_ = b.AddMetadata("mock", home+"/runs/run1.out", Metadata{Attribute: "application", Value: "gaussian"})
+	_ = b.AddMetadata("mock", home+"/runs/run2.out", Metadata{Attribute: "application", Value: "matmul"})
+	_ = b.AddMetadata("mock", home+"/runs/run1.out", Metadata{Attribute: "nodes", Value: "8", Unit: "count"})
+
+	md, err := b.GetMetadata("mock", home+"/runs/run1.out")
+	if err != nil || len(md) != 2 {
+		t.Fatalf("metadata = %v, %v", md, err)
+	}
+	if md[1].Unit != "count" {
+		t.Errorf("unit = %q", md[1].Unit)
+	}
+	paths, err := b.QueryMetadata("mock", home, "application", "gaussian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || paths[0] != home+"/runs/run1.out" {
+		t.Errorf("query = %v", paths)
+	}
+	// Query respects ACLs: another user sees nothing.
+	b.CreateUser("kurt")
+	if _, err := b.QueryMetadata("kurt", home, "application", "gaussian"); !isAccess(err) {
+		// lookupCollection succeeds but walk returns nothing readable; the
+		// root collection itself is unreadable so walk prunes silently.
+		// Accept either access error or empty result.
+		paths, err2 := b.QueryMetadata("kurt", home, "application", "gaussian")
+		if err2 != nil || len(paths) != 0 {
+			t.Errorf("foreign query = %v, %v", paths, err2)
+		}
+		_ = err
+	}
+	if _, err := b.GetMetadata("kurt", home+"/runs/run1.out"); !isAccess(err) {
+		t.Errorf("foreign metadata read err = %v", err)
+	}
+	if err := b.AddMetadata("kurt", home+"/runs/run1.out", Metadata{Attribute: "x", Value: "y"}); !isAccess(err) {
+		t.Errorf("foreign metadata write err = %v", err)
+	}
+}
+
+func TestTimeSource(t *testing.T) {
+	b, home := testBroker(t)
+	fixed := time.Date(2002, 6, 15, 12, 0, 0, 0, time.UTC)
+	b.SetTimeSource(func() time.Time { return fixed })
+	_ = b.Sput("mock", home+"/dated", "x", "")
+	// Creation time is internal; verified indirectly via no panic and
+	// deterministic behaviour. Entry does not expose it; this test pins the
+	// SetTimeSource path.
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	b, home := testBroker(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				_ = b.Sput("mock", home+"/f"+string(rune('0'+i)), strings.Repeat("x", j), "")
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				_, _ = b.Sls("mock", home)
+			}
+		}()
+	}
+	wg.Wait()
+	entries, err := b.Sls("mock", home)
+	if err != nil || len(entries) != 8 {
+		t.Errorf("entries = %d, %v", len(entries), err)
+	}
+}
+
+func TestPermissionLattice(t *testing.T) {
+	cases := []struct {
+		have Permission
+		need Permission
+		want bool
+	}{
+		{PermOwn, PermRead, true},
+		{PermOwn, PermWrite, true},
+		{PermOwn, PermOwn, true},
+		{PermWrite, PermRead, true},
+		{PermWrite, PermWrite, true},
+		{PermWrite, PermOwn, false},
+		{PermRead, PermRead, true},
+		{PermRead, PermWrite, false},
+		{PermNone, PermRead, false},
+		{PermNone, PermNone, true},
+	}
+	for _, tc := range cases {
+		if got := tc.have.allows(tc.need); got != tc.want {
+			t.Errorf("%q allows %q = %v, want %v", tc.have, tc.need, got, tc.want)
+		}
+	}
+}

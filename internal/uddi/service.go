@@ -1,0 +1,316 @@
+package uddi
+
+import (
+	"repro/internal/core"
+	"repro/internal/soap"
+	"repro/internal/wsdl"
+	"repro/internal/xmlutil"
+)
+
+// ServiceNS is the namespace of the UDDI registry's own SOAP interface.
+const ServiceNS = "urn:gce:uddi"
+
+// Contract returns the WSDL interface of the registry service: a compact
+// publish + inquiry API shaped like UDDI v2's save_xxx/find_xxx messages.
+func Contract() *wsdl.Interface {
+	return &wsdl.Interface{
+		Name:     "UDDIRegistry",
+		TargetNS: ServiceNS,
+		Doc:      "UDDI-style publish and inquiry API for portal services.",
+		Operations: []wsdl.Operation{
+			{
+				Name:   "saveBusiness",
+				Doc:    "Publishes a business entity; returns its key.",
+				Input:  []wsdl.Param{{Name: "name", Type: "string"}, {Name: "description", Type: "string"}},
+				Output: []wsdl.Param{{Name: "businessKey", Type: "string"}},
+			},
+			{
+				Name: "saveTModel",
+				Doc:  "Publishes a tModel pointing at a WSDL interface document.",
+				Input: []wsdl.Param{
+					{Name: "name", Type: "string"},
+					{Name: "description", Type: "string"},
+					{Name: "overviewURL", Type: "string"},
+				},
+				Output: []wsdl.Param{{Name: "tModelKey", Type: "string"}},
+			},
+			{
+				Name: "saveService",
+				Doc:  "Publishes a service with one binding template.",
+				Input: []wsdl.Param{
+					{Name: "businessKey", Type: "string"},
+					{Name: "name", Type: "string"},
+					{Name: "description", Type: "string"},
+					{Name: "accessPoint", Type: "string"},
+					{Name: "tModelKeys", Type: "stringArray"},
+				},
+				Output: []wsdl.Param{{Name: "serviceKey", Type: "string"}},
+			},
+			{
+				Name:   "deleteService",
+				Input:  []wsdl.Param{{Name: "serviceKey", Type: "string"}},
+				Output: []wsdl.Param{{Name: "deleted", Type: "boolean"}},
+			},
+			{
+				Name:   "findBusiness",
+				Input:  []wsdl.Param{{Name: "name", Type: "string"}},
+				Output: []wsdl.Param{{Name: "businessList", Type: "xml"}},
+			},
+			{
+				Name: "findService",
+				Input: []wsdl.Param{
+					{Name: "businessKey", Type: "string"},
+					{Name: "name", Type: "string"},
+				},
+				Output: []wsdl.Param{{Name: "serviceList", Type: "xml"}},
+			},
+			{
+				Name:   "findServiceByTModel",
+				Input:  []wsdl.Param{{Name: "tModelKey", Type: "string"}},
+				Output: []wsdl.Param{{Name: "serviceList", Type: "xml"}},
+			},
+			{
+				Name:   "findByDescription",
+				Doc:    "Substring search over service descriptions: the string-convention capability lookup.",
+				Input:  []wsdl.Param{{Name: "pattern", Type: "string"}},
+				Output: []wsdl.Param{{Name: "serviceList", Type: "xml"}},
+			},
+			{
+				Name:   "getServiceDetail",
+				Input:  []wsdl.Param{{Name: "serviceKey", Type: "string"}},
+				Output: []wsdl.Param{{Name: "service", Type: "xml"}},
+			},
+			{
+				Name:   "getTModel",
+				Input:  []wsdl.Param{{Name: "tModelKey", Type: "string"}},
+				Output: []wsdl.Param{{Name: "tModel", Type: "xml"}},
+			},
+		},
+	}
+}
+
+// serviceElement renders a BusinessService for the wire.
+func serviceElement(s *BusinessService) *xmlutil.Element {
+	el := xmlutil.New("businessService").
+		SetAttr("serviceKey", s.Key).
+		SetAttr("businessKey", s.BusinessKey)
+	el.AddText("name", s.Name)
+	el.AddText("description", s.Description)
+	for _, b := range s.Bindings {
+		bt := xmlutil.New("bindingTemplate").SetAttr("bindingKey", b.Key)
+		bt.AddText("accessPoint", b.AccessPoint)
+		if b.Description != "" {
+			bt.AddText("description", b.Description)
+		}
+		for _, tk := range b.TModelKeys {
+			bt.AddText("tModelKey", tk)
+		}
+		el.Add(bt)
+	}
+	return el
+}
+
+// ServiceFromElement parses a wire businessService element.
+func ServiceFromElement(el *xmlutil.Element) *BusinessService {
+	s := &BusinessService{
+		Key:         el.AttrDefault("serviceKey", ""),
+		BusinessKey: el.AttrDefault("businessKey", ""),
+		Name:        el.ChildText("name"),
+		Description: el.ChildText("description"),
+	}
+	for _, bt := range el.ChildrenNamed("bindingTemplate") {
+		b := BindingTemplate{
+			Key:         bt.AttrDefault("bindingKey", ""),
+			AccessPoint: bt.ChildText("accessPoint"),
+			Description: bt.ChildText("description"),
+		}
+		for _, tk := range bt.ChildrenNamed("tModelKey") {
+			b.TModelKeys = append(b.TModelKeys, tk.Text)
+		}
+		s.Bindings = append(s.Bindings, b)
+	}
+	return s
+}
+
+func serviceList(services []*BusinessService) *xmlutil.Element {
+	list := xmlutil.New("serviceList")
+	for _, s := range services {
+		list.Add(serviceElement(s))
+	}
+	return list
+}
+
+// ServicesFromList parses a wire serviceList element.
+func ServicesFromList(el *xmlutil.Element) []*BusinessService {
+	var out []*BusinessService
+	for _, c := range el.ChildrenNamed("businessService") {
+		out = append(out, ServiceFromElement(c))
+	}
+	return out
+}
+
+// NewService wraps a Registry as a deployable core.Service.
+func NewService(r *Registry) *core.Service {
+	svc := core.NewService(Contract())
+	svc.Handle("saveBusiness", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		b := r.SaveBusiness(BusinessEntity{Name: args.String("name"), Description: args.String("description")})
+		return []soap.Value{soap.Str("businessKey", b.Key)}, nil
+	})
+	svc.Handle("saveTModel", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		t := r.SaveTModel(TModel{
+			Name:        args.String("name"),
+			Description: args.String("description"),
+			OverviewURL: args.String("overviewURL"),
+		})
+		return []soap.Value{soap.Str("tModelKey", t.Key)}, nil
+	})
+	svc.Handle("saveService", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		s, err := r.SaveService(BusinessService{
+			BusinessKey: args.String("businessKey"),
+			Name:        args.String("name"),
+			Description: args.String("description"),
+			Bindings: []BindingTemplate{{
+				AccessPoint: args.String("accessPoint"),
+				TModelKeys:  args.Strings("tModelKeys"),
+			}},
+		})
+		if err != nil {
+			return nil, soap.NewPortalError("UDDIRegistry", soap.ErrCodeBadRequest, "%v", err)
+		}
+		return []soap.Value{soap.Str("serviceKey", s.Key)}, nil
+	})
+	svc.Handle("deleteService", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		if err := r.DeleteService(args.String("serviceKey")); err != nil {
+			return nil, soap.NewPortalError("UDDIRegistry", soap.ErrCodeNoSuchResource, "%v", err)
+		}
+		return []soap.Value{soap.Bool("deleted", true)}, nil
+	})
+	svc.Handle("findBusiness", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		list := xmlutil.New("businessList")
+		for _, b := range r.FindBusiness(args.String("name")) {
+			be := xmlutil.New("businessEntity").SetAttr("businessKey", b.Key)
+			be.AddText("name", b.Name)
+			be.AddText("description", b.Description)
+			list.Add(be)
+		}
+		return []soap.Value{soap.XMLDoc("businessList", list)}, nil
+	})
+	svc.Handle("findService", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		services := r.FindService(args.String("businessKey"), args.String("name"))
+		return []soap.Value{soap.XMLDoc("serviceList", serviceList(services))}, nil
+	})
+	svc.Handle("findServiceByTModel", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		services := r.FindServiceByTModel(args.String("tModelKey"))
+		return []soap.Value{soap.XMLDoc("serviceList", serviceList(services))}, nil
+	})
+	svc.Handle("findByDescription", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		services := r.FindByConvention(args.String("pattern"))
+		return []soap.Value{soap.XMLDoc("serviceList", serviceList(services))}, nil
+	})
+	svc.Handle("getServiceDetail", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		s, err := r.GetServiceDetail(args.String("serviceKey"))
+		if err != nil {
+			return nil, soap.NewPortalError("UDDIRegistry", soap.ErrCodeNoSuchResource, "%v", err)
+		}
+		return []soap.Value{soap.XMLDoc("service", serviceElement(s))}, nil
+	})
+	svc.Handle("getTModel", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		t, err := r.GetTModel(args.String("tModelKey"))
+		if err != nil {
+			return nil, soap.NewPortalError("UDDIRegistry", soap.ErrCodeNoSuchResource, "%v", err)
+		}
+		el := xmlutil.New("tModel").SetAttr("tModelKey", t.Key)
+		el.AddText("name", t.Name)
+		el.AddText("description", t.Description)
+		el.AddText("overviewURL", t.OverviewURL)
+		return []soap.Value{soap.XMLDoc("tModel", el)}, nil
+	})
+	return svc
+}
+
+// Client is a typed proxy to a remote UDDI registry service.
+type Client struct {
+	c *core.Client
+}
+
+// NewClient binds a UDDI client to the registry endpoint.
+func NewClient(t soap.Transport, endpoint string) *Client {
+	return &Client{c: core.NewClient(t, endpoint, Contract())}
+}
+
+// SaveBusiness publishes a business entity and returns its key.
+func (cl *Client) SaveBusiness(name, description string) (string, error) {
+	return cl.c.CallText("saveBusiness", soap.Str("name", name), soap.Str("description", description))
+}
+
+// SaveTModel publishes an interface tModel and returns its key.
+func (cl *Client) SaveTModel(name, description, overviewURL string) (string, error) {
+	return cl.c.CallText("saveTModel",
+		soap.Str("name", name), soap.Str("description", description), soap.Str("overviewURL", overviewURL))
+}
+
+// SaveService publishes a service with one binding and returns its key.
+func (cl *Client) SaveService(businessKey, name, description, accessPoint string, tModelKeys []string) (string, error) {
+	return cl.c.CallText("saveService",
+		soap.Str("businessKey", businessKey),
+		soap.Str("name", name),
+		soap.Str("description", description),
+		soap.Str("accessPoint", accessPoint),
+		soap.StrArray("tModelKeys", tModelKeys))
+}
+
+// DeleteService removes a published service.
+func (cl *Client) DeleteService(serviceKey string) error {
+	_, err := cl.c.Call("deleteService", soap.Str("serviceKey", serviceKey))
+	return err
+}
+
+// FindService lists services by business and name pattern.
+func (cl *Client) FindService(businessKey, name string) ([]*BusinessService, error) {
+	doc, err := cl.c.CallXML("findService", soap.Str("businessKey", businessKey), soap.Str("name", name))
+	if err != nil {
+		return nil, err
+	}
+	return ServicesFromList(doc), nil
+}
+
+// FindServiceByTModel lists services implementing an interface tModel.
+func (cl *Client) FindServiceByTModel(tModelKey string) ([]*BusinessService, error) {
+	doc, err := cl.c.CallXML("findServiceByTModel", soap.Str("tModelKey", tModelKey))
+	if err != nil {
+		return nil, err
+	}
+	return ServicesFromList(doc), nil
+}
+
+// FindByDescription performs the string-convention capability search.
+func (cl *Client) FindByDescription(pattern string) ([]*BusinessService, error) {
+	doc, err := cl.c.CallXML("findByDescription", soap.Str("pattern", pattern))
+	if err != nil {
+		return nil, err
+	}
+	return ServicesFromList(doc), nil
+}
+
+// GetServiceDetail fetches one service by key.
+func (cl *Client) GetServiceDetail(serviceKey string) (*BusinessService, error) {
+	doc, err := cl.c.CallXML("getServiceDetail", soap.Str("serviceKey", serviceKey))
+	if err != nil {
+		return nil, err
+	}
+	return ServiceFromElement(doc), nil
+}
+
+// GetTModel fetches one tModel by key.
+func (cl *Client) GetTModel(tModelKey string) (*TModel, error) {
+	doc, err := cl.c.CallXML("getTModel", soap.Str("tModelKey", tModelKey))
+	if err != nil {
+		return nil, err
+	}
+	return &TModel{
+		Key:         doc.AttrDefault("tModelKey", ""),
+		Name:        doc.ChildText("name"),
+		Description: doc.ChildText("description"),
+		OverviewURL: doc.ChildText("overviewURL"),
+	}, nil
+}

@@ -1,0 +1,298 @@
+package uddi
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/soap"
+)
+
+func seedRegistry(t *testing.T) (*Registry, string, string) {
+	t.Helper()
+	r := NewRegistry()
+	iu := r.SaveBusiness(BusinessEntity{Name: "IU Community Grids Lab", Description: "Gateway portal group"})
+	sdsc := r.SaveBusiness(BusinessEntity{Name: "SDSC", Description: "HotPage portal group"})
+	tm := r.SaveTModel(TModel{Name: "gce:BatchScriptGenerator", OverviewURL: "http://iu/bsg.wsdl"})
+	_, err := r.SaveService(BusinessService{
+		BusinessKey: iu.Key,
+		Name:        "IU Batch Script Generator",
+		Description: DescribeCapabilities("Gateway script service.", []string{"PBS", "GRD"}),
+		Bindings:    []BindingTemplate{{AccessPoint: "http://gateway.iu.edu/soap/bsg", TModelKeys: []string{tm.Key}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.SaveService(BusinessService{
+		BusinessKey: sdsc.Key,
+		Name:        "SDSC Batch Script Generator",
+		Description: DescribeCapabilities("HotPage script service.", []string{"LSF", "NQS"}),
+		Bindings:    []BindingTemplate{{AccessPoint: "http://hotpage.sdsc.edu/soap/bsg", TModelKeys: []string{tm.Key}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, iu.Key, tm.Key
+}
+
+func TestPublishAndFind(t *testing.T) {
+	r, iuKey, tmKey := seedRegistry(t)
+	if b, s, tm := func() (int, int, int) { return countsOf(r) }(); b != 2 || s != 2 || tm != 1 {
+		t.Errorf("counts = %d %d %d", b, s, tm)
+	}
+	businesses := r.FindBusiness("sdsc")
+	if len(businesses) != 1 || businesses[0].Name != "SDSC" {
+		t.Errorf("FindBusiness = %v", businesses)
+	}
+	all := r.FindService("", "")
+	if len(all) != 2 {
+		t.Fatalf("all services = %d", len(all))
+	}
+	iuOnly := r.FindService(iuKey, "")
+	if len(iuOnly) != 1 || !strings.HasPrefix(iuOnly[0].Name, "IU") {
+		t.Errorf("iu services = %v", iuOnly)
+	}
+	byTM := r.FindServiceByTModel(tmKey)
+	if len(byTM) != 2 {
+		t.Errorf("by tModel = %d", len(byTM))
+	}
+	byName := r.FindService("", "batch script")
+	if len(byName) != 2 {
+		t.Errorf("by name = %d", len(byName))
+	}
+}
+
+func countsOf(r *Registry) (int, int, int) { return r.Counts() }
+
+func TestKeysDeterministicAndUnique(t *testing.T) {
+	r1, _, _ := seedRegistry(t)
+	r2, _, _ := seedRegistry(t)
+	s1 := r1.FindService("", "")
+	s2 := r2.FindService("", "")
+	if s1[0].Key != s2[0].Key {
+		t.Error("keys not deterministic across identical publish sequences")
+	}
+	if s1[0].Key == s1[1].Key {
+		t.Error("distinct services share a key")
+	}
+	if !strings.HasPrefix(s1[0].Key, "uuid:") {
+		t.Errorf("key format = %q", s1[0].Key)
+	}
+}
+
+func TestSaveServiceValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.SaveService(BusinessService{BusinessKey: "uuid:none", Name: "x"}); err == nil {
+		t.Error("unknown businessKey accepted")
+	}
+	b := r.SaveBusiness(BusinessEntity{Name: "IU"})
+	if _, err := r.SaveService(BusinessService{
+		BusinessKey: b.Key, Name: "x",
+		Bindings: []BindingTemplate{{AccessPoint: "http://x", TModelKeys: []string{"uuid:ghost"}}},
+	}); err == nil {
+		t.Error("unknown tModel accepted")
+	}
+}
+
+func TestDeleteService(t *testing.T) {
+	r, _, _ := seedRegistry(t)
+	all := r.FindService("", "")
+	if err := r.DeleteService(all[0].Key); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DeleteService(all[0].Key); err == nil {
+		t.Error("double delete accepted")
+	}
+	if left := r.FindService("", ""); len(left) != 1 {
+		t.Errorf("services after delete = %d", len(left))
+	}
+}
+
+func TestGetters(t *testing.T) {
+	r, iuKey, tmKey := seedRegistry(t)
+	if _, err := r.GetBusiness(iuKey); err != nil {
+		t.Error(err)
+	}
+	if _, err := r.GetBusiness("uuid:none"); err == nil {
+		t.Error("unknown business accepted")
+	}
+	if _, err := r.GetTModel(tmKey); err != nil {
+		t.Error(err)
+	}
+	if _, err := r.GetTModel("uuid:none"); err == nil {
+		t.Error("unknown tModel accepted")
+	}
+	svc := r.FindService("", "")[0]
+	got, err := r.GetServiceDetail(svc.Key)
+	if err != nil || got.Name != svc.Name {
+		t.Errorf("detail = %v, %v", got, err)
+	}
+	if _, err := r.GetServiceDetail("uuid:none"); err == nil {
+		t.Error("unknown service accepted")
+	}
+	if _, ok := r.TModelByName("gce:BatchScriptGenerator"); !ok {
+		t.Error("TModelByName missed")
+	}
+	if _, ok := r.TModelByName("nope"); ok {
+		t.Error("TModelByName false positive")
+	}
+}
+
+func TestCapabilityConvention(t *testing.T) {
+	desc := DescribeCapabilities("Gateway script service.", []string{"PBS", "GRD"})
+	caps := ParseCapabilities(desc)
+	if len(caps) != 2 || caps[0] != "PBS" || caps[1] != "GRD" {
+		t.Errorf("caps = %v", caps)
+	}
+	if ParseCapabilities("no convention here") != nil {
+		t.Error("phantom capabilities")
+	}
+	if got := DescribeCapabilities("", []string{"LSF"}); got != "schedulers: LSF" {
+		t.Errorf("bare convention = %q", got)
+	}
+	multi := "line one\nschedulers: NQS, LSF\nline three"
+	caps = ParseCapabilities(multi)
+	if len(caps) != 2 || caps[0] != "NQS" {
+		t.Errorf("multiline caps = %v", caps)
+	}
+}
+
+// TestConventionFalsePositive reproduces the paper's UDDI weakness: naive
+// description search returns services that merely mention a scheduler.
+func TestConventionFalsePositive(t *testing.T) {
+	r, iuKey, _ := seedRegistry(t)
+	_, err := r.SaveService(BusinessService{
+		BusinessKey: iuKey,
+		Name:        "Legacy Notes Service",
+		Description: "Documentation for users migrating away from PBS to other systems.",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := r.FindByConvention("PBS")
+	if len(naive) != 2 {
+		t.Errorf("naive search found %d services, expected 2 (one false positive)", len(naive))
+	}
+	parsed := r.FindByParsedConvention("PBS")
+	if len(parsed) != 1 || !strings.HasPrefix(parsed[0].Name, "IU") {
+		t.Errorf("parsed search = %v", parsed)
+	}
+	// And the parsed search misses services that deviate from the
+	// convention entirely.
+	_, err = r.SaveService(BusinessService{
+		BusinessKey: iuKey,
+		Name:        "Nonconforming Script Service",
+		Description: "Supports the PBS queuing system.",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed = r.FindByParsedConvention("PBS")
+	if len(parsed) != 1 {
+		t.Errorf("parsed search should miss nonconforming publisher, got %d", len(parsed))
+	}
+}
+
+func TestConcurrentPublishAndQuery(t *testing.T) {
+	r := NewRegistry()
+	b := r.SaveBusiness(BusinessEntity{Name: "IU"})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_, _ = r.SaveService(BusinessService{BusinessKey: b.Key, Name: "svc"})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r.FindService("", "svc")
+			}
+		}()
+	}
+	wg.Wait()
+	if _, s, _ := r.Counts(); s != 400 {
+		t.Errorf("services = %d, want 400", s)
+	}
+}
+
+func TestSOAPServiceRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	p := core.NewProvider("registry-ssp", "loopback://uddi")
+	p.MustRegister(NewService(r))
+	tr := &soap.LoopbackTransport{Handler: p.Dispatch}
+	cl := NewClient(tr, "loopback://uddi/UDDIRegistry")
+
+	bk, err := cl.SaveBusiness("SDSC", "HotPage group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmk, err := cl.SaveTModel("gce:BatchScriptGenerator", "common interface", "http://x/bsg.wsdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := cl.SaveService(bk, "SDSC BSG",
+		DescribeCapabilities("", []string{"LSF", "NQS"}), "http://sdsc/soap/bsg", []string{tmk})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	found, err := cl.FindServiceByTModel(tmk)
+	if err != nil || len(found) != 1 {
+		t.Fatalf("by tModel = %v, %v", found, err)
+	}
+	if found[0].Bindings[0].AccessPoint != "http://sdsc/soap/bsg" {
+		t.Errorf("accessPoint = %q", found[0].Bindings[0].AccessPoint)
+	}
+	if caps := ParseCapabilities(found[0].Description); len(caps) != 2 {
+		t.Errorf("caps over the wire = %v", caps)
+	}
+
+	byDesc, err := cl.FindByDescription("NQS")
+	if err != nil || len(byDesc) != 1 {
+		t.Errorf("by description = %v, %v", byDesc, err)
+	}
+
+	detail, err := cl.GetServiceDetail(sk)
+	if err != nil || detail.Name != "SDSC BSG" {
+		t.Errorf("detail = %v, %v", detail, err)
+	}
+
+	tm, err := cl.GetTModel(tmk)
+	if err != nil || tm.OverviewURL != "http://x/bsg.wsdl" {
+		t.Errorf("tModel = %v, %v", tm, err)
+	}
+
+	byName, err := cl.FindService("", "BSG")
+	if err != nil || len(byName) != 1 {
+		t.Errorf("find by name = %v, %v", byName, err)
+	}
+
+	if err := cl.DeleteService(sk); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.DeleteService(sk); err == nil {
+		t.Error("double delete over SOAP accepted")
+	}
+	if _, err := cl.GetServiceDetail(sk); err == nil {
+		t.Error("deleted service still retrievable")
+	}
+}
+
+func TestSOAPServiceErrors(t *testing.T) {
+	r := NewRegistry()
+	p := core.NewProvider("registry-ssp", "loopback://uddi")
+	p.MustRegister(NewService(r))
+	cl := NewClient(&soap.LoopbackTransport{Handler: p.Dispatch}, "loopback://uddi/UDDIRegistry")
+	_, err := cl.SaveService("uuid:ghost", "x", "", "http://x", nil)
+	pe := soap.AsPortalError(err)
+	if pe == nil || pe.Code != soap.ErrCodeBadRequest {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := cl.GetTModel("uuid:ghost"); soap.AsPortalError(err) == nil {
+		t.Errorf("err = %v", err)
+	}
+}

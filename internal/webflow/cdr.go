@@ -1,0 +1,230 @@
+// Package webflow simulates the "legacy" CORBA-based WebFlow system that
+// the IU group's SOAP job submission service wraps (Section 3.1): a
+// miniature ORB with GIOP-style message framing and CDR-style marshalling
+// over TCP, object references, server-side servants, and the client ORB
+// initialisation utilities the paper mentions building ("a set of utility
+// methods for initializing the client ORB, which we used to bridge between
+// SOAP and IIOP").
+//
+// The protocol is a faithful reduction of GIOP 1.0: a magic header, a
+// message type, a length-prefixed big-endian body; Request carries a
+// request id, object key, operation, and string-sequence arguments; Reply
+// carries the request id, a status, and either results or an exception
+// message.
+package webflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// CDR marshalling errors.
+var (
+	ErrTruncated = errors.New("webflow: cdr: truncated buffer")
+	ErrTooLong   = errors.New("webflow: cdr: element too long")
+)
+
+// maxStringLen bounds decoded strings and sequences defensively.
+const maxStringLen = 16 << 20
+
+// encoder builds a CDR buffer (big-endian, length-prefixed strings).
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) putU32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) putString(s string) {
+	e.putU32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) putStringSeq(ss []string) {
+	e.putU32(uint32(len(ss)))
+	for _, s := range ss {
+		e.putString(s)
+	}
+}
+
+// decoder reads a CDR buffer.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", ErrTooLong
+	}
+	if d.pos+int(n) > len(d.buf) {
+		return "", ErrTruncated
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *decoder) stringSeq() ([]string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxStringLen {
+		return nil, ErrTooLong
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Message types in the framing layer.
+const (
+	msgRequest byte = 0
+	msgReply   byte = 1
+)
+
+// Reply status codes.
+const (
+	statusOK              uint32 = 0
+	statusUserException   uint32 = 1
+	statusSystemException uint32 = 2
+)
+
+// magic identifies WebFlow ORB frames (GIOP's "GIOP").
+var magic = [4]byte{'W', 'F', 'L', 'O'}
+
+// frame is one wire message.
+type frame struct {
+	msgType byte
+	body    []byte
+}
+
+// writeFrame emits magic | version | type | length | body.
+func writeFrame(w io.Writer, f frame) error {
+	hdr := make([]byte, 0, 10)
+	hdr = append(hdr, magic[:]...)
+	hdr = append(hdr, 1, f.msgType)
+	var lb [4]byte
+	binary.BigEndian.PutUint32(lb[:], uint32(len(f.body)))
+	hdr = append(hdr, lb[:]...)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(f.body)
+	return err
+}
+
+// readFrame parses one wire message.
+func readFrame(r io.Reader) (frame, error) {
+	hdr := make([]byte, 10)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return frame{}, err
+	}
+	if hdr[0] != magic[0] || hdr[1] != magic[1] || hdr[2] != magic[2] || hdr[3] != magic[3] {
+		return frame{}, fmt.Errorf("webflow: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != 1 {
+		return frame{}, fmt.Errorf("webflow: unsupported version %d", hdr[4])
+	}
+	n := binary.BigEndian.Uint32(hdr[6:])
+	if n > maxStringLen {
+		return frame{}, ErrTooLong
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, err
+	}
+	return frame{msgType: hdr[5], body: body}, nil
+}
+
+// request is a decoded Request message.
+type request struct {
+	id        uint32
+	objectKey string
+	operation string
+	args      []string
+}
+
+func encodeRequest(r request) []byte {
+	var e encoder
+	e.putU32(r.id)
+	e.putString(r.objectKey)
+	e.putString(r.operation)
+	e.putStringSeq(r.args)
+	return e.buf
+}
+
+func decodeRequest(body []byte) (request, error) {
+	d := decoder{buf: body}
+	var r request
+	var err error
+	if r.id, err = d.u32(); err != nil {
+		return r, err
+	}
+	if r.objectKey, err = d.str(); err != nil {
+		return r, err
+	}
+	if r.operation, err = d.str(); err != nil {
+		return r, err
+	}
+	if r.args, err = d.stringSeq(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// reply is a decoded Reply message.
+type reply struct {
+	id      uint32
+	status  uint32
+	results []string // results when OK, [message] when exception
+}
+
+func encodeReply(r reply) []byte {
+	var e encoder
+	e.putU32(r.id)
+	e.putU32(r.status)
+	e.putStringSeq(r.results)
+	return e.buf
+}
+
+func decodeReply(body []byte) (reply, error) {
+	d := decoder{buf: body}
+	var r reply
+	var err error
+	if r.id, err = d.u32(); err != nil {
+		return r, err
+	}
+	if r.status, err = d.u32(); err != nil {
+		return r, err
+	}
+	if r.results, err = d.stringSeq(); err != nil {
+		return r, err
+	}
+	return r, nil
+}

@@ -1,0 +1,70 @@
+package webflow
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// JobSubmissionKey is the object key of the WebFlow job submission module.
+const JobSubmissionKey = "WebFlow/JobSubmission"
+
+// JobSubmissionModule is the legacy WebFlow server module for job
+// submission: the Gateway system's CORBA object that submitted jobs
+// "by direct submittal to queuing systems" (Section 1). Its string-based
+// operation signatures are what the IU SOAP wrapper bridges.
+type JobSubmissionModule struct {
+	// Grid is the computational grid the module submits into.
+	Grid *grid.Grid
+}
+
+// Invoke implements Servant with the module's three operations:
+//
+//	runJob(principal, host, rsl)    -> [state, stdout, stderr]
+//	submitJob(principal, host, rsl) -> [contact]
+//	jobStatus(host, contact)        -> [state]
+func (m *JobSubmissionModule) Invoke(operation string, args []string) ([]string, error) {
+	switch operation {
+	case "runJob":
+		if len(args) != 3 {
+			return nil, &UserException{Message: "runJob requires (principal, host, rsl)"}
+		}
+		gk, err := m.Grid.Gatekeeper(args[1])
+		if err != nil {
+			return nil, &UserException{Message: err.Error()}
+		}
+		job, err := gk.Run(args[0], args[2])
+		if err != nil {
+			return nil, &UserException{Message: err.Error()}
+		}
+		return []string{string(job.State), job.Result.Stdout, job.Result.Stderr}, nil
+	case "submitJob":
+		if len(args) != 3 {
+			return nil, &UserException{Message: "submitJob requires (principal, host, rsl)"}
+		}
+		gk, err := m.Grid.Gatekeeper(args[1])
+		if err != nil {
+			return nil, &UserException{Message: err.Error()}
+		}
+		contact, err := gk.Submit(args[0], args[2])
+		if err != nil {
+			return nil, &UserException{Message: err.Error()}
+		}
+		return []string{contact}, nil
+	case "jobStatus":
+		if len(args) != 2 {
+			return nil, &UserException{Message: "jobStatus requires (host, contact)"}
+		}
+		gk, err := m.Grid.Gatekeeper(args[0])
+		if err != nil {
+			return nil, &UserException{Message: err.Error()}
+		}
+		job, err := gk.Status(args[1])
+		if err != nil {
+			return nil, &UserException{Message: err.Error()}
+		}
+		return []string{string(job.State)}, nil
+	default:
+		return nil, fmt.Errorf("BAD_OPERATION: %q", operation)
+	}
+}

@@ -1,0 +1,264 @@
+package webflow
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// UserException is raised by a servant and propagated to the client as a
+// distinct error type (CORBA user exceptions vs system exceptions).
+type UserException struct {
+	// Message describes the application-level failure.
+	Message string
+}
+
+// Error implements the error interface.
+func (e *UserException) Error() string { return "webflow: user exception: " + e.Message }
+
+// Servant is a WebFlow server object: named operations over string-sequence
+// arguments (the WebFlow module granularity the paper's wrapper exposes).
+type Servant interface {
+	// Invoke performs an operation. Returning a *UserException reports an
+	// application error; any other error becomes a system exception.
+	Invoke(operation string, args []string) ([]string, error)
+}
+
+// ServantFunc adapts a function to the Servant interface.
+type ServantFunc func(operation string, args []string) ([]string, error)
+
+// Invoke implements Servant.
+func (f ServantFunc) Invoke(operation string, args []string) ([]string, error) {
+	return f(operation, args)
+}
+
+// Server is the WebFlow ORB server: it listens on TCP and dispatches
+// requests to registered servants by object key.
+type Server struct {
+	mu       sync.RWMutex
+	servants map[string]Servant
+	ln       net.Listener
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a server with no servants.
+func NewServer() *Server {
+	return &Server{servants: map[string]Servant{}}
+}
+
+// RegisterServant binds an object key to a servant.
+func (s *Server) RegisterServant(objectKey string, sv Servant) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.servants[objectKey] = sv
+}
+
+// Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("webflow: listen: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for connection handlers.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// IOR returns the stringified object reference for an object key at this
+// server — the WebFlow analog of a CORBA IOR.
+func (s *Server) IOR(objectKey string) string {
+	return fmt.Sprintf("wflo://%s/%s", s.ln.Addr().String(), objectKey)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		if s.closed.Load() {
+			return
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if f.msgType != msgRequest {
+			return
+		}
+		req, err := decodeRequest(f.body)
+		if err != nil {
+			return
+		}
+		rep := s.dispatch(req)
+		_ = conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if err := writeFrame(conn, frame{msgType: msgReply, body: encodeReply(rep)}); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req request) reply {
+	s.mu.RLock()
+	sv, ok := s.servants[req.objectKey]
+	s.mu.RUnlock()
+	if !ok {
+		return reply{id: req.id, status: statusSystemException,
+			results: []string{fmt.Sprintf("OBJECT_NOT_EXIST: %q", req.objectKey)}}
+	}
+	results, err := sv.Invoke(req.operation, req.args)
+	if err != nil {
+		var ue *UserException
+		if errors.As(err, &ue) {
+			return reply{id: req.id, status: statusUserException, results: []string{ue.Message}}
+		}
+		return reply{id: req.id, status: statusSystemException, results: []string{err.Error()}}
+	}
+	return reply{id: req.id, status: statusOK, results: results}
+}
+
+// --- Client side -------------------------------------------------------------
+
+// ORB is the client-side object request broker. Creating and configuring
+// one is the "initializing the client ORB" utility work the paper
+// describes; connections are pooled per server address.
+type ORB struct {
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+	// CallTimeout bounds one request/reply exchange.
+	CallTimeout time.Duration
+
+	mu    sync.Mutex
+	conns map[string]net.Conn
+	seq   uint32
+}
+
+// InitORB constructs a client ORB with default timeouts.
+func InitORB() *ORB {
+	return &ORB{
+		DialTimeout: 5 * time.Second,
+		CallTimeout: 30 * time.Second,
+		conns:       map[string]net.Conn{},
+	}
+}
+
+// ObjectRef is a resolved remote object.
+type ObjectRef struct {
+	orb       *ORB
+	addr      string
+	objectKey string
+}
+
+// Addr returns the server address of the reference.
+func (o *ObjectRef) Addr() string { return o.addr }
+
+// Key returns the object key of the reference.
+func (o *ObjectRef) Key() string { return o.objectKey }
+
+// Resolve parses a stringified IOR into an object reference.
+func (orb *ORB) Resolve(ior string) (*ObjectRef, error) {
+	rest, ok := strings.CutPrefix(ior, "wflo://")
+	if !ok {
+		return nil, fmt.Errorf("webflow: bad IOR %q", ior)
+	}
+	slash := strings.IndexByte(rest, '/')
+	if slash <= 0 || slash == len(rest)-1 {
+		return nil, fmt.Errorf("webflow: bad IOR %q", ior)
+	}
+	return &ObjectRef{orb: orb, addr: rest[:slash], objectKey: rest[slash+1:]}, nil
+}
+
+// Shutdown closes pooled connections.
+func (orb *ORB) Shutdown() {
+	orb.mu.Lock()
+	defer orb.mu.Unlock()
+	for _, c := range orb.conns {
+		_ = c.Close()
+	}
+	orb.conns = map[string]net.Conn{}
+}
+
+// Invoke performs a synchronous request on the referenced object.
+func (o *ObjectRef) Invoke(operation string, args ...string) ([]string, error) {
+	orb := o.orb
+	orb.mu.Lock()
+	defer orb.mu.Unlock()
+	conn, ok := orb.conns[o.addr]
+	if !ok {
+		var err error
+		conn, err = net.DialTimeout("tcp", o.addr, orb.DialTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("webflow: dial %s: %w", o.addr, err)
+		}
+		orb.conns[o.addr] = conn
+	}
+	orb.seq++
+	req := request{id: orb.seq, objectKey: o.objectKey, operation: operation, args: args}
+	deadline := time.Now().Add(orb.CallTimeout)
+	_ = conn.SetDeadline(deadline)
+	if err := writeFrame(conn, frame{msgType: msgRequest, body: encodeRequest(req)}); err != nil {
+		delete(orb.conns, o.addr)
+		_ = conn.Close()
+		return nil, fmt.Errorf("webflow: send: %w", err)
+	}
+	f, err := readFrame(conn)
+	if err != nil {
+		delete(orb.conns, o.addr)
+		_ = conn.Close()
+		return nil, fmt.Errorf("webflow: receive: %w", err)
+	}
+	rep, err := decodeReply(f.body)
+	if err != nil {
+		return nil, err
+	}
+	if rep.id != req.id {
+		return nil, fmt.Errorf("webflow: reply id %d for request %d", rep.id, req.id)
+	}
+	switch rep.status {
+	case statusOK:
+		return rep.results, nil
+	case statusUserException:
+		msg := "unknown"
+		if len(rep.results) > 0 {
+			msg = rep.results[0]
+		}
+		return nil, &UserException{Message: msg}
+	default:
+		msg := "unknown"
+		if len(rep.results) > 0 {
+			msg = rep.results[0]
+		}
+		return nil, fmt.Errorf("webflow: system exception: %s", msg)
+	}
+}

@@ -1,0 +1,258 @@
+package webflow
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func TestCDRRoundTrip(t *testing.T) {
+	req := request{id: 42, objectKey: "WebFlow/JobSubmission", operation: "runJob",
+		args: []string{"cyoun", "modi4", "&(executable=/bin/date)"}}
+	got, err := decodeRequest(encodeRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.id != 42 || got.objectKey != req.objectKey || got.operation != req.operation {
+		t.Errorf("got = %+v", got)
+	}
+	if len(got.args) != 3 || got.args[2] != req.args[2] {
+		t.Errorf("args = %q", got.args)
+	}
+	rep := reply{id: 42, status: statusOK, results: []string{"COMPLETED", "out", ""}}
+	gotRep, err := decodeReply(encodeReply(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep.status != statusOK || len(gotRep.results) != 3 {
+		t.Errorf("rep = %+v", gotRep)
+	}
+}
+
+func TestCDRTruncation(t *testing.T) {
+	enc := encodeRequest(request{id: 1, objectKey: "k", operation: "op", args: []string{"a"}})
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := decodeRequest(enc[:cut]); err == nil {
+			t.Errorf("truncated at %d accepted", cut)
+		}
+	}
+}
+
+func TestPropertyCDRRequests(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		req := request{
+			id:        r.Uint32(),
+			objectKey: randStr(r),
+			operation: randStr(r),
+		}
+		n := r.Intn(5)
+		for i := 0; i < n; i++ {
+			req.args = append(req.args, randStr(r))
+		}
+		got, err := decodeRequest(encodeRequest(req))
+		if err != nil {
+			return false
+		}
+		if got.id != req.id || got.objectKey != req.objectKey || got.operation != req.operation {
+			return false
+		}
+		if len(got.args) != len(req.args) {
+			return false
+		}
+		for i := range req.args {
+			if got.args[i] != req.args[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randStr(r *rand.Rand) string {
+	n := r.Intn(40)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Intn(256))
+	}
+	return string(b)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("payload")
+	if err := writeFrame(&buf, frame{msgType: msgRequest, body: body}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.msgType != msgRequest || string(f.body) != "payload" {
+		t.Errorf("frame = %+v", f)
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	if _, err := readFrame(strings.NewReader("BAD!......")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte{'W', 'F', 'L', 'O', 9, 0, 0, 0, 0, 0})
+	if _, err := readFrame(&buf); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := readFrame(strings.NewReader("WF")); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func startEcho(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer()
+	srv.RegisterServant("Echo", ServantFunc(func(op string, args []string) ([]string, error) {
+		switch op {
+		case "echo":
+			return args, nil
+		case "fail":
+			return nil, &UserException{Message: "requested failure"}
+		case "crash":
+			return nil, errors.New("internal meltdown")
+		default:
+			return nil, errors.New("BAD_OPERATION")
+		}
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, addr
+}
+
+func TestInvokeOverTCP(t *testing.T) {
+	srv, _ := startEcho(t)
+	orb := InitORB()
+	defer orb.Shutdown()
+	ref, err := orb.Resolve(srv.IOR("Echo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ref.Invoke("echo", "hello", "orb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "hello" || got[1] != "orb" {
+		t.Errorf("results = %q", got)
+	}
+	// Multiple calls reuse the pooled connection.
+	for i := 0; i < 10; i++ {
+		if _, err := ref.Invoke("echo", "again"); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestUserAndSystemExceptions(t *testing.T) {
+	srv, _ := startEcho(t)
+	orb := InitORB()
+	defer orb.Shutdown()
+	ref, _ := orb.Resolve(srv.IOR("Echo"))
+	_, err := ref.Invoke("fail")
+	var ue *UserException
+	if !errors.As(err, &ue) || ue.Message != "requested failure" {
+		t.Errorf("user exception = %v", err)
+	}
+	_, err = ref.Invoke("crash")
+	if err == nil || errors.As(err, &ue) {
+		t.Errorf("system exception = %v", err)
+	}
+	// Unknown object key is a system exception.
+	badRef, _ := orb.Resolve(strings.Replace(srv.IOR("Echo"), "Echo", "Ghost", 1))
+	_, err = badRef.Invoke("echo")
+	if err == nil || !strings.Contains(err.Error(), "OBJECT_NOT_EXIST") {
+		t.Errorf("missing object = %v", err)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	orb := InitORB()
+	defer orb.Shutdown()
+	for _, bad := range []string{"", "http://x/y", "wflo://hostonly", "wflo://host:1/"} {
+		if _, err := orb.Resolve(bad); err == nil {
+			t.Errorf("Resolve(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	orb := InitORB()
+	defer orb.Shutdown()
+	ref, _ := orb.Resolve("wflo://127.0.0.1:1/Echo")
+	if _, err := ref.Invoke("echo"); err == nil {
+		t.Error("invoke on dead address succeeded")
+	}
+}
+
+func TestJobSubmissionModule(t *testing.T) {
+	g := grid.NewTestbed()
+	g.Authorize("cyoun@IU.EDU")
+	srv := NewServer()
+	srv.RegisterServant(JobSubmissionKey, &JobSubmissionModule{Grid: g})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	_ = addr
+	orb := InitORB()
+	defer orb.Shutdown()
+	ref, _ := orb.Resolve(srv.IOR(JobSubmissionKey))
+
+	// Synchronous run.
+	res, err := ref.Invoke("runJob", "cyoun@IU.EDU", "modi4.ncsa.uiuc.edu", "&(executable=/bin/hostname)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != "COMPLETED" || res[1] != "modi4.ncsa.uiuc.edu\n" {
+		t.Errorf("runJob = %q", res)
+	}
+	// Submit + status.
+	res, err = ref.Invoke("submitJob", "cyoun@IU.EDU", "modi4.ncsa.uiuc.edu", "&(executable=/bin/date)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	contact := res[0]
+	h, _ := g.Host("modi4.ncsa.uiuc.edu")
+	h.Scheduler.Drain()
+	res, err = ref.Invoke("jobStatus", "modi4.ncsa.uiuc.edu", contact)
+	if err != nil || res[0] != "COMPLETED" {
+		t.Errorf("jobStatus = %q, %v", res, err)
+	}
+	// Errors surface as user exceptions.
+	var ue *UserException
+	_, err = ref.Invoke("runJob", "stranger", "modi4.ncsa.uiuc.edu", "&(executable=/bin/date)")
+	if !errors.As(err, &ue) {
+		t.Errorf("unauthorized = %v", err)
+	}
+	_, err = ref.Invoke("runJob", "cyoun@IU.EDU", "ghost.host", "&(executable=/bin/date)")
+	if !errors.As(err, &ue) {
+		t.Errorf("unknown host = %v", err)
+	}
+	_, err = ref.Invoke("runJob", "too", "few")
+	if !errors.As(err, &ue) {
+		t.Errorf("arity = %v", err)
+	}
+	_, err = ref.Invoke("unknownOp")
+	if err == nil || errors.As(err, &ue) {
+		t.Errorf("unknown op should be system exception: %v", err)
+	}
+}

@@ -1,0 +1,551 @@
+// Package xmlregistry implements the discovery system the paper proposes to
+// replace UDDI: "a recursive, self-describing XML container hierarchy into
+// which metadata about services may be flexibly mapped" (Section 3.4). The
+// paper suggests LDAP or an XML database as possible realisations; this
+// package provides the XML-database flavour.
+//
+// The registry stores a tree of containers. Each container is self-
+// describing: it carries a type name, arbitrary typed properties, and child
+// containers. Service capabilities (such as the queuing systems a batch
+// script generator supports) are first-class property values rather than
+// free-text conventions, so queries like "every service whose
+// supportedScheduler property equals NQS" are exact — the query precision
+// that UDDI's string descriptions cannot deliver, which the discovery
+// experiment (S3.4) measures.
+package xmlregistry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/soap"
+	"repro/internal/wsdl"
+	"repro/internal/xmlutil"
+)
+
+// Property is one typed name/value pair on a container. Multi-valued
+// properties are expressed by repeating the name.
+type Property struct {
+	// Name of the property, e.g. "supportedScheduler".
+	Name string
+	// Value as text.
+	Value string
+}
+
+// Container is one node of the self-describing hierarchy.
+type Container struct {
+	// Name is the node's name within its parent, unique among siblings.
+	Name string
+	// Type is the self-description, e.g. "serviceGroup", "service",
+	// "capability".
+	Type string
+	// Properties are the node's typed metadata.
+	Properties []Property
+	// children by name.
+	children map[string]*Container
+	// order preserves insertion order of children.
+	order []string
+}
+
+// newContainer constructs an empty container.
+func newContainer(name, typ string) *Container {
+	return &Container{Name: name, Type: typ, children: map[string]*Container{}}
+}
+
+// Child returns the named child, or nil.
+func (c *Container) Child(name string) *Container {
+	return c.children[name]
+}
+
+// Children returns the child containers in insertion order.
+func (c *Container) Children() []*Container {
+	out := make([]*Container, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.children[n])
+	}
+	return out
+}
+
+// Prop returns the first value of the named property and whether it exists.
+func (c *Container) Prop(name string) (string, bool) {
+	for _, p := range c.Properties {
+		if p.Name == name {
+			return p.Value, true
+		}
+	}
+	return "", false
+}
+
+// PropAll returns every value of the named property.
+func (c *Container) PropAll(name string) []string {
+	var out []string
+	for _, p := range c.Properties {
+		if p.Name == name {
+			out = append(out, p.Value)
+		}
+	}
+	return out
+}
+
+// SetProp appends a property value.
+func (c *Container) SetProp(name, value string) *Container {
+	c.Properties = append(c.Properties, Property{Name: name, Value: value})
+	return c
+}
+
+// Element renders the container subtree as self-describing XML.
+func (c *Container) Element() *xmlutil.Element {
+	el := xmlutil.New("container").SetAttr("name", c.Name).SetAttr("type", c.Type)
+	for _, p := range c.Properties {
+		el.Add(xmlutil.NewText("property", p.Value).SetAttr("name", p.Name))
+	}
+	for _, child := range c.Children() {
+		el.Add(child.Element())
+	}
+	return el
+}
+
+// containerFromElement parses a rendered container subtree.
+func containerFromElement(el *xmlutil.Element) (*Container, error) {
+	if el.Name != "container" {
+		return nil, fmt.Errorf("xmlregistry: element %q is not container", el.Name)
+	}
+	c := newContainer(el.AttrDefault("name", ""), el.AttrDefault("type", ""))
+	for _, p := range el.ChildrenNamed("property") {
+		c.SetProp(p.AttrDefault("name", ""), p.Text)
+	}
+	for _, childEl := range el.ChildrenNamed("container") {
+		child, err := containerFromElement(childEl)
+		if err != nil {
+			return nil, err
+		}
+		c.children[child.Name] = child
+		c.order = append(c.order, child.Name)
+	}
+	return c, nil
+}
+
+// Registry is the container hierarchy with concurrency-safe access.
+type Registry struct {
+	mu   sync.RWMutex
+	root *Container
+}
+
+// NewRegistry returns a registry with an empty root container.
+func NewRegistry() *Registry {
+	return &Registry{root: newContainer("", "root")}
+}
+
+// Create makes (or returns) the container at the slash-separated path,
+// setting its type. Intermediate containers are created with type
+// "container". Returns an error when the path exists with a conflicting
+// type.
+func (r *Registry) Create(path, typ string) (*Container, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	segs, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := r.root
+	for i, seg := range segs {
+		next := cur.children[seg]
+		if next == nil {
+			t := "container"
+			if i == len(segs)-1 {
+				t = typ
+			}
+			next = newContainer(seg, t)
+			cur.children[seg] = next
+			cur.order = append(cur.order, seg)
+		} else if i == len(segs)-1 && next.Type != typ {
+			return nil, fmt.Errorf("xmlregistry: %s exists with type %q, requested %q", path, next.Type, typ)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Put replaces the properties of the container at path, creating it (with
+// the given type) if needed.
+func (r *Registry) Put(path, typ string, props []Property) error {
+	c, err := r.Create(path, typ)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c.Properties = append([]Property(nil), props...)
+	return nil
+}
+
+// Get returns a deep copy of the container at path.
+func (r *Registry) Get(path string) (*Container, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, err := r.lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	return copyContainer(c), nil
+}
+
+// Delete removes the container at path and its subtree.
+func (r *Registry) Delete(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	segs, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	parentSegs, leaf := segs[:len(segs)-1], segs[len(segs)-1]
+	cur := r.root
+	for _, seg := range parentSegs {
+		cur = cur.children[seg]
+		if cur == nil {
+			return fmt.Errorf("xmlregistry: no container at %q", path)
+		}
+	}
+	if _, ok := cur.children[leaf]; !ok {
+		return fmt.Errorf("xmlregistry: no container at %q", path)
+	}
+	delete(cur.children, leaf)
+	for i, n := range cur.order {
+		if n == leaf {
+			cur.order = append(cur.order[:i], cur.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+func (r *Registry) lookup(path string) (*Container, error) {
+	segs, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := r.root
+	for _, seg := range segs {
+		cur = cur.children[seg]
+		if cur == nil {
+			return nil, fmt.Errorf("xmlregistry: no container at %q", path)
+		}
+	}
+	return cur, nil
+}
+
+func splitPath(path string) ([]string, error) {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil, fmt.Errorf("xmlregistry: empty path")
+	}
+	segs := strings.Split(path, "/")
+	for _, s := range segs {
+		if s == "" {
+			return nil, fmt.Errorf("xmlregistry: empty path segment in %q", path)
+		}
+	}
+	return segs, nil
+}
+
+func copyContainer(c *Container) *Container {
+	cp := newContainer(c.Name, c.Type)
+	cp.Properties = append([]Property(nil), c.Properties...)
+	for _, name := range c.order {
+		child := copyContainer(c.children[name])
+		cp.children[name] = child
+		cp.order = append(cp.order, name)
+	}
+	return cp
+}
+
+// Query describes a structured search over the hierarchy. All specified
+// constraints must hold; an empty query matches every container.
+type Query struct {
+	// Type restricts matches to containers of this type.
+	Type string
+	// HasProp requires a property with this name (any value).
+	HasProp string
+	// PropEquals requires property name=value pairs to match exactly
+	// (value among the container's values for that property).
+	PropEquals []Property
+	// Under restricts the search to the subtree at this path.
+	Under string
+}
+
+// Match is one query result: the container and its path.
+type Match struct {
+	// Path is the slash-separated path of the matched container.
+	Path string
+	// Container is a deep copy of the match.
+	Container *Container
+}
+
+// Find runs a structured query and returns matches sorted by path.
+func (r *Registry) Find(q Query) ([]Match, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	start := r.root
+	prefix := ""
+	if q.Under != "" {
+		c, err := r.lookup(q.Under)
+		if err != nil {
+			return nil, err
+		}
+		start = c
+		prefix = strings.Trim(q.Under, "/")
+	}
+	var out []Match
+	var walk func(c *Container, path string)
+	walk = func(c *Container, path string) {
+		if matches(c, q) && c != r.root {
+			out = append(out, Match{Path: path, Container: copyContainer(c)})
+		}
+		for _, name := range c.order {
+			child := c.children[name]
+			childPath := name
+			if path != "" {
+				childPath = path + "/" + name
+			}
+			walk(child, childPath)
+		}
+	}
+	walk(start, prefix)
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func matches(c *Container, q Query) bool {
+	if q.Type != "" && c.Type != q.Type {
+		return false
+	}
+	if q.HasProp != "" {
+		if _, ok := c.Prop(q.HasProp); !ok {
+			return false
+		}
+	}
+	for _, want := range q.PropEquals {
+		found := false
+		for _, v := range c.PropAll(want.Name) {
+			if v == want.Value {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Export renders the whole hierarchy as one self-describing XML document.
+func (r *Registry) Export() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.root.Element().Render()
+}
+
+// Import replaces the hierarchy from an exported document.
+func (r *Registry) Import(doc string) error {
+	el, err := xmlutil.ParseString(doc)
+	if err != nil {
+		return fmt.Errorf("xmlregistry: %w", err)
+	}
+	root, err := containerFromElement(el)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.root = root
+	return nil
+}
+
+// --- SOAP service wrapper -------------------------------------------------
+
+// ServiceNS is the namespace of the registry's SOAP interface.
+const ServiceNS = "urn:gce:xmlregistry"
+
+// Contract returns the WSDL interface of the registry service.
+func Contract() *wsdl.Interface {
+	return &wsdl.Interface{
+		Name:     "XMLRegistry",
+		TargetNS: ServiceNS,
+		Doc:      "Recursive self-describing XML container hierarchy for service metadata.",
+		Operations: []wsdl.Operation{
+			{
+				Name: "put",
+				Input: []wsdl.Param{
+					{Name: "path", Type: "string"},
+					{Name: "type", Type: "string"},
+					{Name: "properties", Type: "xml"},
+				},
+				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}},
+			},
+			{
+				Name:   "get",
+				Input:  []wsdl.Param{{Name: "path", Type: "string"}},
+				Output: []wsdl.Param{{Name: "container", Type: "xml"}},
+			},
+			{
+				Name:   "delete",
+				Input:  []wsdl.Param{{Name: "path", Type: "string"}},
+				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}},
+			},
+			{
+				Name:   "find",
+				Input:  []wsdl.Param{{Name: "query", Type: "xml"}},
+				Output: []wsdl.Param{{Name: "matches", Type: "xml"}},
+			},
+		},
+	}
+}
+
+// propsElement renders properties for the wire.
+func propsElement(props []Property) *xmlutil.Element {
+	el := xmlutil.New("properties")
+	for _, p := range props {
+		el.Add(xmlutil.NewText("property", p.Value).SetAttr("name", p.Name))
+	}
+	return el
+}
+
+func propsFromElement(el *xmlutil.Element) []Property {
+	if el == nil {
+		return nil
+	}
+	var out []Property
+	for _, p := range el.ChildrenNamed("property") {
+		out = append(out, Property{Name: p.AttrDefault("name", ""), Value: p.Text})
+	}
+	return out
+}
+
+// queryElement renders a Query for the wire.
+func queryElement(q Query) *xmlutil.Element {
+	el := xmlutil.New("query")
+	if q.Type != "" {
+		el.AddText("type", q.Type)
+	}
+	if q.HasProp != "" {
+		el.AddText("hasProp", q.HasProp)
+	}
+	if q.Under != "" {
+		el.AddText("under", q.Under)
+	}
+	for _, p := range q.PropEquals {
+		el.Add(xmlutil.NewText("propEquals", p.Value).SetAttr("name", p.Name))
+	}
+	return el
+}
+
+func queryFromElement(el *xmlutil.Element) Query {
+	q := Query{
+		Type:    el.ChildText("type"),
+		HasProp: el.ChildText("hasProp"),
+		Under:   el.ChildText("under"),
+	}
+	for _, p := range el.ChildrenNamed("propEquals") {
+		q.PropEquals = append(q.PropEquals, Property{Name: p.AttrDefault("name", ""), Value: p.Text})
+	}
+	return q
+}
+
+// NewService wraps a Registry as a deployable core.Service.
+func NewService(r *Registry) *core.Service {
+	svc := core.NewService(Contract())
+	svc.Handle("put", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		err := r.Put(args.String("path"), args.String("type"), propsFromElement(args.XML("properties")))
+		if err != nil {
+			return nil, soap.NewPortalError("XMLRegistry", soap.ErrCodeBadRequest, "%v", err)
+		}
+		return []soap.Value{soap.Bool("ok", true)}, nil
+	})
+	svc.Handle("get", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		c, err := r.Get(args.String("path"))
+		if err != nil {
+			return nil, soap.NewPortalError("XMLRegistry", soap.ErrCodeNoSuchResource, "%v", err)
+		}
+		return []soap.Value{soap.XMLDoc("container", c.Element())}, nil
+	})
+	svc.Handle("delete", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		if err := r.Delete(args.String("path")); err != nil {
+			return nil, soap.NewPortalError("XMLRegistry", soap.ErrCodeNoSuchResource, "%v", err)
+		}
+		return []soap.Value{soap.Bool("ok", true)}, nil
+	})
+	svc.Handle("find", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
+		qEl := args.XML("query")
+		if qEl == nil {
+			return nil, soap.NewPortalError("XMLRegistry", soap.ErrCodeBadRequest, "missing query")
+		}
+		matches, err := r.Find(queryFromElement(qEl))
+		if err != nil {
+			return nil, soap.NewPortalError("XMLRegistry", soap.ErrCodeBadRequest, "%v", err)
+		}
+		list := xmlutil.New("matches")
+		for _, m := range matches {
+			item := xmlutil.New("match").SetAttr("path", m.Path)
+			item.Add(m.Container.Element())
+			list.Add(item)
+		}
+		return []soap.Value{soap.XMLDoc("matches", list)}, nil
+	})
+	return svc
+}
+
+// Client is a typed proxy to a remote XMLRegistry service.
+type Client struct {
+	c *core.Client
+}
+
+// NewClient binds a client to the registry endpoint.
+func NewClient(t soap.Transport, endpoint string) *Client {
+	return &Client{c: core.NewClient(t, endpoint, Contract())}
+}
+
+// Put creates or updates a container.
+func (cl *Client) Put(path, typ string, props []Property) error {
+	_, err := cl.c.Call("put",
+		soap.Str("path", path), soap.Str("type", typ), soap.XMLDoc("properties", propsElement(props)))
+	return err
+}
+
+// Get fetches a container subtree.
+func (cl *Client) Get(path string) (*Container, error) {
+	doc, err := cl.c.CallXML("get", soap.Str("path", path))
+	if err != nil {
+		return nil, err
+	}
+	return containerFromElement(doc)
+}
+
+// Delete removes a container subtree.
+func (cl *Client) Delete(path string) error {
+	_, err := cl.c.Call("delete", soap.Str("path", path))
+	return err
+}
+
+// Find runs a structured query remotely.
+func (cl *Client) Find(q Query) ([]Match, error) {
+	doc, err := cl.c.CallXML("find", soap.XMLDoc("query", queryElement(q)))
+	if err != nil {
+		return nil, err
+	}
+	var out []Match
+	for _, m := range doc.ChildrenNamed("match") {
+		if len(m.Children) == 0 {
+			continue
+		}
+		c, err := containerFromElement(m.Child("container"))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Match{Path: m.AttrDefault("path", ""), Container: c})
+	}
+	return out, nil
+}

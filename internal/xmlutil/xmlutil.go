@@ -1,0 +1,554 @@
+// Package xmlutil provides a lightweight, order-preserving XML element tree
+// used as the foundation for every hand-rolled XML dialect in this repository
+// (SOAP envelopes, WSDL documents, UDDI structures, SAML assertions,
+// application descriptors, and the container-hierarchy registry).
+//
+// The Go standard library's encoding/xml maps XML onto static structs, which
+// is a poor fit for the open, recursive document shapes computational-portal
+// services exchange. Element is a dynamic tree: every node carries a name,
+// optional namespace, attributes, character data, and ordered children. The
+// package supplies parsing (on top of xml.Decoder tokens), deterministic
+// canonical rendering (needed for signature computation in the SAML layer),
+// and path-based navigation helpers.
+package xmlutil
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Attr is a single XML attribute. Space is the namespace URI (not the
+// prefix); Name is the local name.
+type Attr struct {
+	Space string
+	Name  string
+	Value string
+}
+
+// Element is one node of the XML tree. Text holds the concatenated character
+// data that appears directly inside the element (children and text are not
+// interleaved; portal dialects never rely on mixed content). Children are
+// kept in document order.
+type Element struct {
+	// Space is the namespace URI of the element, empty for unqualified names.
+	Space string
+	// Name is the local element name.
+	Name string
+	// Attrs lists the attributes in document order.
+	Attrs []Attr
+	// Text is the character data directly contained in the element.
+	Text string
+	// Children are the child elements in document order.
+	Children []*Element
+}
+
+// New returns a new element with the given local name.
+func New(name string) *Element {
+	return &Element{Name: name}
+}
+
+// NewNS returns a new element with the given namespace URI and local name.
+func NewNS(space, name string) *Element {
+	return &Element{Space: space, Name: name}
+}
+
+// NewText returns a new element with the given local name and text content.
+func NewText(name, text string) *Element {
+	return &Element{Name: name, Text: text}
+}
+
+// SetAttr sets (or replaces) an unqualified attribute and returns the
+// element for chaining.
+func (e *Element) SetAttr(name, value string) *Element {
+	return e.SetAttrNS("", name, value)
+}
+
+// SetAttrNS sets (or replaces) a namespaced attribute and returns the
+// element for chaining.
+func (e *Element) SetAttrNS(space, name, value string) *Element {
+	for i := range e.Attrs {
+		if e.Attrs[i].Name == name && e.Attrs[i].Space == space {
+			e.Attrs[i].Value = value
+			return e
+		}
+	}
+	e.Attrs = append(e.Attrs, Attr{Space: space, Name: name, Value: value})
+	return e
+}
+
+// Attr returns the value of the named unqualified attribute and whether it
+// was present.
+func (e *Element) Attr(name string) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Name == name && a.Space == "" {
+			return a.Value, true
+		}
+	}
+	// Fall back to a namespaced attribute with the same local name: portal
+	// dialects frequently move attributes in and out of the default
+	// namespace, and lookups by local name are what the callers mean.
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrDefault returns the value of the named attribute or def when absent.
+func (e *Element) AttrDefault(name, def string) string {
+	if v, ok := e.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// Add appends children and returns the element for chaining.
+func (e *Element) Add(children ...*Element) *Element {
+	e.Children = append(e.Children, children...)
+	return e
+}
+
+// AddText appends a child with the given name and text and returns the
+// parent for chaining.
+func (e *Element) AddText(name, text string) *Element {
+	return e.Add(NewText(name, text))
+}
+
+// AddTextNS appends a namespaced child with text content and returns the
+// parent for chaining.
+func (e *Element) AddTextNS(space, name, text string) *Element {
+	c := NewNS(space, name)
+	c.Text = text
+	return e.Add(c)
+}
+
+// Child returns the first child with the given local name, or nil.
+func (e *Element) Child(name string) *Element {
+	for _, c := range e.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildNS returns the first child with the given namespace URI and local
+// name, or nil.
+func (e *Element) ChildNS(space, name string) *Element {
+	for _, c := range e.Children {
+		if c.Name == name && c.Space == space {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildText returns the text of the first child with the given local name,
+// or the empty string when the child is absent.
+func (e *Element) ChildText(name string) string {
+	if c := e.Child(name); c != nil {
+		return c.Text
+	}
+	return ""
+}
+
+// ChildrenNamed returns all direct children with the given local name.
+func (e *Element) ChildrenNamed(name string) []*Element {
+	var out []*Element
+	for _, c := range e.Children {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Find walks a slash-separated path of local names from the element and
+// returns the first match, or nil. An empty path returns the element itself.
+// Example: env.Find("Body/submitJob/rsl").
+func (e *Element) Find(path string) *Element {
+	if path == "" {
+		return e
+	}
+	cur := e
+	for _, seg := range strings.Split(path, "/") {
+		if cur == nil {
+			return nil
+		}
+		cur = cur.Child(seg)
+	}
+	return cur
+}
+
+// FindAll returns every element reachable by the slash-separated path. At
+// each level all children matching the segment are expanded.
+func (e *Element) FindAll(path string) []*Element {
+	frontier := []*Element{e}
+	if path == "" {
+		return frontier
+	}
+	for _, seg := range strings.Split(path, "/") {
+		var next []*Element
+		for _, el := range frontier {
+			next = append(next, el.ChildrenNamed(seg)...)
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			return nil
+		}
+	}
+	return frontier
+}
+
+// FindText returns the text at a slash-separated path, or "".
+func (e *Element) FindText(path string) string {
+	if el := e.Find(path); el != nil {
+		return el.Text
+	}
+	return ""
+}
+
+// Walk visits the element and every descendant in document order. Returning
+// false from fn prunes the subtree below the current node.
+func (e *Element) Walk(fn func(*Element) bool) {
+	if !fn(e) {
+		return
+	}
+	for _, c := range e.Children {
+		c.Walk(fn)
+	}
+}
+
+// Clone returns a deep copy of the element.
+func (e *Element) Clone() *Element {
+	cp := &Element{Space: e.Space, Name: e.Name, Text: e.Text}
+	cp.Attrs = append([]Attr(nil), e.Attrs...)
+	for _, c := range e.Children {
+		cp.Children = append(cp.Children, c.Clone())
+	}
+	return cp
+}
+
+// Equal reports deep equality of two trees, including attribute order.
+func (e *Element) Equal(o *Element) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	if e.Space != o.Space || e.Name != o.Name || e.Text != o.Text {
+		return false
+	}
+	if len(e.Attrs) != len(o.Attrs) || len(e.Children) != len(o.Children) {
+		return false
+	}
+	for i := range e.Attrs {
+		if e.Attrs[i] != o.Attrs[i] {
+			return false
+		}
+	}
+	for i := range e.Children {
+		if !e.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountNodes returns the number of elements in the subtree, including the
+// receiver.
+func (e *Element) CountNodes() int {
+	n := 0
+	e.Walk(func(*Element) bool { n++; return true })
+	return n
+}
+
+// Int returns the element text parsed as an int.
+func (e *Element) Int() (int, error) {
+	return strconv.Atoi(strings.TrimSpace(e.Text))
+}
+
+// Bool returns the element text parsed as a bool.
+func (e *Element) Bool() (bool, error) {
+	return strconv.ParseBool(strings.TrimSpace(e.Text))
+}
+
+// Parse reads a complete XML document from r and returns the root element.
+// Processing instructions, comments, and the XML declaration are skipped.
+func Parse(r io.Reader) (*Element, error) {
+	dec := xml.NewDecoder(r)
+	var root *Element
+	var stack []*Element
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlutil: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := &Element{Space: t.Name.Space, Name: t.Name.Local}
+			for _, a := range t.Attr {
+				// Drop namespace declarations: prefixes are resolved by the
+				// decoder, and re-rendering assigns fresh prefixes.
+				if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
+					continue
+				}
+				el.Attrs = append(el.Attrs, Attr{Space: a.Name.Space, Name: a.Name.Local, Value: a.Value})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, errors.New("xmlutil: parse: multiple root elements")
+				}
+				root = el
+			} else {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, el)
+			}
+			stack = append(stack, el)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, errors.New("xmlutil: parse: unbalanced end element")
+			}
+			top := stack[len(stack)-1]
+			// Whitespace between child elements is formatting, not content;
+			// leaf text is preserved verbatim because portal payloads (job
+			// output, file contents) carry significant whitespace.
+			if len(top.Children) > 0 {
+				top.Text = strings.TrimSpace(top.Text)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].Text += string(t)
+			}
+		}
+	}
+	if root == nil {
+		return nil, errors.New("xmlutil: parse: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, errors.New("xmlutil: parse: unterminated document")
+	}
+	return root, nil
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Element, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// renderState tracks prefix assignment during rendering.
+type renderState struct {
+	prefixes map[string]string // namespace URI -> prefix
+	next     int
+}
+
+func (rs *renderState) prefixFor(space string) string {
+	if space == "" {
+		return ""
+	}
+	if p, ok := rs.prefixes[space]; ok {
+		return p
+	}
+	p := "ns" + strconv.Itoa(rs.next)
+	rs.next++
+	rs.prefixes[space] = p
+	return p
+}
+
+// Render serialises the tree to XML. Namespace prefixes are assigned
+// deterministically in first-use order (ns0, ns1, ...), and every namespace
+// declaration is emitted on the element where the namespace first appears.
+// Attribute order is preserved. The output carries no XML declaration.
+func (e *Element) Render() string {
+	var b bytes.Buffer
+	rs := &renderState{prefixes: map[string]string{}}
+	e.render(&b, rs, false)
+	return b.String()
+}
+
+// RenderIndent serialises the tree with two-space indentation, for human
+// inspection and documentation output.
+func (e *Element) RenderIndent() string {
+	var b bytes.Buffer
+	rs := &renderState{prefixes: map[string]string{}}
+	e.renderIndent(&b, rs, 0)
+	return b.String()
+}
+
+// Canonical returns a canonical form of the tree suitable as a signature
+// input: attributes sorted by (space, name), text whitespace trimmed, and
+// namespace prefixes assigned in a pre-order traversal. Two trees that are
+// Equal up to attribute order produce identical canonical strings.
+func (e *Element) Canonical() string {
+	c := e.Clone()
+	c.Walk(func(el *Element) bool {
+		sort.Slice(el.Attrs, func(i, j int) bool {
+			if el.Attrs[i].Space != el.Attrs[j].Space {
+				return el.Attrs[i].Space < el.Attrs[j].Space
+			}
+			return el.Attrs[i].Name < el.Attrs[j].Name
+		})
+		el.Text = strings.TrimSpace(el.Text)
+		return true
+	})
+	return c.Render()
+}
+
+func (e *Element) render(b *bytes.Buffer, rs *renderState, indent bool) {
+	declared := e.openTag(b, rs)
+	if len(e.Children) == 0 && e.Text == "" {
+		b.WriteString("/>")
+		e.forget(rs, declared)
+		return
+	}
+	b.WriteByte('>')
+	if e.Text != "" {
+		b.WriteString(EscapeText(e.Text))
+	}
+	for _, c := range e.Children {
+		c.render(b, rs, indent)
+	}
+	e.closeTag(b, rs)
+	e.forget(rs, declared)
+}
+
+func (e *Element) renderIndent(b *bytes.Buffer, rs *renderState, depth int) {
+	pad := strings.Repeat("  ", depth)
+	b.WriteString(pad)
+	declared := e.openTag(b, rs)
+	switch {
+	case len(e.Children) == 0 && e.Text == "":
+		b.WriteString("/>\n")
+	case len(e.Children) == 0:
+		b.WriteByte('>')
+		b.WriteString(EscapeText(e.Text))
+		e.closeTag(b, rs)
+		b.WriteByte('\n')
+	default:
+		b.WriteString(">\n")
+		if e.Text != "" {
+			b.WriteString(pad + "  " + EscapeText(e.Text) + "\n")
+		}
+		for _, c := range e.Children {
+			c.renderIndent(b, rs, depth+1)
+		}
+		b.WriteString(pad)
+		e.closeTag(b, rs)
+		b.WriteByte('\n')
+	}
+	e.forget(rs, declared)
+}
+
+// openTag writes "<prefix:name attrs" (no closing '>') and returns the list
+// of namespace URIs newly declared on this element so the caller can remove
+// them from scope afterwards.
+func (e *Element) openTag(b *bytes.Buffer, rs *renderState) []string {
+	var declared []string
+	need := func(space string) string {
+		if space == "" {
+			return ""
+		}
+		if _, ok := rs.prefixes[space]; !ok {
+			declared = append(declared, space)
+		}
+		return rs.prefixFor(space)
+	}
+	p := need(e.Space)
+	b.WriteByte('<')
+	if p != "" {
+		b.WriteString(p)
+		b.WriteByte(':')
+	}
+	b.WriteString(e.Name)
+	for _, a := range e.Attrs {
+		ap := need(a.Space)
+		b.WriteByte(' ')
+		if ap != "" {
+			b.WriteString(ap)
+			b.WriteByte(':')
+		}
+		b.WriteString(a.Name)
+		b.WriteString(`="`)
+		b.WriteString(EscapeAttr(a.Value))
+		b.WriteByte('"')
+	}
+	for _, space := range declared {
+		b.WriteString(` xmlns:`)
+		b.WriteString(rs.prefixes[space])
+		b.WriteString(`="`)
+		b.WriteString(EscapeAttr(space))
+		b.WriteByte('"')
+	}
+	return declared
+}
+
+func (e *Element) closeTag(b *bytes.Buffer, rs *renderState) {
+	b.WriteString("</")
+	if e.Space != "" {
+		if p, ok := rs.prefixes[e.Space]; ok && p != "" {
+			b.WriteString(p)
+			b.WriteByte(':')
+		}
+	}
+	b.WriteString(e.Name)
+	b.WriteByte('>')
+}
+
+// forget removes namespaces declared on this element from scope once the
+// element closes, mirroring XML lexical scoping.
+func (e *Element) forget(rs *renderState, declared []string) {
+	for _, space := range declared {
+		delete(rs.prefixes, space)
+	}
+}
+
+// EscapeText escapes character data for inclusion in element content.
+func EscapeText(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// EscapeAttr escapes a string for inclusion in a double-quoted attribute.
+func EscapeAttr(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\n':
+			b.WriteString("&#10;")
+		case '\t':
+			b.WriteString("&#9;")
+		case '\r':
+			b.WriteString("&#13;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

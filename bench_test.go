@@ -28,6 +28,7 @@ import (
 	"repro/internal/jobsub"
 	"repro/internal/portal"
 	"repro/internal/portlet"
+	"repro/internal/rpc"
 	"repro/internal/schemawizard"
 	"repro/internal/soap"
 	"repro/internal/srb"
@@ -448,26 +449,30 @@ func authFixture(b *testing.B) (*authsvc.ClientSession, *authsvc.Service, *auths
 	return session, service, remote
 }
 
-func echoProvider(interceptor core.ServerInterceptor) *core.Provider {
-	contract := &wsdl.Interface{Name: "Echo", TargetNS: "urn:bench:echo",
-		Operations: []wsdl.Operation{{Name: "ping",
-			Output: []wsdl.Param{{Name: "pong", Type: "string"}}}}}
-	p := core.NewProvider("spp", "loopback://spp")
-	if interceptor != nil {
-		p.Use(interceptor)
+func echoDef() *rpc.Def {
+	return &rpc.Def{
+		Name: "Echo", NS: "urn:bench:echo",
+		Ops: []rpc.Op{{
+			Name: "ping",
+			Out:  []wsdl.Param{rpc.Str("pong")},
+			Handle: func(ctx *core.Context, _ rpc.Args) ([]interface{}, error) {
+				return rpc.Ret(ctx.Principal), nil
+			},
+		}},
 	}
-	p.MustRegister(core.NewService(contract).Handle("ping",
-		func(ctx *core.Context, _ soap.Args) ([]soap.Value, error) {
-			return []soap.Value{soap.Str("pong", ctx.Principal)}, nil
-		}))
+}
+
+func echoProvider(mw core.Middleware) *core.Provider {
+	p := core.NewProvider("spp", "loopback://spp")
+	if mw != nil {
+		p.Use(mw)
+	}
+	p.MustRegister(echoDef().MustBuild())
 	return p
 }
 
 func echoClient(p *core.Provider) *core.Client {
-	contract := &wsdl.Interface{Name: "Echo", TargetNS: "urn:bench:echo",
-		Operations: []wsdl.Operation{{Name: "ping",
-			Output: []wsdl.Param{{Name: "pong", Type: "string"}}}}}
-	return core.NewClient(&soap.LoopbackTransport{Handler: p.Dispatch}, "x", contract)
+	return core.NewClient(&soap.LoopbackTransport{Handler: p.Dispatch}, "x", echoDef().Interface())
 }
 
 func BenchmarkFig2_AuthOverhead(b *testing.B) {

@@ -10,12 +10,11 @@ package main
 import (
 	"flag"
 	"log"
-	"net/http"
 	"strings"
 
 	"repro/internal/authsvc"
-	"repro/internal/core"
 	"repro/internal/gss"
+	"repro/internal/rpc"
 )
 
 type principalList []string
@@ -49,8 +48,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	provider := core.NewProvider("auth", "http://localhost"+*addr)
-	provider.MustRegister(authsvc.NewSOAPService(authsvc.NewService(keytab)))
+	srv := rpc.NewServer("auth", "http://localhost"+*addr)
+	srv.Provider("", rpc.Logging(nil)).MustRegister(authsvc.NewSOAPService(authsvc.NewService(keytab)))
 	log.Printf("Authentication Service (%s) listening on %s", *servicePrincipal, *addr)
-	log.Fatal(http.ListenAndServe(*addr, provider))
+	log.Fatal(srv.ListenAndServe(*addr))
 }

@@ -14,8 +14,8 @@ import (
 	"time"
 
 	"repro/internal/batchscript"
-	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/rpc"
 	"repro/internal/soap"
 )
 
@@ -33,12 +33,12 @@ func main() {
 	if *endpoint != "" {
 		client = batchscript.NewClient(&soap.HTTPTransport{}, *endpoint)
 	} else {
-		// In-process: one generator covering all four dialects.
+		// In-process: one generator covering all four dialects, hosted on
+		// the kernel and reached through its loopback transport.
 		gen := &batchscript.Generator{Group: "local", Supported: grid.AllSchedulerKinds}
-		provider := core.NewProvider("local", "loopback://local")
-		provider.MustRegister(batchscript.NewService(gen))
-		client = batchscript.NewClient(&soap.LoopbackTransport{Handler: provider.Dispatch},
-			"loopback://local/BatchScriptGenerator")
+		srv := rpc.NewServer("local", "loopback://local")
+		srv.Provider("").MustRegister(batchscript.NewService(gen))
+		client = batchscript.NewClient(srv.Transport(), "loopback://local/BatchScriptGenerator")
 	}
 	if *list {
 		names, err := client.ListSchedulers()

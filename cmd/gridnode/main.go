@@ -8,11 +8,10 @@ package main
 import (
 	"flag"
 	"log"
-	"net/http"
 
-	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/jobsub"
+	"repro/internal/rpc"
 )
 
 func main() {
@@ -32,8 +31,8 @@ func main() {
 	})
 	g.Authorize(*principal)
 
-	provider := core.NewProvider("gridnode", "http://localhost"+*addr)
-	provider.MustRegister(jobsub.NewGlobusrunService(g, *principal))
+	srv := rpc.NewServer("gridnode", "http://localhost"+*addr)
+	srv.Provider("", rpc.Logging(nil)).MustRegister(jobsub.NewGlobusrunService(g, *principal))
 	log.Printf("grid node %s (%s, %d cpus) listening on %s", *hostName, *scheduler, *cpus, *addr)
-	log.Fatal(http.ListenAndServe(*addr, provider))
+	log.Fatal(srv.ListenAndServe(*addr))
 }

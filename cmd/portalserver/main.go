@@ -2,7 +2,8 @@
 // the simulated grid testbed and SRB, every core portal Web Service
 // (Globusrun, batch job, SRB, batch script generation, context manager,
 // application service), a UDDI registry with all services published, the
-// Authentication Service, the schema wizard, and the portlet container.
+// Authentication Service, the schema wizard, and the portlet container —
+// all hosted on the rpc kernel's server.
 //
 //	portalserver -addr :8080 -user guest
 //
@@ -14,6 +15,7 @@
 //	/portal/                   aggregated portlet page
 //	/wizard/gaussian/          schema-wizard generated form
 //	/inspection.wsil           WS-Inspection document
+//	/healthz                   request counts and latency stats
 package main
 
 import (
@@ -27,17 +29,15 @@ import (
 	"repro/internal/authsvc"
 	"repro/internal/batchscript"
 	"repro/internal/contextmgr"
-	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/gss"
 	"repro/internal/jobsub"
 	"repro/internal/portlet"
+	"repro/internal/rpc"
 	"repro/internal/schemawizard"
-	"repro/internal/soap"
 	"repro/internal/srb"
 	"repro/internal/srbws"
 	"repro/internal/uddi"
-	"repro/internal/wsil"
 )
 
 const gaussianSchema = `<?xml version="1.0"?>
@@ -52,8 +52,7 @@ const gaussianSchema = `<?xml version="1.0"?>
       <xs:element name="basis" type="xs:int" default="6"/>
       <xs:element name="nodes" type="xs:int" default="4"/>
       <xs:element name="molecule" type="xs:string"/>
-    </xs:sequence></xs:complexType>
-  </xs:element>
+    </xs:sequence></xs:complexType></xs:element>
 </xs:schema>`
 
 func main() {
@@ -73,9 +72,12 @@ func main() {
 	home := broker.CreateUser(*user)
 	store := contextmgr.NewStore()
 
-	// Core services on one SSP.
-	ssp := core.NewProvider("portal-ssp", base+"/ssp")
-	loop := &soap.LoopbackTransport{Handler: ssp.Dispatch}
+	// One hosting server; core services, UDDI, and auth each get their own
+	// provider mount. Recovery, stats, WSDL, WSIL, and /healthz come from
+	// the kernel.
+	srv := rpc.NewServer("portal", base)
+	ssp := srv.Provider("/ssp", rpc.Logging(nil))
+	loop := srv.Transport()
 	globusrunClient := jobsub.NewGlobusrunClient(loop, base+"/ssp/Globusrun")
 	ssp.MustRegister(jobsub.NewGlobusrunService(testbed, *user))
 	ssp.MustRegister(jobsub.NewBatchJobService(globusrunClient))
@@ -104,8 +106,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	uddiSSP := core.NewProvider("uddi-ssp", base+"/uddi")
-	uddiSSP.MustRegister(uddi.NewService(registry))
+	srv.Provider("/uddi").MustRegister(uddi.NewService(registry))
 
 	// Authentication Service.
 	kdc := gss.NewKDC("PORTAL.LOCAL")
@@ -115,8 +116,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	authSSP := core.NewProvider("auth-ssp", base+"/auth")
-	authSSP.MustRegister(authsvc.NewSOAPService(authsvc.NewService(keytab)))
+	srv.Provider("/auth").MustRegister(authsvc.NewSOAPService(authsvc.NewService(keytab)))
 
 	// Schema wizard app.
 	parser := &schemawizard.SchemaParser{Fetch: func(string) (string, error) { return gaussianSchema, nil }}
@@ -126,6 +126,7 @@ func main() {
 	}
 	wizardMux := http.NewServeMux()
 	wizardApp.Deploy(wizardMux)
+	srv.Handle("/wizard/", http.StripPrefix("/wizard", wizardMux))
 
 	// Portlet container aggregating the wizard UI.
 	container := portlet.NewContainer(&http.Client{Timeout: 10 * time.Second}, "/portal")
@@ -135,33 +136,17 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
+	srv.Handle("/portal/", container)
 
-	// WS-Inspection document.
-	inspection := wsil.NewPublisher()
-	for _, svc := range ssp.Services() {
-		inspection.AddService(wsil.ServiceEntry{
-			Name:         svc.Contract.Name,
-			Abstract:     svc.Contract.Doc,
-			WSDLLocation: ssp.EndpointFor(svc) + "?wsdl",
-		})
-	}
-
-	mux := http.NewServeMux()
-	mux.Handle("/ssp/", http.StripPrefix("/ssp", ssp))
-	mux.Handle("/uddi/", http.StripPrefix("/uddi", uddiSSP))
-	mux.Handle("/auth/", http.StripPrefix("/auth", authSSP))
-	mux.Handle("/wizard/", http.StripPrefix("/wizard", wizardMux))
-	mux.Handle("/portal/", container)
-	mux.Handle(wsil.WellKnownPath, inspection)
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+	srv.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "computational portal server\nservices:\n")
 		for _, svc := range ssp.Services() {
 			fmt.Fprintf(w, "  %s?wsdl\n", ssp.EndpointFor(svc))
 		}
 		fmt.Fprintf(w, "uddi: %s/uddi/UDDIRegistry\nauth: %s/auth/AuthenticationService\n", base, base)
-		fmt.Fprintf(w, "portal page: %s/portal/\nwizard: %s/wizard/gaussian/\n", base, base)
+		fmt.Fprintf(w, "portal page: %s/portal/\nwizard: %s/wizard/gaussian/\nhealth: %s/healthz\n", base, base, base)
 	})
 
 	log.Printf("portal server listening on %s (base %s)", *addr, base)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	log.Fatal(srv.ListenAndServe(*addr))
 }

@@ -7,9 +7,8 @@ package main
 import (
 	"flag"
 	"log"
-	"net/http"
 
-	"repro/internal/core"
+	"repro/internal/rpc"
 	"repro/internal/uddi"
 )
 
@@ -17,8 +16,8 @@ func main() {
 	addr := flag.String("addr", ":8081", "listen address")
 	flag.Parse()
 	registry := uddi.NewRegistry()
-	provider := core.NewProvider("uddi", "http://localhost"+*addr)
-	provider.MustRegister(uddi.NewService(registry))
-	log.Printf("UDDI registry listening on %s (endpoint /UDDIRegistry, WSDL at /UDDIRegistry?wsdl)", *addr)
-	log.Fatal(http.ListenAndServe(*addr, provider))
+	srv := rpc.NewServer("uddi", "http://localhost"+*addr)
+	srv.Provider("", rpc.Logging(nil)).MustRegister(uddi.NewService(registry))
+	log.Printf("UDDI registry listening on %s (endpoint /UDDIRegistry, WSDL at /UDDIRegistry?wsdl, health at /healthz)", *addr)
+	log.Fatal(srv.ListenAndServe(*addr))
 }

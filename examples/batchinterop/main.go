@@ -12,9 +12,8 @@ import (
 	"time"
 
 	"repro/internal/batchscript"
-	"repro/internal/core"
 	"repro/internal/grid"
-	"repro/internal/soap"
+	"repro/internal/rpc"
 	"repro/internal/uddi"
 )
 
@@ -27,15 +26,13 @@ var hostFor = map[grid.SchedulerKind]string{
 }
 
 func main() {
-	// Two groups, two SSPs, one agreed contract.
-	iuSSP := core.NewProvider("iu-ssp", "loopback://iu")
-	iuSSP.MustRegister(batchscript.NewService(batchscript.NewIUGenerator()))
-	sdscSSP := core.NewProvider("sdsc-ssp", "loopback://sdsc")
-	sdscSSP.MustRegister(batchscript.NewService(batchscript.NewSDSCGenerator()))
-	tr := &soap.LoopbackTransport{Endpoints: map[string]soap.EnvelopeHandler{
-		"loopback://iu/BatchScriptGenerator":   iuSSP.Dispatch,
-		"loopback://sdsc/BatchScriptGenerator": sdscSSP.Dispatch,
-	}}
+	// Two groups, two kernel-hosted servers, one agreed contract; one
+	// transport routes to whichever server owns the endpoint.
+	iuSrv := rpc.NewServer("iu", "loopback://iu")
+	iuSrv.Provider("").MustRegister(batchscript.NewService(batchscript.NewIUGenerator()))
+	sdscSrv := rpc.NewServer("sdsc", "loopback://sdsc")
+	sdscSrv.Provider("").MustRegister(batchscript.NewService(batchscript.NewSDSCGenerator()))
+	tr := rpc.Transport(iuSrv, sdscSrv)
 
 	// Publish both into UDDI.
 	reg := uddi.NewRegistry()

@@ -14,12 +14,11 @@ import (
 	"time"
 
 	"repro/internal/appws"
-	"repro/internal/core"
 	"repro/internal/databind"
 	"repro/internal/grid"
 	"repro/internal/jobsub"
+	"repro/internal/rpc"
 	"repro/internal/schemawizard"
-	"repro/internal/soap"
 	"repro/internal/srb"
 	"repro/internal/srbws"
 )
@@ -59,10 +58,11 @@ func main() {
 	home := broker.CreateUser("cyoun")
 	check(broker.Mkdir("cyoun", home+"/archives"))
 
-	ssp := core.NewProvider("app-ssp", "loopback://ssp")
+	srv := rpc.NewServer("app", "loopback://ssp")
+	ssp := srv.Provider("")
 	ssp.MustRegister(jobsub.NewGlobusrunService(g, "cyoun@IU.EDU"))
 	ssp.MustRegister(srbws.NewService(broker, "cyoun"))
-	tr := &soap.LoopbackTransport{Handler: ssp.Dispatch}
+	tr := srv.Transport()
 
 	// --- The portal-independent application descriptor.
 	manager := appws.NewManager(jobsub.NewGlobusrunClient(tr, "loopback://ssp/Globusrun"))

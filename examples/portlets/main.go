@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/portlet"
+	"repro/internal/rpc"
 	"repro/internal/schemawizard"
 )
 
@@ -40,13 +41,15 @@ func main() {
 	check(err)
 	wizardMux := http.NewServeMux()
 	app.Deploy(wizardMux)
-	wizardServer := httptest.NewServer(wizardMux)
-	defer wizardServer.Close()
+
+	// Both content sources ride one kernel-hosted server: the wizard under
+	// /wizard and the HotPage-style machine status page under /status.
+	remote := rpc.NewServer("content", "placeholder")
+	remote.Handle("/wizard/", http.StripPrefix("/wizard", wizardMux))
 
 	// --- Remote content source 2: a HotPage-style machine status page.
 	testbed := grid.NewTestbed()
-	statusMux := http.NewServeMux()
-	statusMux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+	remote.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "<table border='1'><tr><th>host</th><th>scheduler</th><th>queues</th></tr>")
 		for _, name := range testbed.HostNames() {
 			h, _ := testbed.Host(name)
@@ -59,14 +62,15 @@ func main() {
 		}
 		fmt.Fprintln(w, "</table>")
 	})
-	statusServer := httptest.NewServer(statusMux)
-	defer statusServer.Close()
+	remoteServer := httptest.NewServer(remote.Handler())
+	defer remoteServer.Close()
+	remote.SetBaseURL(remoteServer.URL)
 
 	// --- The portlet container, configured from an xreg document, exactly
 	// as Jetspeed administrators edit local-portlets.xreg.
 	xreg := portlet.RenderRegistry([]portlet.Entry{
-		{Name: "gaussian-ui", Type: "WebFormPortlet", URL: wizardServer.URL + "/gaussian/", Title: "Gaussian (wizard UI)"},
-		{Name: "machine-status", Type: "WebPagePortlet", URL: statusServer.URL + "/", Title: "HotPage Machine Status"},
+		{Name: "gaussian-ui", Type: "WebFormPortlet", URL: remoteServer.URL + "/wizard/gaussian/", Title: "Gaussian (wizard UI)"},
+		{Name: "machine-status", Type: "WebPagePortlet", URL: remoteServer.URL + "/status", Title: "HotPage Machine Status"},
 	})
 	fmt.Println("portlet registry (local-portlets.xreg):")
 	fmt.Println(xreg)
@@ -99,7 +103,7 @@ func main() {
 	// parameters) and observe the created instance.
 	resp, err := http.Post(
 		portalServer.URL+"/portlet?name=gaussian-ui&user=cyoun&url="+
-			urlQueryEscape(wizardServer.URL+"/gaussian/"),
+			urlQueryEscape(remoteServer.URL+"/wizard/gaussian/"),
 		"application/x-www-form-urlencoded",
 		strings.NewReader("gaussianRun.method=B3LYP&gaussianRun.nodes=8&_instanceName=from-portlet"))
 	check(err)

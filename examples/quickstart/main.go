@@ -12,25 +12,28 @@ import (
 	"repro/internal/batchscript"
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/rpc"
 	"repro/internal/soap"
 	"repro/internal/uddi"
 )
 
 func main() {
-	// 1. A SOAP Service Provider hosting the SDSC batch script service.
-	ssp := core.NewProvider("sdsc-ssp", "placeholder")
-	ssp.MustRegister(batchscript.NewService(batchscript.NewSDSCGenerator()))
-	sspServer := httptest.NewServer(ssp)
+	// 1. A kernel-hosted SOAP Service Provider with the SDSC batch script
+	// service (WSDL, WSIL, and /healthz come along for free).
+	sdsc := rpc.NewServer("sdsc", "placeholder")
+	sdsc.Provider("").MustRegister(batchscript.NewService(batchscript.NewSDSCGenerator()))
+	sspServer := httptest.NewServer(sdsc.Handler())
 	defer sspServer.Close()
-	ssp.BaseURL = sspServer.URL
+	sdsc.SetBaseURL(sspServer.URL)
 	fmt.Println("SSP running at     ", sspServer.URL)
 
 	// 2. A UDDI registry, itself a SOAP web service.
 	reg := uddi.NewRegistry()
-	regSSP := core.NewProvider("registry-ssp", "placeholder")
-	regSSP.MustRegister(uddi.NewService(reg))
-	regServer := httptest.NewServer(regSSP)
+	regSrv := rpc.NewServer("registry", "placeholder")
+	regSrv.Provider("").MustRegister(uddi.NewService(reg))
+	regServer := httptest.NewServer(regSrv.Handler())
 	defer regServer.Close()
+	regSrv.SetBaseURL(regServer.URL)
 	fmt.Println("UDDI running at    ", regServer.URL)
 
 	// 3. Publish: business, interface tModel, service binding.

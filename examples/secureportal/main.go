@@ -10,8 +10,8 @@ import (
 	"log"
 
 	"repro/internal/authsvc"
-	"repro/internal/core"
 	"repro/internal/gss"
+	"repro/internal/rpc"
 	"repro/internal/soap"
 	"repro/internal/srb"
 	"repro/internal/srbws"
@@ -28,21 +28,22 @@ func main() {
 	check(err)
 	authService := authsvc.NewService(keytab)
 
-	// The Authentication Service is itself a SOAP service on its own SSP.
-	authSSP := core.NewProvider("auth-ssp", "loopback://auth")
-	authSSP.MustRegister(authsvc.NewSOAPService(authService))
-	authTr := &soap.LoopbackTransport{Handler: authSSP.Dispatch}
-	authClient := authsvc.NewClient(authTr, "loopback://auth/AuthenticationService")
+	// One kernel server hosts both halves: the Authentication Service at
+	// /auth, and the SAML-protected data SPP at /data — the auth
+	// enforcement is a middleware on the /data provider only.
+	srv := rpc.NewServer("secure-portal", "loopback://portal")
+	srv.Provider("/auth").MustRegister(authsvc.NewSOAPService(authService))
+	tr := srv.Transport()
+	authClient := authsvc.NewClient(tr, "loopback://portal/auth/AuthenticationService")
 
 	// --- A protected SPP hosting the SRB service. It holds no keys: it
 	// forwards assertions to the Authentication Service.
 	broker := srb.NewBroker("sdsc")
 	home := broker.CreateUser("cyoun")
 	check(broker.Sput("cyoun", home+"/notes.txt", "grid secrets", ""))
-	spp := core.NewProvider("data-spp", "loopback://data")
-	spp.Use(authsvc.RequireAssertion(authClient))
-	spp.MustRegister(srbws.NewService(broker, "")) // authentication required
-	dataTr := &soap.LoopbackTransport{Handler: spp.Dispatch}
+	srv.Provider("/data", authsvc.RequireAssertion(authClient)).
+		MustRegister(srbws.NewService(broker, "")) // authentication required
+	dataTr := tr
 
 	// --- Figure 2 step 1-2: login gets a ticket; the client session
 	// object establishes a GSS context with the Authentication Service.
@@ -53,7 +54,7 @@ func main() {
 
 	// --- Step 3-4: SOAP requests carry signed assertions; the SPP
 	// verifies through the Authentication Service and serves the call.
-	srbClient := srbws.NewClient(dataTr, "loopback://data/SRBService")
+	srbClient := srbws.NewClient(dataTr, "loopback://portal/data/SRBService")
 	srbClient.Use(session.Interceptor())
 	data, err := srbClient.Get(home + "/notes.txt")
 	check(err)
@@ -66,7 +67,7 @@ func main() {
 
 	// --- Negative paths.
 	// No assertion at all.
-	bare := srbws.NewClient(dataTr, "loopback://data/SRBService")
+	bare := srbws.NewClient(dataTr, "loopback://portal/data/SRBService")
 	if _, err := bare.Get(home + "/notes.txt"); err != nil {
 		fmt.Println("request without assertion rejected: ", soap.AsPortalError(err).Code)
 	}
@@ -81,7 +82,7 @@ func main() {
 	}
 	// The intruder authenticates fine as themselves but SRB denies access
 	// to cyoun's collection: authentication and authorization compose.
-	intruderClient := srbws.NewClient(dataTr, "loopback://data/SRBService")
+	intruderClient := srbws.NewClient(dataTr, "loopback://portal/data/SRBService")
 	intruderClient.Use(other.Interceptor())
 	if _, err := intruderClient.Get(home + "/notes.txt"); err != nil {
 		fmt.Println("intruder read denied with portal code:", soap.AsPortalError(err).Code)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/jobsub"
+	"repro/internal/rpc"
 	"repro/internal/soap"
 	"repro/internal/srbws"
 	"repro/internal/wsdl"
@@ -365,118 +366,136 @@ func (m *Manager) Archive(id string) (string, error) {
 // ServiceNS is the Application Web Service namespace.
 const ServiceNS = "urn:gce:appws"
 
-// Contract returns the Application Web Service interface: the adapter
-// facade exposed over SOAP rather than the impractical full accessor set.
-func Contract() *wsdl.Interface {
-	return &wsdl.Interface{
-		Name:     "ApplicationService",
-		TargetNS: ServiceNS,
-		Doc:      "Application Web Services: descriptors, lifecycle, and archival.",
-		Operations: []wsdl.Operation{
-			{Name: "listApplications",
-				Output: []wsdl.Param{{Name: "names", Type: "stringArray"}}},
-			{Name: "describeApplication",
-				Input:  []wsdl.Param{{Name: "name", Type: "string"}},
-				Output: []wsdl.Param{{Name: "descriptor", Type: "xml"}}},
-			{Name: "prepare",
-				Input: []wsdl.Param{
-					{Name: "application", Type: "string"},
-					{Name: "host", Type: "string"},
-					{Name: "nodes", Type: "int"},
-					{Name: "wallTimeSeconds", Type: "int"},
-					{Name: "arguments", Type: "stringArray"},
-					{Name: "input", Type: "string"},
-				},
-				Output: []wsdl.Param{{Name: "instanceID", Type: "string"}}},
-			{Name: "submit",
-				Input:  []wsdl.Param{{Name: "instanceID", Type: "string"}},
-				Output: []wsdl.Param{{Name: "contact", Type: "string"}}},
-			{Name: "poll",
-				Input:  []wsdl.Param{{Name: "instanceID", Type: "string"}},
-				Output: []wsdl.Param{{Name: "state", Type: "string"}}},
-			{Name: "run",
-				Input:  []wsdl.Param{{Name: "instanceID", Type: "string"}},
-				Output: []wsdl.Param{{Name: "output", Type: "string"}}},
-			{Name: "archive",
-				Input:  []wsdl.Param{{Name: "instanceID", Type: "string"}},
-				Output: []wsdl.Param{{Name: "location", Type: "string"}}},
-			{Name: "getInstance",
-				Input:  []wsdl.Param{{Name: "instanceID", Type: "string"}},
-				Output: []wsdl.Param{{Name: "instance", Type: "xml"}}},
-			{Name: "listInstances",
-				Output: []wsdl.Param{{Name: "instanceIDs", Type: "stringArray"}}},
-		},
-	}
-}
-
-// NewService deploys a manager behind the contract.
-func NewService(m *Manager) *core.Service {
-	svc := core.NewService(Contract())
-	fail := func(code string, err error) ([]soap.Value, error) {
+// def is the declarative operation table of the Application Web Service:
+// the adapter facade exposed over SOAP rather than the impractical full
+// accessor set.
+func def(m *Manager) *rpc.Def {
+	fail := func(code string, err error) ([]interface{}, error) {
 		if pe := soap.AsPortalError(err); pe != nil {
 			return nil, pe
 		}
 		return nil, soap.NewPortalError("ApplicationService", code, "%v", err)
 	}
-	svc.Handle("listApplications", func(_ *core.Context, _ soap.Args) ([]soap.Value, error) {
-		return []soap.Value{soap.StrArray("names", m.Applications())}, nil
-	})
-	svc.Handle("describeApplication", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		d, err := m.Describe(args.String("name"))
-		if err != nil {
-			return fail(soap.ErrCodeNoSuchResource, err)
-		}
-		return []soap.Value{soap.XMLDoc("descriptor", d.Element())}, nil
-	})
-	svc.Handle("prepare", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		inst, err := m.Prepare(
-			args.String("application"), args.String("host"), args.Int("nodes"),
-			time.Duration(args.Int("wallTimeSeconds"))*time.Second,
-			args.Strings("arguments"), args.String("input"))
-		if err != nil {
-			return fail(soap.ErrCodeBadRequest, err)
-		}
-		return []soap.Value{soap.Str("instanceID", inst.ID)}, nil
-	})
-	svc.Handle("submit", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		id := args.String("instanceID")
-		if err := m.Submit(id); err != nil {
-			return fail(soap.ErrCodeJobFailed, err)
-		}
-		inst, _ := m.Instance(id)
-		return []soap.Value{soap.Str("contact", inst.Contact)}, nil
-	})
-	svc.Handle("poll", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		state, err := m.Poll(args.String("instanceID"))
-		if err != nil {
-			return fail(soap.ErrCodeNoSuchResource, err)
-		}
-		return []soap.Value{soap.Str("state", string(state))}, nil
-	})
-	svc.Handle("run", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		id := args.String("instanceID")
-		if err := m.RunSynchronously(id); err != nil {
-			return fail(soap.ErrCodeJobFailed, err)
-		}
-		inst, _ := m.Instance(id)
-		return []soap.Value{soap.Str("output", inst.Stdout)}, nil
-	})
-	svc.Handle("archive", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		location, err := m.Archive(args.String("instanceID"))
-		if err != nil {
-			return fail(soap.ErrCodeBadRequest, err)
-		}
-		return []soap.Value{soap.Str("location", location)}, nil
-	})
-	svc.Handle("getInstance", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		inst, err := m.Instance(args.String("instanceID"))
-		if err != nil {
-			return fail(soap.ErrCodeNoSuchResource, err)
-		}
-		return []soap.Value{soap.XMLDoc("instance", inst.Element())}, nil
-	})
-	svc.Handle("listInstances", func(_ *core.Context, _ soap.Args) ([]soap.Value, error) {
-		return []soap.Value{soap.StrArray("instanceIDs", m.Instances())}, nil
-	})
-	return svc
+	return &rpc.Def{
+		Name: "ApplicationService",
+		NS:   ServiceNS,
+		Doc:  "Application Web Services: descriptors, lifecycle, and archival.",
+		Ops: []rpc.Op{
+			{
+				Name: "listApplications",
+				Out:  []wsdl.Param{rpc.Strs("names")},
+				Handle: func(_ *core.Context, _ rpc.Args) ([]interface{}, error) {
+					return rpc.Ret(m.Applications()), nil
+				},
+			},
+			{
+				Name: "describeApplication",
+				In:   []wsdl.Param{rpc.Str("name")},
+				Out:  []wsdl.Param{rpc.XML("descriptor")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					d, err := m.Describe(in.Str("name"))
+					if err != nil {
+						return fail(soap.ErrCodeNoSuchResource, err)
+					}
+					return rpc.Ret(d.Element()), nil
+				},
+			},
+			{
+				Name: "prepare",
+				In: []wsdl.Param{rpc.Str("application"), rpc.Str("host"), rpc.Int("nodes"),
+					rpc.Int("wallTimeSeconds"), rpc.Strs("arguments"), rpc.Str("input")},
+				Out: []wsdl.Param{rpc.Str("instanceID")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					inst, err := m.Prepare(
+						in.Str("application"), in.Str("host"), in.Int("nodes"),
+						time.Duration(in.Int("wallTimeSeconds"))*time.Second,
+						in.Strings("arguments"), in.Str("input"))
+					if err != nil {
+						return fail(soap.ErrCodeBadRequest, err)
+					}
+					return rpc.Ret(inst.ID), nil
+				},
+			},
+			{
+				Name: "submit",
+				In:   []wsdl.Param{rpc.Str("instanceID")},
+				Out:  []wsdl.Param{rpc.Str("contact")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					id := in.Str("instanceID")
+					if err := m.Submit(id); err != nil {
+						return fail(soap.ErrCodeJobFailed, err)
+					}
+					inst, _ := m.Instance(id)
+					return rpc.Ret(inst.Contact), nil
+				},
+			},
+			{
+				Name: "poll",
+				In:   []wsdl.Param{rpc.Str("instanceID")},
+				Out:  []wsdl.Param{rpc.Str("state")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					state, err := m.Poll(in.Str("instanceID"))
+					if err != nil {
+						return fail(soap.ErrCodeNoSuchResource, err)
+					}
+					return rpc.Ret(string(state)), nil
+				},
+			},
+			{
+				Name: "run",
+				In:   []wsdl.Param{rpc.Str("instanceID")},
+				Out:  []wsdl.Param{rpc.Str("output")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					id := in.Str("instanceID")
+					if err := m.RunSynchronously(id); err != nil {
+						return fail(soap.ErrCodeJobFailed, err)
+					}
+					inst, _ := m.Instance(id)
+					return rpc.Ret(inst.Stdout), nil
+				},
+			},
+			{
+				Name: "archive",
+				In:   []wsdl.Param{rpc.Str("instanceID")},
+				Out:  []wsdl.Param{rpc.Str("location")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					location, err := m.Archive(in.Str("instanceID"))
+					if err != nil {
+						return fail(soap.ErrCodeBadRequest, err)
+					}
+					return rpc.Ret(location), nil
+				},
+			},
+			{
+				Name: "getInstance",
+				In:   []wsdl.Param{rpc.Str("instanceID")},
+				Out:  []wsdl.Param{rpc.XML("instance")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					inst, err := m.Instance(in.Str("instanceID"))
+					if err != nil {
+						return fail(soap.ErrCodeNoSuchResource, err)
+					}
+					return rpc.Ret(inst.Element()), nil
+				},
+			},
+			{
+				Name: "listInstances",
+				Out:  []wsdl.Param{rpc.Strs("instanceIDs")},
+				Handle: func(_ *core.Context, _ rpc.Args) ([]interface{}, error) {
+					return rpc.Ret(m.Instances()), nil
+				},
+			},
+		},
+	}
+}
+
+// Contract returns the Application Web Service interface.
+func Contract() *wsdl.Interface {
+	return def(nil).Interface()
+}
+
+// NewService deploys a manager behind the contract, built from the
+// declarative operation table.
+func NewService(m *Manager) *core.Service {
+	return def(m).MustBuild()
 }

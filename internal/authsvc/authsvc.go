@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gss"
+	"repro/internal/rpc"
 	"repro/internal/saml"
 	"repro/internal/soap"
 	"repro/internal/wsdl"
@@ -37,32 +38,71 @@ const DefaultAssertionValidity = 5 * time.Minute
 // ServiceNS is the SOAP namespace of the Authentication Service.
 const ServiceNS = "urn:gce:authsvc"
 
-// Contract returns the Authentication Service WSDL interface.
-func Contract() *wsdl.Interface {
-	return &wsdl.Interface{
-		Name:     "AuthenticationService",
-		TargetNS: ServiceNS,
-		Doc:      "SAML assertion issuing and verification backed by Kerberos/GSS.",
-		Operations: []wsdl.Operation{
+// soapDef is the declarative operation table exposing a Service over
+// SOAP. Contract derivation and service deployment both read it.
+func soapDef(s *Service) *rpc.Def {
+	fail := func(code, format string, a ...interface{}) error {
+		return soap.NewPortalError("AuthenticationService", code, format, a...)
+	}
+	return &rpc.Def{
+		Name: "AuthenticationService",
+		NS:   ServiceNS,
+		Doc:  "SAML assertion issuing and verification backed by Kerberos/GSS.",
+		Ops: []rpc.Op{
 			{
-				Name:   "establishSession",
-				Doc:    "Accepts a GSS context token and creates a server session object.",
-				Input:  []wsdl.Param{{Name: "contextToken", Type: "string"}},
-				Output: []wsdl.Param{{Name: "sessionID", Type: "string"}},
+				Name: "establishSession",
+				Doc:  "Accepts a GSS context token and creates a server session object.",
+				In:   []wsdl.Param{rpc.Str("contextToken")},
+				Out:  []wsdl.Param{rpc.Str("sessionID")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					id, err := s.EstablishSession(in.Str("contextToken"))
+					if err != nil {
+						return nil, fail(soap.ErrCodeAuthFailed, "%v", err)
+					}
+					return rpc.Ret(id), nil
+				},
 			},
 			{
-				Name:   "verifyAssertion",
-				Doc:    "Verifies a signed SAML assertion against the named session.",
-				Input:  []wsdl.Param{{Name: "assertion", Type: "xml"}},
-				Output: []wsdl.Param{{Name: "valid", Type: "boolean"}, {Name: "principal", Type: "string"}},
+				Name: "verifyAssertion",
+				Doc:  "Verifies a signed SAML assertion against the named session.",
+				In:   []wsdl.Param{rpc.XML("assertion")},
+				Out:  []wsdl.Param{rpc.Bool("valid"), rpc.Str("principal")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					el := in.XML("assertion")
+					if el == nil {
+						return nil, fail(soap.ErrCodeBadRequest, "missing assertion")
+					}
+					a, err := saml.FromElement(el)
+					if err != nil {
+						return nil, fail(soap.ErrCodeBadRequest, "%v", err)
+					}
+					principal, err := s.VerifyAssertion(a)
+					if err != nil {
+						// A negative verification is a normal response, not a
+						// fault: the SPP decides what to do with it.
+						return rpc.Ret(false, ""), nil
+					}
+					return rpc.Ret(true, principal), nil
+				},
 			},
 			{
-				Name:   "closeSession",
-				Input:  []wsdl.Param{{Name: "sessionID", Type: "string"}},
-				Output: []wsdl.Param{{Name: "closed", Type: "boolean"}},
+				Name: "closeSession",
+				In:   []wsdl.Param{rpc.Str("sessionID")},
+				Out:  []wsdl.Param{rpc.Bool("closed")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					if err := s.CloseSession(in.Str("sessionID")); err != nil {
+						return nil, fail(soap.ErrCodeNoSuchResource, "%v", err)
+					}
+					return rpc.Ret(true), nil
+				},
 			},
 		},
 	}
+}
+
+// Contract returns the Authentication Service WSDL interface.
+func Contract() *wsdl.Interface {
+	return soapDef(nil).Interface()
 }
 
 // Service is the Authentication Service: the sole holder of the service
@@ -151,40 +191,10 @@ func (s *Service) SessionCount() int {
 	return len(s.sessions)
 }
 
-// NewSOAPService exposes the Service as a deployable core.Service.
+// NewSOAPService exposes the Service as a deployable core.Service built
+// from the declarative operation table.
 func NewSOAPService(s *Service) *core.Service {
-	svc := core.NewService(Contract())
-	svc.Handle("establishSession", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		id, err := s.EstablishSession(args.String("contextToken"))
-		if err != nil {
-			return nil, soap.NewPortalError("AuthenticationService", soap.ErrCodeAuthFailed, "%v", err)
-		}
-		return []soap.Value{soap.Str("sessionID", id)}, nil
-	})
-	svc.Handle("verifyAssertion", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		el := args.XML("assertion")
-		if el == nil {
-			return nil, soap.NewPortalError("AuthenticationService", soap.ErrCodeBadRequest, "missing assertion")
-		}
-		a, err := saml.FromElement(el)
-		if err != nil {
-			return nil, soap.NewPortalError("AuthenticationService", soap.ErrCodeBadRequest, "%v", err)
-		}
-		principal, err := s.VerifyAssertion(a)
-		if err != nil {
-			// A negative verification is a normal response, not a fault:
-			// the SPP decides what to do with it.
-			return []soap.Value{soap.Bool("valid", false), soap.Str("principal", "")}, nil
-		}
-		return []soap.Value{soap.Bool("valid", true), soap.Str("principal", principal)}, nil
-	})
-	svc.Handle("closeSession", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		if err := s.CloseSession(args.String("sessionID")); err != nil {
-			return nil, soap.NewPortalError("AuthenticationService", soap.ErrCodeNoSuchResource, "%v", err)
-		}
-		return []soap.Value{soap.Bool("closed", true)}, nil
-	})
-	return svc
+	return soapDef(s).MustBuild()
 }
 
 // --- UI-server side ----------------------------------------------------------
@@ -296,24 +306,11 @@ func (cl *Client) CloseSession(id string) error {
 	return err
 }
 
-// RequireAssertion returns a server interceptor enforcing the Figure 2
+// RequireAssertion returns a provider middleware enforcing the Figure 2
 // protocol on an SPP: every request must carry a SAML assertion that the
 // Authentication Service accepts; the verified principal lands in the
-// request context.
-func RequireAssertion(v Verifier) core.ServerInterceptor {
-	return func(ctx *core.Context) error {
-		a, err := saml.FromEnvelope(ctx.Envelope)
-		if err != nil {
-			return soap.NewPortalError("SPP", soap.ErrCodeBadRequest, "malformed assertion: %v", err)
-		}
-		if a == nil {
-			return soap.NewPortalError("SPP", soap.ErrCodeAuthFailed, "request carries no SAML assertion")
-		}
-		principal, err := v.Verify(a)
-		if err != nil {
-			return soap.NewPortalError("SPP", soap.ErrCodeAuthFailed, "assertion rejected: %v", err)
-		}
-		ctx.Principal = principal
-		return nil
-	}
+// request context. It is the kernel's rpc.RequireAssertion specialised to
+// this package's Verifier.
+func RequireAssertion(v Verifier) core.Middleware {
+	return rpc.RequireAssertion(v)
 }

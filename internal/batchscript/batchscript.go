@@ -23,6 +23,7 @@ import (
 	"repro/internal/contextmgr"
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/rpc"
 	"repro/internal/soap"
 	"repro/internal/uddi"
 	"repro/internal/wsdl"
@@ -55,40 +56,60 @@ type Request struct {
 	WallTime time.Duration
 }
 
-// Contract returns the agreed batch script generation interface.
-func Contract() *wsdl.Interface {
-	return &wsdl.Interface{
-		Name:     "BatchScriptGenerator",
-		TargetNS: ServiceNS,
-		Doc:      "Generates batch queuing-system scripts (the GCE common interface).",
-		Operations: []wsdl.Operation{
+// generateParams is the agreed parameter list of generateScript, shared
+// by the standalone and context-coupled descriptor tables.
+func generateParams() []wsdl.Param {
+	return []wsdl.Param{
+		rpc.Str("scheduler"), rpc.Str("jobName"), rpc.Str("executable"),
+		rpc.Strs("arguments"), rpc.Str("stdin"), rpc.Str("queue"),
+		rpc.Int("nodes"), rpc.Int("wallTimeSeconds"),
+	}
+}
+
+// def is the declarative operation table of the agreed interface bound to
+// one group's generator.
+func def(g *Generator) *rpc.Def {
+	return &rpc.Def{
+		Name: "BatchScriptGenerator",
+		NS:   ServiceNS,
+		Doc:  "Generates batch queuing-system scripts (the GCE common interface).",
+		Ops: []rpc.Op{
 			{
-				Name:   "listSchedulers",
-				Doc:    "Lists the queuing systems this implementation supports.",
-				Output: []wsdl.Param{{Name: "schedulers", Type: "stringArray"}},
+				Name: "listSchedulers",
+				Doc:  "Lists the queuing systems this implementation supports.",
+				Out:  []wsdl.Param{rpc.Strs("schedulers")},
+				Handle: func(_ *core.Context, _ rpc.Args) ([]interface{}, error) {
+					return rpc.Ret(g.SchedulerNames()), nil
+				},
 			},
 			{
-				Name:   "supportsScheduler",
-				Input:  []wsdl.Param{{Name: "scheduler", Type: "string"}},
-				Output: []wsdl.Param{{Name: "supported", Type: "boolean"}},
+				Name: "supportsScheduler",
+				In:   []wsdl.Param{rpc.Str("scheduler")},
+				Out:  []wsdl.Param{rpc.Bool("supported")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return rpc.Ret(g.Supports(grid.SchedulerKind(strings.ToUpper(in.Str("scheduler"))))), nil
+				},
 			},
 			{
 				Name: "generateScript",
 				Doc:  "Generates a batch script for the given scheduler.",
-				Input: []wsdl.Param{
-					{Name: "scheduler", Type: "string"},
-					{Name: "jobName", Type: "string"},
-					{Name: "executable", Type: "string"},
-					{Name: "arguments", Type: "stringArray"},
-					{Name: "stdin", Type: "string"},
-					{Name: "queue", Type: "string"},
-					{Name: "nodes", Type: "int"},
-					{Name: "wallTimeSeconds", Type: "int"},
+				In:   generateParams(),
+				Out:  []wsdl.Param{rpc.Str("script")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					script, err := g.Generate(requestFromArgs(in))
+					if err != nil {
+						return nil, soap.NewPortalError("BatchScriptGenerator", soap.ErrCodeBadRequest, "%v", err)
+					}
+					return rpc.Ret(script), nil
 				},
-				Output: []wsdl.Param{{Name: "script", Type: "string"}},
 			},
 		},
 	}
+}
+
+// Contract returns the agreed batch script generation interface.
+func Contract() *wsdl.Interface {
+	return def(nil).Interface()
 }
 
 // Generator is one group's implementation: a set of supported dialects and
@@ -204,36 +225,22 @@ func (g *Generator) Generate(req Request) (string, error) {
 	return b.String(), nil
 }
 
-// NewService deploys a generator behind the agreed contract.
+// NewService deploys a generator behind the agreed contract, built from
+// the declarative operation table.
 func NewService(g *Generator) *core.Service {
-	svc := core.NewService(Contract())
-	svc.Handle("listSchedulers", func(_ *core.Context, _ soap.Args) ([]soap.Value, error) {
-		return []soap.Value{soap.StrArray("schedulers", g.SchedulerNames())}, nil
-	})
-	svc.Handle("supportsScheduler", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		return []soap.Value{soap.Bool("supported",
-			g.Supports(grid.SchedulerKind(strings.ToUpper(args.String("scheduler")))))}, nil
-	})
-	svc.Handle("generateScript", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		script, err := g.Generate(requestFromArgs(args))
-		if err != nil {
-			return nil, soap.NewPortalError("BatchScriptGenerator", soap.ErrCodeBadRequest, "%v", err)
-		}
-		return []soap.Value{soap.Str("script", script)}, nil
-	})
-	return svc
+	return def(g).MustBuild()
 }
 
-func requestFromArgs(args soap.Args) Request {
+func requestFromArgs(in rpc.Args) Request {
 	return Request{
-		Scheduler:  grid.SchedulerKind(strings.ToUpper(args.String("scheduler"))),
-		JobName:    args.String("jobName"),
-		Executable: args.String("executable"),
-		Arguments:  args.Strings("arguments"),
-		Stdin:      args.String("stdin"),
-		Queue:      args.String("queue"),
-		Nodes:      args.Int("nodes"),
-		WallTime:   time.Duration(args.Int("wallTimeSeconds")) * time.Second,
+		Scheduler:  grid.SchedulerKind(strings.ToUpper(in.Str("scheduler"))),
+		JobName:    in.Str("jobName"),
+		Executable: in.Str("executable"),
+		Arguments:  in.Strings("arguments"),
+		Stdin:      in.Str("stdin"),
+		Queue:      in.Str("queue"),
+		Nodes:      in.Int("nodes"),
+		WallTime:   time.Duration(in.Int("wallTimeSeconds")) * time.Second,
 	}
 }
 
@@ -334,42 +341,44 @@ const CoupledNS = "urn:gce:batchscript-coupled"
 // (HotPage users) must create placeholder contexts first, which is the
 // "unnecessary overhead" the S3.3 benchmark measures.
 func CoupledContract() *wsdl.Interface {
-	base := Contract()
-	coupled := &wsdl.Interface{
-		Name:     "ContextCoupledScriptGenerator",
-		TargetNS: CoupledNS,
-		Doc:      "Batch script generation tightly integrated with the context manager (legacy Gateway design).",
+	return coupledDef(nil, nil).Interface()
+}
+
+// coupledDef is the context-coupled descriptor table: the agreed
+// generateScript operation prefixed with the mandatory context path.
+func coupledDef(g *Generator, store *contextmgr.Store) *rpc.Def {
+	return &rpc.Def{
+		Name: "ContextCoupledScriptGenerator",
+		NS:   CoupledNS,
+		Doc:  "Batch script generation tightly integrated with the context manager (legacy Gateway design).",
+		Ops: []rpc.Op{{
+			Name: "generateScript",
+			Doc:  "Generates a batch script for the given scheduler.",
+			In:   append(rpc.StrParams("user", "problem", "session"), generateParams()...),
+			Out:  []wsdl.Param{rpc.Str("script")},
+			Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+				path := []string{in.Str("user"), in.Str("problem"), in.Str("session")}
+				if !store.Exists(path) {
+					return nil, soap.NewPortalError("ContextCoupledScriptGenerator", soap.ErrCodeNoSuchResource,
+						"no session context %s: stateless callers must create a placeholder context first",
+						strings.Join(path, "/"))
+				}
+				script, err := g.Generate(requestFromArgs(in))
+				if err != nil {
+					return nil, soap.NewPortalError("ContextCoupledScriptGenerator", soap.ErrCodeBadRequest, "%v", err)
+				}
+				key := "script-" + strconv.Itoa(int(time.Now().UnixNano()%1e9))
+				if err := store.SetProp(path, key, script); err != nil {
+					return nil, soap.NewPortalError("ContextCoupledScriptGenerator", soap.ErrCodeInternal, "%v", err)
+				}
+				return rpc.Ret(script), nil
+			},
+		}},
 	}
-	gen := *base.Operation("generateScript")
-	gen.Input = append([]wsdl.Param{
-		{Name: "user", Type: "string"},
-		{Name: "problem", Type: "string"},
-		{Name: "session", Type: "string"},
-	}, gen.Input...)
-	coupled.Operations = []wsdl.Operation{gen}
-	return coupled
 }
 
 // NewCoupledService deploys the context-coupled generator: the script is
 // stored as a session property, and the session context must exist.
 func NewCoupledService(g *Generator, store *contextmgr.Store) *core.Service {
-	svc := core.NewService(CoupledContract())
-	svc.Handle("generateScript", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		path := []string{args.String("user"), args.String("problem"), args.String("session")}
-		if !store.Exists(path) {
-			return nil, soap.NewPortalError("ContextCoupledScriptGenerator", soap.ErrCodeNoSuchResource,
-				"no session context %s: stateless callers must create a placeholder context first",
-				strings.Join(path, "/"))
-		}
-		script, err := g.Generate(requestFromArgs(args))
-		if err != nil {
-			return nil, soap.NewPortalError("ContextCoupledScriptGenerator", soap.ErrCodeBadRequest, "%v", err)
-		}
-		key := "script-" + strconv.Itoa(int(time.Now().UnixNano()%1e9))
-		if err := store.SetProp(path, key, script); err != nil {
-			return nil, soap.NewPortalError("ContextCoupledScriptGenerator", soap.ErrCodeInternal, "%v", err)
-		}
-		return []soap.Value{soap.Str("script", script)}, nil
-	})
-	return svc
+	return coupledDef(g, store).MustBuild()
 }

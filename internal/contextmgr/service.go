@@ -1,11 +1,11 @@
 package contextmgr
 
 import (
-	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/rpc"
 	"repro/internal/soap"
 	"repro/internal/wsdl"
 	"repro/internal/xmlutil"
@@ -22,82 +22,6 @@ var levelParams = map[Level][]string{
 	LevelModule:  {"user", "problem", "session", "module"},
 }
 
-func strParams(names ...string) []wsdl.Param {
-	out := make([]wsdl.Param, 0, len(names))
-	for _, n := range names {
-		out = append(out, wsdl.Param{Name: n, Type: "string"})
-	}
-	return out
-}
-
-// MonolithContract builds the Context Manager interface exactly as the
-// paper criticises it: thirteen operations for each of the four context
-// levels plus ten service-wide operations — "over 60 methods". The
-// TestMonolithMethodCount test pins the count.
-func MonolithContract() *wsdl.Interface {
-	iface := &wsdl.Interface{
-		Name:     "ContextManager",
-		TargetNS: MonolithNS,
-		Doc:      "Gateway's monolithic context management service (the paper's 60+ method example).",
-	}
-	for _, level := range Levels {
-		l := string(level)
-		path := levelParams[level]
-		parent := path[:len(path)-1]
-		iface.Operations = append(iface.Operations,
-			wsdl.Operation{Name: "create" + l + "Context", Input: strParams(path...),
-				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-			wsdl.Operation{Name: "exists" + l + "Context", Input: strParams(path...),
-				Output: []wsdl.Param{{Name: "exists", Type: "boolean"}}},
-			wsdl.Operation{Name: "remove" + l + "Context", Input: strParams(path...),
-				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-			wsdl.Operation{Name: "list" + l + "Contexts", Input: strParams(parent...),
-				Output: []wsdl.Param{{Name: "names", Type: "stringArray"}}},
-			wsdl.Operation{Name: "rename" + l + "Context", Input: strParams(append(append([]string{}, path...), "newName")...),
-				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-			wsdl.Operation{Name: "copy" + l + "Context", Input: strParams(append(append([]string{}, path...), "copyName")...),
-				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-			wsdl.Operation{Name: "set" + l + "Property", Input: strParams(append(append([]string{}, path...), "name", "value")...),
-				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-			wsdl.Operation{Name: "get" + l + "Property", Input: strParams(append(append([]string{}, path...), "name")...),
-				Output: []wsdl.Param{{Name: "value", Type: "string"}}},
-			wsdl.Operation{Name: "remove" + l + "Property", Input: strParams(append(append([]string{}, path...), "name")...),
-				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-			wsdl.Operation{Name: "list" + l + "Properties", Input: strParams(path...),
-				Output: []wsdl.Param{{Name: "names", Type: "stringArray"}}},
-			wsdl.Operation{Name: "clear" + l + "Properties", Input: strParams(path...),
-				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-			wsdl.Operation{Name: "count" + l + "Children", Input: strParams(path...),
-				Output: []wsdl.Param{{Name: "count", Type: "int"}}},
-			wsdl.Operation{Name: "get" + l + "CreationTime", Input: strParams(path...),
-				Output: []wsdl.Param{{Name: "time", Type: "string"}}},
-		)
-	}
-	iface.Operations = append(iface.Operations,
-		wsdl.Operation{Name: "archiveSession", Input: strParams("user", "problem", "session"),
-			Output: []wsdl.Param{{Name: "archiveID", Type: "string"}}},
-		wsdl.Operation{Name: "restoreSession", Input: strParams("archiveID"),
-			Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-		wsdl.Operation{Name: "listArchives", Input: strParams("user"),
-			Output: []wsdl.Param{{Name: "archives", Type: "xml"}}},
-		wsdl.Operation{Name: "removeArchive", Input: strParams("archiveID"),
-			Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-		wsdl.Operation{Name: "getArchiveInfo", Input: strParams("archiveID"),
-			Output: []wsdl.Param{{Name: "archive", Type: "xml"}}},
-		wsdl.Operation{Name: "createPlaceholderContext", Input: strParams("user", "problem", "session"),
-			Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-		wsdl.Operation{Name: "touchSession", Input: strParams("user", "problem", "session"),
-			Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-		wsdl.Operation{Name: "countContexts",
-			Output: []wsdl.Param{{Name: "count", Type: "int"}}},
-		wsdl.Operation{Name: "exportContexts",
-			Output: []wsdl.Param{{Name: "directory", Type: "string"}}},
-		wsdl.Operation{Name: "importContexts", Input: strParams("directory"),
-			Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-	)
-	return iface
-}
-
 func wrapErr(err error) error {
 	if err == nil {
 		return nil
@@ -108,11 +32,11 @@ func wrapErr(err error) error {
 	return soap.NewPortalError("ContextManager", soap.ErrCodeNoSuchResource, "%v", err)
 }
 
-func okValue(err error) ([]soap.Value, error) {
+func okRet(err error) ([]interface{}, error) {
 	if err != nil {
 		return nil, wrapErr(err)
 	}
-	return []soap.Value{soap.Bool("ok", true)}, nil
+	return rpc.Ret(true), nil
 }
 
 func archiveElement(a Archive) *xmlutil.Element {
@@ -124,126 +48,183 @@ func archiveElement(a Archive) *xmlutil.Element {
 	return el
 }
 
-// NewMonolithService deploys the full 60+-method interface over a Store.
-func NewMonolithService(s *Store) *core.Service {
-	svc := core.NewService(MonolithContract())
-	pathOf := func(args soap.Args, names []string) []string {
-		out := make([]string, 0, len(names))
-		for _, n := range names {
-			out = append(out, args.String(n))
-		}
-		return out
+// pathOf collects the named string parameters into a context path.
+func pathOf(in rpc.Args, names []string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		out = append(out, in.Str(n))
 	}
+	return out
+}
+
+// monolithDef builds the Context Manager descriptor table exactly as the
+// paper criticises it: thirteen operations for each of the four context
+// levels plus ten service-wide operations — "over 60 methods". What the
+// seed expressed twice (a contract loop and a parallel handler loop) is
+// now one data-driven loop emitting descriptor entries; the
+// TestMonolithMethodCount test pins the count.
+func monolithDef(s *Store) *rpc.Def {
+	d := &rpc.Def{
+		Name: "ContextManager",
+		NS:   MonolithNS,
+		Doc:  "Gateway's monolithic context management service (the paper's 60+ method example).",
+	}
+	bools := []wsdl.Param{rpc.Bool("ok")}
 	for _, level := range Levels {
 		l := string(level)
 		names := levelParams[level]
 		parentNames := names[:len(names)-1]
-		svc.Handle("create"+l+"Context", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-			return okValue(s.Create(pathOf(args, names)))
-		})
-		svc.Handle("exists"+l+"Context", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-			return []soap.Value{soap.Bool("exists", s.Exists(pathOf(args, names)))}, nil
-		})
-		svc.Handle("remove"+l+"Context", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-			return okValue(s.Remove(pathOf(args, names)))
-		})
-		svc.Handle("list"+l+"Contexts", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-			kids, err := s.List(pathOf(args, parentNames))
-			if err != nil {
-				return nil, wrapErr(err)
-			}
-			return []soap.Value{soap.StrArray("names", kids)}, nil
-		})
-		svc.Handle("rename"+l+"Context", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-			return okValue(s.Rename(pathOf(args, names), args.String("newName")))
-		})
-		svc.Handle("copy"+l+"Context", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-			return okValue(s.Copy(pathOf(args, names), args.String("copyName")))
-		})
-		svc.Handle("set"+l+"Property", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-			return okValue(s.SetProp(pathOf(args, names), args.String("name"), args.String("value")))
-		})
-		svc.Handle("get"+l+"Property", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-			v, err := s.GetProp(pathOf(args, names), args.String("name"))
-			if err != nil {
-				return nil, wrapErr(err)
-			}
-			return []soap.Value{soap.Str("value", v)}, nil
-		})
-		svc.Handle("remove"+l+"Property", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-			return okValue(s.RemoveProp(pathOf(args, names), args.String("name")))
-		})
-		svc.Handle("list"+l+"Properties", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-			props, err := s.ListProps(pathOf(args, names))
-			if err != nil {
-				return nil, wrapErr(err)
-			}
-			return []soap.Value{soap.StrArray("names", props)}, nil
-		})
-		svc.Handle("clear"+l+"Properties", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-			return okValue(s.ClearProps(pathOf(args, names)))
-		})
-		svc.Handle("count"+l+"Children", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-			n, err := s.CountChildren(pathOf(args, names))
-			if err != nil {
-				return nil, wrapErr(err)
-			}
-			return []soap.Value{soap.Int("count", n)}, nil
-		})
-		svc.Handle("get"+l+"CreationTime", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-			ts, err := s.Created(pathOf(args, names))
-			if err != nil {
-				return nil, wrapErr(err)
-			}
-			return []soap.Value{soap.Str("time", ts.UTC().Format(time.RFC3339))}, nil
-		})
+		path := rpc.StrParams(names...)
+		parent := rpc.StrParams(parentNames...)
+		withExtra := func(extra ...wsdl.Param) []wsdl.Param {
+			return append(append([]wsdl.Param{}, path...), extra...)
+		}
+		d.Ops = append(d.Ops,
+			rpc.Op{Name: "create" + l + "Context", In: path, Out: bools,
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return okRet(s.Create(pathOf(in, names)))
+				}},
+			rpc.Op{Name: "exists" + l + "Context", In: path, Out: []wsdl.Param{rpc.Bool("exists")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return rpc.Ret(s.Exists(pathOf(in, names))), nil
+				}},
+			rpc.Op{Name: "remove" + l + "Context", In: path, Out: bools,
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return okRet(s.Remove(pathOf(in, names)))
+				}},
+			rpc.Op{Name: "list" + l + "Contexts", In: parent, Out: []wsdl.Param{rpc.Strs("names")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					kids, err := s.List(pathOf(in, parentNames))
+					if err != nil {
+						return nil, wrapErr(err)
+					}
+					return rpc.Ret(kids), nil
+				}},
+			rpc.Op{Name: "rename" + l + "Context", In: withExtra(rpc.Str("newName")), Out: bools,
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return okRet(s.Rename(pathOf(in, names), in.Str("newName")))
+				}},
+			rpc.Op{Name: "copy" + l + "Context", In: withExtra(rpc.Str("copyName")), Out: bools,
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return okRet(s.Copy(pathOf(in, names), in.Str("copyName")))
+				}},
+			rpc.Op{Name: "set" + l + "Property", In: withExtra(rpc.Str("name"), rpc.Str("value")), Out: bools,
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return okRet(s.SetProp(pathOf(in, names), in.Str("name"), in.Str("value")))
+				}},
+			rpc.Op{Name: "get" + l + "Property", In: withExtra(rpc.Str("name")), Out: []wsdl.Param{rpc.Str("value")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					v, err := s.GetProp(pathOf(in, names), in.Str("name"))
+					if err != nil {
+						return nil, wrapErr(err)
+					}
+					return rpc.Ret(v), nil
+				}},
+			rpc.Op{Name: "remove" + l + "Property", In: withExtra(rpc.Str("name")), Out: bools,
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return okRet(s.RemoveProp(pathOf(in, names), in.Str("name")))
+				}},
+			rpc.Op{Name: "list" + l + "Properties", In: path, Out: []wsdl.Param{rpc.Strs("names")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					props, err := s.ListProps(pathOf(in, names))
+					if err != nil {
+						return nil, wrapErr(err)
+					}
+					return rpc.Ret(props), nil
+				}},
+			rpc.Op{Name: "clear" + l + "Properties", In: path, Out: bools,
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return okRet(s.ClearProps(pathOf(in, names)))
+				}},
+			rpc.Op{Name: "count" + l + "Children", In: path, Out: []wsdl.Param{rpc.Int("count")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					n, err := s.CountChildren(pathOf(in, names))
+					if err != nil {
+						return nil, wrapErr(err)
+					}
+					return rpc.Ret(n), nil
+				}},
+			rpc.Op{Name: "get" + l + "CreationTime", In: path, Out: []wsdl.Param{rpc.Str("time")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					ts, err := s.Created(pathOf(in, names))
+					if err != nil {
+						return nil, wrapErr(err)
+					}
+					return rpc.Ret(ts.UTC().Format(time.RFC3339)), nil
+				}},
+		)
 	}
-	svc.Handle("archiveSession", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		id, err := s.ArchiveSession(args.String("user"), args.String("problem"), args.String("session"))
-		if err != nil {
-			return nil, wrapErr(err)
-		}
-		return []soap.Value{soap.Str("archiveID", id)}, nil
-	})
-	svc.Handle("restoreSession", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		return okValue(s.RestoreSession(args.String("archiveID")))
-	})
-	svc.Handle("listArchives", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		list := xmlutil.New("archives")
-		for _, a := range s.ListArchives(args.String("user")) {
-			list.Add(archiveElement(a))
-		}
-		return []soap.Value{soap.XMLDoc("archives", list)}, nil
-	})
-	svc.Handle("removeArchive", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		return okValue(s.RemoveArchive(args.String("archiveID")))
-	})
-	svc.Handle("getArchiveInfo", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		for _, a := range s.allArchives() {
-			if a.ID == args.String("archiveID") {
-				return []soap.Value{soap.XMLDoc("archive", archiveElement(a))}, nil
-			}
-		}
-		return nil, soap.NewPortalError("ContextManager", soap.ErrCodeNoSuchResource,
-			"no archive %q", args.String("archiveID"))
-	})
-	svc.Handle("createPlaceholderContext", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		return okValue(s.CreatePlaceholder(args.String("user"), args.String("problem"), args.String("session")))
-	})
-	svc.Handle("touchSession", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		path := []string{args.String("user"), args.String("problem"), args.String("session")}
-		return okValue(s.SetProp(path, "lastAccess", s.nowString()))
-	})
-	svc.Handle("countContexts", func(_ *core.Context, _ soap.Args) ([]soap.Value, error) {
-		return []soap.Value{soap.Int("count", s.CountContexts())}, nil
-	})
-	svc.Handle("exportContexts", func(_ *core.Context, _ soap.Args) ([]soap.Value, error) {
-		return []soap.Value{soap.Str("directory", s.ExportDirectory())}, nil
-	})
-	svc.Handle("importContexts", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		return okValue(s.ImportDirectory(args.String("directory")))
-	})
-	return svc
+	d.Ops = append(d.Ops,
+		rpc.Op{Name: "archiveSession", In: rpc.StrParams("user", "problem", "session"),
+			Out: []wsdl.Param{rpc.Str("archiveID")},
+			Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+				id, err := s.ArchiveSession(in.Str("user"), in.Str("problem"), in.Str("session"))
+				if err != nil {
+					return nil, wrapErr(err)
+				}
+				return rpc.Ret(id), nil
+			}},
+		rpc.Op{Name: "restoreSession", In: rpc.StrParams("archiveID"), Out: bools,
+			Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+				return okRet(s.RestoreSession(in.Str("archiveID")))
+			}},
+		rpc.Op{Name: "listArchives", In: rpc.StrParams("user"), Out: []wsdl.Param{rpc.XML("archives")},
+			Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+				list := xmlutil.New("archives")
+				for _, a := range s.ListArchives(in.Str("user")) {
+					list.Add(archiveElement(a))
+				}
+				return rpc.Ret(list), nil
+			}},
+		rpc.Op{Name: "removeArchive", In: rpc.StrParams("archiveID"), Out: bools,
+			Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+				return okRet(s.RemoveArchive(in.Str("archiveID")))
+			}},
+		rpc.Op{Name: "getArchiveInfo", In: rpc.StrParams("archiveID"), Out: []wsdl.Param{rpc.XML("archive")},
+			Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+				for _, a := range s.allArchives() {
+					if a.ID == in.Str("archiveID") {
+						return rpc.Ret(archiveElement(a)), nil
+					}
+				}
+				return nil, soap.NewPortalError("ContextManager", soap.ErrCodeNoSuchResource,
+					"no archive %q", in.Str("archiveID"))
+			}},
+		rpc.Op{Name: "createPlaceholderContext", In: rpc.StrParams("user", "problem", "session"), Out: bools,
+			Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+				return okRet(s.CreatePlaceholder(in.Str("user"), in.Str("problem"), in.Str("session")))
+			}},
+		rpc.Op{Name: "touchSession", In: rpc.StrParams("user", "problem", "session"), Out: bools,
+			Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+				path := []string{in.Str("user"), in.Str("problem"), in.Str("session")}
+				return okRet(s.SetProp(path, "lastAccess", s.nowString()))
+			}},
+		rpc.Op{Name: "countContexts", Out: []wsdl.Param{rpc.Int("count")},
+			Handle: func(_ *core.Context, _ rpc.Args) ([]interface{}, error) {
+				return rpc.Ret(s.CountContexts()), nil
+			}},
+		rpc.Op{Name: "exportContexts", Out: []wsdl.Param{rpc.Str("directory")},
+			Handle: func(_ *core.Context, _ rpc.Args) ([]interface{}, error) {
+				return rpc.Ret(s.ExportDirectory()), nil
+			}},
+		rpc.Op{Name: "importContexts", In: rpc.StrParams("directory"), Out: bools,
+			Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+				return okRet(s.ImportDirectory(in.Str("directory")))
+			}},
+	)
+	return d
+}
+
+// MonolithContract builds the Context Manager interface exactly as the
+// paper criticises it ("over 60 methods"), derived from the descriptor
+// table.
+func MonolithContract() *wsdl.Interface {
+	return monolithDef(nil).Interface()
+}
+
+// NewMonolithService deploys the full 60+-method interface over a Store.
+func NewMonolithService(s *Store) *core.Service {
+	return monolithDef(s).MustBuild()
 }
 
 // allArchives snapshots all archives (for getArchiveInfo).
@@ -270,124 +251,126 @@ func (s *Store) nowString() string {
 // ContextStoreNS is the namespace of the decomposed store service.
 const ContextStoreNS = "urn:gce:contextstore"
 
-// ContextStoreContract is the "reasonable scope" replacement: eight
+// contextStoreDef is the "reasonable scope" replacement: eight
 // path-oriented operations instead of thirteen per level.
-func ContextStoreContract() *wsdl.Interface {
-	path := wsdl.Param{Name: "path", Type: "stringArray"}
-	return &wsdl.Interface{
-		Name:     "ContextStore",
-		TargetNS: ContextStoreNS,
-		Doc:      "Decomposed context storage: generic hierarchical CRUD over context paths.",
-		Operations: []wsdl.Operation{
-			{Name: "create", Input: []wsdl.Param{path}, Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-			{Name: "exists", Input: []wsdl.Param{path}, Output: []wsdl.Param{{Name: "exists", Type: "boolean"}}},
-			{Name: "remove", Input: []wsdl.Param{path}, Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-			{Name: "list", Input: []wsdl.Param{path}, Output: []wsdl.Param{{Name: "names", Type: "stringArray"}}},
-			{Name: "setProperty", Input: []wsdl.Param{path, {Name: "name", Type: "string"}, {Name: "value", Type: "string"}},
-				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-			{Name: "getProperty", Input: []wsdl.Param{path, {Name: "name", Type: "string"}},
-				Output: []wsdl.Param{{Name: "value", Type: "string"}}},
-			{Name: "removeProperty", Input: []wsdl.Param{path, {Name: "name", Type: "string"}},
-				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-			{Name: "listProperties", Input: []wsdl.Param{path},
-				Output: []wsdl.Param{{Name: "names", Type: "stringArray"}}},
+func contextStoreDef(s *Store) *rpc.Def {
+	path := rpc.Strs("path")
+	bools := []wsdl.Param{rpc.Bool("ok")}
+	return &rpc.Def{
+		Name: "ContextStore",
+		NS:   ContextStoreNS,
+		Doc:  "Decomposed context storage: generic hierarchical CRUD over context paths.",
+		Ops: []rpc.Op{
+			{Name: "create", In: []wsdl.Param{path}, Out: bools,
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return okRet(s.Create(in.Strings("path")))
+				}},
+			{Name: "exists", In: []wsdl.Param{path}, Out: []wsdl.Param{rpc.Bool("exists")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return rpc.Ret(s.Exists(in.Strings("path"))), nil
+				}},
+			{Name: "remove", In: []wsdl.Param{path}, Out: bools,
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return okRet(s.Remove(in.Strings("path")))
+				}},
+			{Name: "list", In: []wsdl.Param{path}, Out: []wsdl.Param{rpc.Strs("names")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					kids, err := s.List(in.Strings("path"))
+					if err != nil {
+						return nil, wrapErr(err)
+					}
+					return rpc.Ret(kids), nil
+				}},
+			{Name: "setProperty", In: []wsdl.Param{path, rpc.Str("name"), rpc.Str("value")}, Out: bools,
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return okRet(s.SetProp(in.Strings("path"), in.Str("name"), in.Str("value")))
+				}},
+			{Name: "getProperty", In: []wsdl.Param{path, rpc.Str("name")}, Out: []wsdl.Param{rpc.Str("value")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					v, err := s.GetProp(in.Strings("path"), in.Str("name"))
+					if err != nil {
+						return nil, wrapErr(err)
+					}
+					return rpc.Ret(v), nil
+				}},
+			{Name: "removeProperty", In: []wsdl.Param{path, rpc.Str("name")}, Out: bools,
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return okRet(s.RemoveProp(in.Strings("path"), in.Str("name")))
+				}},
+			{Name: "listProperties", In: []wsdl.Param{path}, Out: []wsdl.Param{rpc.Strs("names")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					props, err := s.ListProps(in.Strings("path"))
+					if err != nil {
+						return nil, wrapErr(err)
+					}
+					return rpc.Ret(props), nil
+				}},
 		},
 	}
 }
 
+// ContextStoreContract returns the decomposed store interface.
+func ContextStoreContract() *wsdl.Interface {
+	return contextStoreDef(nil).Interface()
+}
+
 // NewContextStoreService deploys the decomposed store service.
 func NewContextStoreService(s *Store) *core.Service {
-	svc := core.NewService(ContextStoreContract())
-	svc.Handle("create", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		return okValue(s.Create(args.Strings("path")))
-	})
-	svc.Handle("exists", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		return []soap.Value{soap.Bool("exists", s.Exists(args.Strings("path")))}, nil
-	})
-	svc.Handle("remove", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		return okValue(s.Remove(args.Strings("path")))
-	})
-	svc.Handle("list", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		kids, err := s.List(args.Strings("path"))
-		if err != nil {
-			return nil, wrapErr(err)
-		}
-		return []soap.Value{soap.StrArray("names", kids)}, nil
-	})
-	svc.Handle("setProperty", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		return okValue(s.SetProp(args.Strings("path"), args.String("name"), args.String("value")))
-	})
-	svc.Handle("getProperty", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		v, err := s.GetProp(args.Strings("path"), args.String("name"))
-		if err != nil {
-			return nil, wrapErr(err)
-		}
-		return []soap.Value{soap.Str("value", v)}, nil
-	})
-	svc.Handle("removeProperty", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		return okValue(s.RemoveProp(args.Strings("path"), args.String("name")))
-	})
-	svc.Handle("listProperties", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		props, err := s.ListProps(args.Strings("path"))
-		if err != nil {
-			return nil, wrapErr(err)
-		}
-		return []soap.Value{soap.StrArray("names", props)}, nil
-	})
-	return svc
+	return contextStoreDef(s).MustBuild()
 }
 
 // SessionArchiveNS is the namespace of the decomposed archive service.
 const SessionArchiveNS = "urn:gce:sessionarchive"
 
-// SessionArchiveContract is the archival half of the decomposition.
-func SessionArchiveContract() *wsdl.Interface {
-	return &wsdl.Interface{
-		Name:     "SessionArchive",
-		TargetNS: SessionArchiveNS,
-		Doc:      "Decomposed session archival: snapshot, restore, and list session contexts.",
-		Operations: []wsdl.Operation{
-			{Name: "archive", Input: strParams("user", "problem", "session"),
-				Output: []wsdl.Param{{Name: "archiveID", Type: "string"}}},
-			{Name: "restore", Input: strParams("archiveID"),
-				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-			{Name: "list", Input: strParams("user"),
-				Output: []wsdl.Param{{Name: "archives", Type: "xml"}}},
-			{Name: "remove", Input: strParams("archiveID"),
-				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
-			{Name: "placeholder", Input: strParams("user", "problem", "session"),
-				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}}},
+// sessionArchiveDef is the archival half of the decomposition.
+func sessionArchiveDef(s *Store) *rpc.Def {
+	bools := []wsdl.Param{rpc.Bool("ok")}
+	return &rpc.Def{
+		Name: "SessionArchive",
+		NS:   SessionArchiveNS,
+		Doc:  "Decomposed session archival: snapshot, restore, and list session contexts.",
+		Ops: []rpc.Op{
+			{Name: "archive", In: rpc.StrParams("user", "problem", "session"),
+				Out: []wsdl.Param{rpc.Str("archiveID")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					id, err := s.ArchiveSession(in.Str("user"), in.Str("problem"), in.Str("session"))
+					if err != nil {
+						return nil, wrapErr(err)
+					}
+					return rpc.Ret(id), nil
+				}},
+			{Name: "restore", In: rpc.StrParams("archiveID"), Out: bools,
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return okRet(s.RestoreSession(in.Str("archiveID")))
+				}},
+			{Name: "list", In: rpc.StrParams("user"), Out: []wsdl.Param{rpc.XML("archives")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					list := xmlutil.New("archives")
+					for _, a := range s.ListArchives(in.Str("user")) {
+						list.Add(archiveElement(a))
+					}
+					return rpc.Ret(list), nil
+				}},
+			{Name: "remove", In: rpc.StrParams("archiveID"), Out: bools,
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return okRet(s.RemoveArchive(in.Str("archiveID")))
+				}},
+			{Name: "placeholder", In: rpc.StrParams("user", "problem", "session"), Out: bools,
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return okRet(s.CreatePlaceholder(in.Str("user"), in.Str("problem"), in.Str("session")))
+				}},
 		},
 	}
 }
 
+// SessionArchiveContract returns the decomposed archive interface.
+func SessionArchiveContract() *wsdl.Interface {
+	return sessionArchiveDef(nil).Interface()
+}
+
 // NewSessionArchiveService deploys the decomposed archive service.
 func NewSessionArchiveService(s *Store) *core.Service {
-	svc := core.NewService(SessionArchiveContract())
-	svc.Handle("archive", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		id, err := s.ArchiveSession(args.String("user"), args.String("problem"), args.String("session"))
-		if err != nil {
-			return nil, wrapErr(err)
-		}
-		return []soap.Value{soap.Str("archiveID", id)}, nil
-	})
-	svc.Handle("restore", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		return okValue(s.RestoreSession(args.String("archiveID")))
-	})
-	svc.Handle("list", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		list := xmlutil.New("archives")
-		for _, a := range s.ListArchives(args.String("user")) {
-			list.Add(archiveElement(a))
-		}
-		return []soap.Value{soap.XMLDoc("archives", list)}, nil
-	})
-	svc.Handle("remove", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		return okValue(s.RemoveArchive(args.String("archiveID")))
-	})
-	svc.Handle("placeholder", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		return okValue(s.CreatePlaceholder(args.String("user"), args.String("problem"), args.String("session")))
-	})
-	return svc
+	return sessionArchiveDef(s).MustBuild()
 }
 
 // MethodCount reports the operation count of an interface — the metric the
@@ -395,5 +378,3 @@ func NewSessionArchiveService(s *Store) *core.Service {
 func MethodCount(i *wsdl.Interface) int {
 	return len(i.Operations)
 }
-
-var _ = strconv.Itoa // reserved for future formatting helpers

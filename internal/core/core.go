@@ -10,9 +10,12 @@
 //     validates calls against the agreed interface before they leave the
 //     process, which is how independently developed clients and servers
 //     stay interoperable (Section 3.4).
-//   - Interceptors on both sides for the security layer (Section 4): the
-//     SAML assertion is attached by a client interceptor and verified by a
-//     provider interceptor, without the service implementations knowing.
+//   - A composable server-side middleware chain and client interceptors
+//     for the security layer (Section 4): the SAML assertion is attached
+//     by a client interceptor and verified by a provider middleware,
+//     without the service implementations knowing. The built-in
+//     middlewares (auth enforcement, logging, recovery, limiting, stats)
+//     live in the rpc package; core only defines the chain.
 //
 // The separation between the server that manages the user interface and
 // the server that manages a particular service — "the key development for
@@ -69,10 +72,12 @@ func (c *Context) Value(key string) interface{} {
 // *soap.PortalError are relayed with the portal-standard error detail.
 type HandlerFunc func(ctx *Context, args soap.Args) ([]soap.Value, error)
 
-// ServerInterceptor inspects or rejects an inbound call before dispatch.
-// It may mutate the context (e.g. set Principal after verifying an
-// assertion).
-type ServerInterceptor func(ctx *Context) error
+// Middleware wraps an operation handler, forming a composable chain:
+// provider-wide middlewares run outermost, then service middlewares, then
+// the handler. A middleware may inspect or mutate the context (e.g. set
+// Principal after verifying an assertion), short-circuit with an error, or
+// observe the outcome of the inner handler (timing, recovery, stats).
+type Middleware func(next HandlerFunc) HandlerFunc
 
 // ClientInterceptor may mutate an outbound request envelope before it is
 // sent (e.g. attach a signed SAML assertion header).
@@ -87,8 +92,11 @@ type Service struct {
 	Path string
 	// handlers maps operation name to implementation.
 	handlers map[string]HandlerFunc
-	// interceptors run before dispatch for this service only.
-	interceptors []ServerInterceptor
+	// middleware wraps this service's handlers only.
+	middleware []Middleware
+	// composed memoizes fully chained handlers per operation; guarded by
+	// the owning provider's lock and rebuilt after any Use call.
+	composed map[string]HandlerFunc
 }
 
 // NewService creates a service for the contract.
@@ -111,9 +119,11 @@ func (s *Service) Handle(operation string, h HandlerFunc) *Service {
 	return s
 }
 
-// Use appends a server interceptor for this service.
-func (s *Service) Use(i ServerInterceptor) *Service {
-	s.interceptors = append(s.interceptors, i)
+// Use appends a middleware wrapping this service's handlers. Configure
+// middleware during wiring, before the service starts dispatching.
+func (s *Service) Use(mw Middleware) *Service {
+	s.middleware = append(s.middleware, mw)
+	s.composed = nil
 	return s
 }
 
@@ -142,10 +152,10 @@ type Provider struct {
 	// endpoint addresses, e.g. "http://hotpage.sdsc.edu:8080".
 	BaseURL string
 
-	mu           sync.RWMutex
-	byNS         map[string]*Service
-	byPath       map[string]*Service
-	interceptors []ServerInterceptor
+	mu         sync.RWMutex
+	byNS       map[string]*Service
+	byPath     map[string]*Service
+	middleware []Middleware
 }
 
 // NewProvider creates an empty provider.
@@ -158,12 +168,15 @@ func NewProvider(name, baseURL string) *Provider {
 	}
 }
 
-// Use appends a provider-wide interceptor that runs before every service's
-// own interceptors.
-func (p *Provider) Use(i ServerInterceptor) *Provider {
+// Use appends a provider-wide middleware that wraps every service's chain
+// (outermost first: provider middlewares run before service middlewares).
+func (p *Provider) Use(mw Middleware) *Provider {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.interceptors = append(p.interceptors, i)
+	p.middleware = append(p.middleware, mw)
+	for _, s := range p.byNS {
+		s.composed = nil
+	}
 	return p
 }
 
@@ -230,16 +243,30 @@ func (p *Provider) Dispatch(env *soap.Envelope, httpReq *http.Request) (*soap.En
 	}
 	p.mu.RLock()
 	svc := p.byNS[call.ServiceNS]
-	interceptors := p.interceptors
+	var h HandlerFunc
+	if svc != nil {
+		h = svc.composed[call.Method]
+	}
 	p.mu.RUnlock()
 	if svc == nil {
 		return nil, &soap.Fault{Code: soap.FaultClient, Actor: p.Name,
 			String: fmt.Sprintf("no service for namespace %q", call.ServiceNS)}
 	}
-	h, ok := svc.handlers[call.Method]
-	if !ok {
-		return nil, soap.NewPortalError(svc.Contract.Name, soap.ErrCodeNoSuchMethod,
-			"operation %q not implemented", call.Method)
+	if h == nil {
+		// Compose the middleware chain once per operation and memoize it;
+		// Use invalidates the memo, so wiring-time changes still apply.
+		base, ok := svc.handlers[call.Method]
+		if !ok {
+			return nil, soap.NewPortalError(svc.Contract.Name, soap.ErrCodeNoSuchMethod,
+				"operation %q not implemented", call.Method)
+		}
+		p.mu.Lock()
+		h = Chain(base, p.middleware, svc.middleware)
+		if svc.composed == nil {
+			svc.composed = make(map[string]HandlerFunc, len(svc.handlers))
+		}
+		svc.composed[call.Method] = h
+		p.mu.Unlock()
 	}
 	ctx := &Context{
 		Operation:   call.Method,
@@ -247,22 +274,26 @@ func (p *Provider) Dispatch(env *soap.Envelope, httpReq *http.Request) (*soap.En
 		Envelope:    env,
 		HTTPRequest: httpReq,
 	}
-	for _, i := range interceptors {
-		if err := i(ctx); err != nil {
-			return nil, err
-		}
-	}
-	for _, i := range svc.interceptors {
-		if err := i(ctx); err != nil {
-			return nil, err
-		}
-	}
 	returns, err := h(ctx, soap.Args(call.Params))
 	if err != nil {
 		return nil, err
 	}
 	resp := &soap.Response{ServiceNS: call.ServiceNS, Method: call.Method, Returns: returns}
 	return resp.Envelope(), nil
+}
+
+// Chain composes middleware groups around a handler. Groups are applied in
+// order with earlier groups outermost, and within a group earlier
+// middlewares are outermost, so Chain(h, provider, service) runs provider
+// middlewares first on the way in and last on the way out.
+func Chain(h HandlerFunc, groups ...[]Middleware) HandlerFunc {
+	for g := len(groups) - 1; g >= 0; g-- {
+		mws := groups[g]
+		for i := len(mws) - 1; i >= 0; i-- {
+			h = mws[i](h)
+		}
+	}
+	return h
 }
 
 // ServeHTTP implements http.Handler: POST dispatches SOAP; GET with ?wsdl

@@ -158,21 +158,27 @@ func TestDuplicateRegistration(t *testing.T) {
 	}
 }
 
-func TestInterceptorsOrderAndRejection(t *testing.T) {
+func TestMiddlewareOrderAndRejection(t *testing.T) {
 	p := NewProvider("ssp", "loopback://x")
 	var order []string
-	p.Use(func(ctx *Context) error {
-		order = append(order, "provider")
-		ctx.Set("token", "t-123")
-		return nil
-	})
-	svc := echoService().Use(func(ctx *Context) error {
-		order = append(order, "service")
-		if ctx.Value("token") != "t-123" {
-			t.Error("context value not propagated")
+	p.Use(func(next HandlerFunc) HandlerFunc {
+		return func(ctx *Context, args soap.Args) ([]soap.Value, error) {
+			order = append(order, "provider")
+			ctx.Set("token", "t-123")
+			vals, err := next(ctx, args)
+			order = append(order, "provider-out")
+			return vals, err
 		}
-		ctx.Principal = "cyoun"
-		return nil
+	})
+	svc := echoService().Use(func(next HandlerFunc) HandlerFunc {
+		return func(ctx *Context, args soap.Args) ([]soap.Value, error) {
+			order = append(order, "service")
+			if ctx.Value("token") != "t-123" {
+				t.Error("context value not propagated")
+			}
+			ctx.Principal = "cyoun"
+			return next(ctx, args)
+		}
 	})
 	p.MustRegister(svc)
 	tr := &soap.LoopbackTransport{Handler: p.Dispatch}
@@ -184,15 +190,25 @@ func TestInterceptorsOrderAndRejection(t *testing.T) {
 	if got != "cyoun" {
 		t.Errorf("principal = %q", got)
 	}
-	if len(order) != 2 || order[0] != "provider" || order[1] != "service" {
-		t.Errorf("order = %v", order)
+	// Provider middleware is outermost: first in, last out.
+	want := []string{"provider", "service", "provider-out"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("order = %v, want %v", order, want)
+			break
+		}
 	}
 }
 
-func TestInterceptorRejects(t *testing.T) {
+func TestMiddlewareRejects(t *testing.T) {
 	p := NewProvider("ssp", "loopback://x")
-	p.Use(func(*Context) error {
-		return soap.NewPortalError("gate", soap.ErrCodeAccessDenied, "no assertion")
+	p.Use(func(HandlerFunc) HandlerFunc {
+		return func(*Context, soap.Args) ([]soap.Value, error) {
+			return nil, soap.NewPortalError("gate", soap.ErrCodeAccessDenied, "no assertion")
+		}
 	})
 	p.MustRegister(echoService())
 	tr := &soap.LoopbackTransport{Handler: p.Dispatch}

@@ -236,6 +236,14 @@ func parseElement(el *xmlutil.Element) (*ElementDecl, error) {
 	return d, nil
 }
 
+// ValidateValue checks a scalar value against a builtin XSD type name
+// ("int", "boolean", "double", ...; unknown types pass). The rpc kernel
+// bridges through this when decoding typed operation parameters, so the
+// wire layer and the schema wizard share one notion of XSD validity.
+func ValidateValue(t, v string) error {
+	return validateValue(t, v)
+}
+
 // validateValue checks a scalar against a builtin type.
 func validateValue(t, v string) error {
 	switch t {

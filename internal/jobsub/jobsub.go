@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/rpc"
 	"repro/internal/soap"
 	"repro/internal/webflow"
 	"repro/internal/wsdl"
@@ -39,45 +40,7 @@ const GlobusrunNS = "urn:gce:globusrun"
 
 // GlobusrunContract returns the Globusrun WSDL interface.
 func GlobusrunContract() *wsdl.Interface {
-	return &wsdl.Interface{
-		Name:     "Globusrun",
-		TargetNS: GlobusrunNS,
-		Doc:      "Secure, authenticated job execution on remote computational resources over the Grid.",
-		Operations: []wsdl.Operation{
-			{
-				Name: "run",
-				Doc:  "Runs one job described by plain strings; blocks and returns its output.",
-				Input: []wsdl.Param{
-					{Name: "host", Type: "string"},
-					{Name: "rsl", Type: "string"},
-				},
-				Output: []wsdl.Param{{Name: "output", Type: "string"}},
-			},
-			{
-				Name:   "runXML",
-				Doc:    "Runs one or more jobs from an XML job request, sequentially, returning XML results.",
-				Input:  []wsdl.Param{{Name: "request", Type: "xml"}},
-				Output: []wsdl.Param{{Name: "results", Type: "xml"}},
-			},
-			{
-				Name: "submit",
-				Doc:  "Submits one job asynchronously and returns its contact string.",
-				Input: []wsdl.Param{
-					{Name: "host", Type: "string"},
-					{Name: "rsl", Type: "string"},
-				},
-				Output: []wsdl.Param{{Name: "contact", Type: "string"}},
-			},
-			{
-				Name: "status",
-				Input: []wsdl.Param{
-					{Name: "host", Type: "string"},
-					{Name: "contact", Type: "string"},
-				},
-				Output: []wsdl.Param{{Name: "state", Type: "string"}},
-			},
-		},
-	}
+	return globusrunDef(nil, "").Interface()
 }
 
 // principalOf resolves the acting grid principal: the verified SAML
@@ -90,88 +53,125 @@ func principalOf(ctx *core.Context, def string) string {
 	return def
 }
 
-// NewGlobusrunService builds the deployable Globusrun service over a grid.
-// defaultPrincipal is used for unauthenticated calls; pass "" to require a
+// globusrunDef is the declarative Globusrun operation table bound to a
+// grid. defaultPrincipal is used for unauthenticated calls; "" requires a
 // verified principal on every call.
-func NewGlobusrunService(g *grid.Grid, defaultPrincipal string) *core.Service {
-	svc := core.NewService(GlobusrunContract())
+func globusrunDef(g *grid.Grid, defaultPrincipal string) *rpc.Def {
+	fail := func(code, format string, a ...interface{}) error {
+		return soap.NewPortalError("Globusrun", code, format, a...)
+	}
 	requirePrincipal := func(ctx *core.Context) (string, error) {
 		p := principalOf(ctx, defaultPrincipal)
 		if p == "" {
-			return "", soap.NewPortalError("Globusrun", soap.ErrCodeAuthFailed,
-				"no authenticated principal and no default configured")
+			return "", fail(soap.ErrCodeAuthFailed, "no authenticated principal and no default configured")
 		}
 		return p, nil
 	}
-	svc.Handle("run", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
-		p, err := requirePrincipal(ctx)
-		if err != nil {
-			return nil, err
-		}
-		gk, err := g.Gatekeeper(args.String("host"))
-		if err != nil {
-			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeNoSuchResource, "%v", err)
-		}
-		job, err := gk.Run(p, args.String("rsl"))
-		if err != nil {
-			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeJobFailed, "%v", err)
-		}
-		if job.State != grid.StateCompleted {
-			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeJobFailed,
-				"job %s: %s (%s)", job.ID, job.State, job.Reason)
-		}
-		return []soap.Value{soap.Str("output", job.Result.Stdout)}, nil
-	})
-	svc.Handle("runXML", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
-		p, err := requirePrincipal(ctx)
-		if err != nil {
-			return nil, err
-		}
-		req := args.XML("request")
-		if req == nil {
-			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeBadRequest, "missing job request document")
-		}
-		jobs, err := ParseJobRequest(req)
-		if err != nil {
-			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeBadRequest, "%v", err)
-		}
-		results := xmlutil.New("jobResults")
-		// Sequential execution, as the paper specifies.
-		for i, jr := range jobs {
-			results.Add(runOne(g, p, i, jr))
-		}
-		return []soap.Value{soap.XMLDoc("results", results)}, nil
-	})
-	svc.Handle("submit", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
-		p, err := requirePrincipal(ctx)
-		if err != nil {
-			return nil, err
-		}
-		gk, err := g.Gatekeeper(args.String("host"))
-		if err != nil {
-			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeNoSuchResource, "%v", err)
-		}
-		contact, err := gk.Submit(p, args.String("rsl"))
-		if err != nil {
-			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeJobFailed, "%v", err)
-		}
-		return []soap.Value{soap.Str("contact", contact)}, nil
-	})
-	svc.Handle("status", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
-		if _, err := requirePrincipal(ctx); err != nil {
-			return nil, err
-		}
-		gk, err := g.Gatekeeper(args.String("host"))
-		if err != nil {
-			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeNoSuchResource, "%v", err)
-		}
-		job, err := gk.Status(args.String("contact"))
-		if err != nil {
-			return nil, soap.NewPortalError("Globusrun", soap.ErrCodeNoSuchResource, "%v", err)
-		}
-		return []soap.Value{soap.Str("state", string(job.State))}, nil
-	})
-	return svc
+	return &rpc.Def{
+		Name: "Globusrun",
+		NS:   GlobusrunNS,
+		Doc:  "Secure, authenticated job execution on remote computational resources over the Grid.",
+		Ops: []rpc.Op{
+			{
+				Name: "run",
+				Doc:  "Runs one job described by plain strings; blocks and returns its output.",
+				In:   []wsdl.Param{rpc.Str("host"), rpc.Str("rsl")},
+				Out:  []wsdl.Param{rpc.Str("output")},
+				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
+					p, err := requirePrincipal(ctx)
+					if err != nil {
+						return nil, err
+					}
+					gk, err := g.Gatekeeper(in.Str("host"))
+					if err != nil {
+						return nil, fail(soap.ErrCodeNoSuchResource, "%v", err)
+					}
+					job, err := gk.Run(p, in.Str("rsl"))
+					if err != nil {
+						return nil, fail(soap.ErrCodeJobFailed, "%v", err)
+					}
+					if job.State != grid.StateCompleted {
+						return nil, fail(soap.ErrCodeJobFailed, "job %s: %s (%s)", job.ID, job.State, job.Reason)
+					}
+					return rpc.Ret(job.Result.Stdout), nil
+				},
+			},
+			{
+				Name: "runXML",
+				Doc:  "Runs one or more jobs from an XML job request, sequentially, returning XML results.",
+				In:   []wsdl.Param{rpc.XML("request")},
+				Out:  []wsdl.Param{rpc.XML("results")},
+				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
+					p, err := requirePrincipal(ctx)
+					if err != nil {
+						return nil, err
+					}
+					req := in.XML("request")
+					if req == nil {
+						return nil, fail(soap.ErrCodeBadRequest, "missing job request document")
+					}
+					jobs, err := ParseJobRequest(req)
+					if err != nil {
+						return nil, fail(soap.ErrCodeBadRequest, "%v", err)
+					}
+					results := xmlutil.New("jobResults")
+					// Sequential execution, as the paper specifies.
+					for i, jr := range jobs {
+						results.Add(runOne(g, p, i, jr))
+					}
+					return rpc.Ret(results), nil
+				},
+			},
+			{
+				Name: "submit",
+				Doc:  "Submits one job asynchronously and returns its contact string.",
+				In:   []wsdl.Param{rpc.Str("host"), rpc.Str("rsl")},
+				Out:  []wsdl.Param{rpc.Str("contact")},
+				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
+					p, err := requirePrincipal(ctx)
+					if err != nil {
+						return nil, err
+					}
+					gk, err := g.Gatekeeper(in.Str("host"))
+					if err != nil {
+						return nil, fail(soap.ErrCodeNoSuchResource, "%v", err)
+					}
+					contact, err := gk.Submit(p, in.Str("rsl"))
+					if err != nil {
+						return nil, fail(soap.ErrCodeJobFailed, "%v", err)
+					}
+					return rpc.Ret(contact), nil
+				},
+			},
+			{
+				Name: "status",
+				In:   []wsdl.Param{rpc.Str("host"), rpc.Str("contact")},
+				Out:  []wsdl.Param{rpc.Str("state")},
+				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
+					if _, err := requirePrincipal(ctx); err != nil {
+						return nil, err
+					}
+					gk, err := g.Gatekeeper(in.Str("host"))
+					if err != nil {
+						return nil, fail(soap.ErrCodeNoSuchResource, "%v", err)
+					}
+					job, err := gk.Status(in.Str("contact"))
+					if err != nil {
+						return nil, fail(soap.ErrCodeNoSuchResource, "%v", err)
+					}
+					return rpc.Ret(string(job.State)), nil
+				},
+			},
+		},
+	}
+}
+
+// NewGlobusrunService builds the deployable Globusrun service over a grid
+// from the declarative operation table. defaultPrincipal is used for
+// unauthenticated calls; pass "" to require a verified principal on every
+// call.
+func NewGlobusrunService(g *grid.Grid, defaultPrincipal string) *core.Service {
+	return globusrunDef(g, defaultPrincipal).MustBuild()
 }
 
 func runOne(g *grid.Grid, principal string, index int, jr JobRequest) *xmlutil.Element {
@@ -373,18 +373,35 @@ const BatchJobNS = "urn:gce:batchjob"
 // BatchJobContract returns the batch job submission interface: one method
 // taking the host and scheduler command strings.
 func BatchJobContract() *wsdl.Interface {
-	return &wsdl.Interface{
-		Name:     "BatchJobSubmission",
-		TargetNS: BatchJobNS,
-		Doc:      "Submits batch jobs described by scheduler command strings; delegates to the Globusrun Web Service.",
-		Operations: []wsdl.Operation{{
+	return batchJobDef(nil).Interface()
+}
+
+// batchJobDef is the declarative batch job operation table delegating to
+// a Globusrun client — the inter-service call the paper demonstrates.
+func batchJobDef(globusrun *GlobusrunClient) *rpc.Def {
+	return &rpc.Def{
+		Name: "BatchJobSubmission",
+		NS:   BatchJobNS,
+		Doc:  "Submits batch jobs described by scheduler command strings; delegates to the Globusrun Web Service.",
+		Ops: []rpc.Op{{
 			Name: "submitBatch",
 			Doc:  "Parses host and scheduler command strings and runs the job via Globusrun.",
-			Input: []wsdl.Param{
-				{Name: "host", Type: "string"},
-				{Name: "command", Type: "string"},
+			In:   []wsdl.Param{rpc.Str("host"), rpc.Str("command")},
+			Out:  []wsdl.Param{rpc.Str("output")},
+			Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+				rsl, err := ParseSchedulerCommand(in.Str("command"))
+				if err != nil {
+					return nil, soap.NewPortalError("BatchJobSubmission", soap.ErrCodeBadRequest, "%v", err)
+				}
+				out, err := globusrun.Run(in.Str("host"), rsl)
+				if err != nil {
+					if pe := soap.AsPortalError(err); pe != nil {
+						return nil, pe
+					}
+					return nil, soap.NewPortalError("BatchJobSubmission", soap.ErrCodeJobFailed, "%v", err)
+				}
+				return rpc.Ret(out), nil
 			},
-			Output: []wsdl.Param{{Name: "output", Type: "string"}},
 		}},
 	}
 }
@@ -435,25 +452,10 @@ func ParseSchedulerCommand(command string) (string, error) {
 	return grid.FormatRSL(spec), nil
 }
 
-// NewBatchJobService builds the batch job service delegating to a Globusrun
-// client — the inter-service call the paper demonstrates.
+// NewBatchJobService builds the batch job service from the declarative
+// operation table.
 func NewBatchJobService(globusrun *GlobusrunClient) *core.Service {
-	svc := core.NewService(BatchJobContract())
-	svc.Handle("submitBatch", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
-		rsl, err := ParseSchedulerCommand(args.String("command"))
-		if err != nil {
-			return nil, soap.NewPortalError("BatchJobSubmission", soap.ErrCodeBadRequest, "%v", err)
-		}
-		out, err := globusrun.Run(args.String("host"), rsl)
-		if err != nil {
-			if pe := soap.AsPortalError(err); pe != nil {
-				return nil, pe
-			}
-			return nil, soap.NewPortalError("BatchJobSubmission", soap.ErrCodeJobFailed, "%v", err)
-		}
-		return []soap.Value{soap.Str("output", out)}, nil
-	})
-	return svc
+	return batchJobDef(globusrun).MustBuild()
 }
 
 // BatchJobClient is a typed proxy to the batch job service.
@@ -479,58 +481,60 @@ const WebFlowBridgeNS = "urn:gce:webflow-jobsub"
 // WebFlowBridgeContract returns the IU job submission interface: the SOAP
 // server methods "wrapped the existing WebFlow methods".
 func WebFlowBridgeContract() *wsdl.Interface {
-	return &wsdl.Interface{
-		Name:     "WebFlowJobSubmission",
-		TargetNS: WebFlowBridgeNS,
-		Doc:      "SOAP wrapper around the legacy CORBA-based WebFlow job submission module.",
-		Operations: []wsdl.Operation{
+	return webflowBridgeDef(nil, "").Interface()
+}
+
+// webflowBridgeDef is the declarative SOAP-to-ORB bridge table forwarding
+// to a resolved WebFlow module reference.
+func webflowBridgeDef(ref *webflow.ObjectRef, defaultPrincipal string) *rpc.Def {
+	fail := func(format string, a ...interface{}) error {
+		return soap.NewPortalError("WebFlowJobSubmission", soap.ErrCodeJobFailed, format, a...)
+	}
+	return &rpc.Def{
+		Name: "WebFlowJobSubmission",
+		NS:   WebFlowBridgeNS,
+		Doc:  "SOAP wrapper around the legacy CORBA-based WebFlow job submission module.",
+		Ops: []rpc.Op{
 			{
 				Name: "runJob",
-				Input: []wsdl.Param{
-					{Name: "host", Type: "string"},
-					{Name: "rsl", Type: "string"},
+				In:   []wsdl.Param{rpc.Str("host"), rpc.Str("rsl")},
+				Out:  []wsdl.Param{rpc.Str("output")},
+				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
+					p := principalOf(ctx, defaultPrincipal)
+					res, err := ref.Invoke("runJob", p, in.Str("host"), in.Str("rsl"))
+					if err != nil {
+						return nil, fail("%v", err)
+					}
+					if len(res) < 2 || res[0] != string(grid.StateCompleted) {
+						return nil, fail("webflow job state %v", res)
+					}
+					return rpc.Ret(res[1]), nil
 				},
-				Output: []wsdl.Param{{Name: "output", Type: "string"}},
 			},
 			{
 				Name: "submitJob",
-				Input: []wsdl.Param{
-					{Name: "host", Type: "string"},
-					{Name: "rsl", Type: "string"},
+				In:   []wsdl.Param{rpc.Str("host"), rpc.Str("rsl")},
+				Out:  []wsdl.Param{rpc.Str("contact")},
+				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
+					p := principalOf(ctx, defaultPrincipal)
+					res, err := ref.Invoke("submitJob", p, in.Str("host"), in.Str("rsl"))
+					if err != nil {
+						return nil, fail("%v", err)
+					}
+					return rpc.Ret(res[0]), nil
 				},
-				Output: []wsdl.Param{{Name: "contact", Type: "string"}},
 			},
 		},
 	}
 }
 
 // NewWebFlowBridgeService builds the SOAP-to-ORB bridge: it initialises a
-// client ORB, resolves the WebFlow job submission module, and forwards.
+// client ORB, resolves the WebFlow job submission module, and builds the
+// descriptor table forwarding to it.
 func NewWebFlowBridgeService(orb *webflow.ORB, moduleIOR, defaultPrincipal string) (*core.Service, error) {
 	ref, err := orb.Resolve(moduleIOR)
 	if err != nil {
 		return nil, err
 	}
-	svc := core.NewService(WebFlowBridgeContract())
-	svc.Handle("runJob", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
-		p := principalOf(ctx, defaultPrincipal)
-		res, err := ref.Invoke("runJob", p, args.String("host"), args.String("rsl"))
-		if err != nil {
-			return nil, soap.NewPortalError("WebFlowJobSubmission", soap.ErrCodeJobFailed, "%v", err)
-		}
-		if len(res) < 2 || res[0] != string(grid.StateCompleted) {
-			return nil, soap.NewPortalError("WebFlowJobSubmission", soap.ErrCodeJobFailed,
-				"webflow job state %v", res)
-		}
-		return []soap.Value{soap.Str("output", res[1])}, nil
-	})
-	svc.Handle("submitJob", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
-		p := principalOf(ctx, defaultPrincipal)
-		res, err := ref.Invoke("submitJob", p, args.String("host"), args.String("rsl"))
-		if err != nil {
-			return nil, soap.NewPortalError("WebFlowJobSubmission", soap.ErrCodeJobFailed, "%v", err)
-		}
-		return []soap.Value{soap.Str("contact", res[0])}, nil
-	})
-	return svc, nil
+	return webflowBridgeDef(ref, defaultPrincipal).Build()
 }

@@ -1,0 +1,55 @@
+// Package rpc is the declarative service kernel every portal service is
+// built on. It realises the paper's common-architecture discipline — one
+// SOAP/WSDL contract mechanism shared by all services — as three layers:
+//
+// # Descriptor layer
+//
+// A service is a Def: a name, namespace, and a table of Op descriptors,
+// each declaring the operation's typed parameters and returns
+// (wsdl.Param) next to its implementation. The kernel derives the
+// wsdl.Interface from the same table, registers every handler, and owns
+// the codec: wire parameters are decoded and validated (through the
+// databind XSD bridge) into typed Args before the handler runs, and the
+// handler's ordered return values are encoded back per the Out table.
+// Service code never touches soap.Value, and contract and implementation
+// cannot drift.
+//
+//	def := &rpc.Def{
+//	    Name: "Echo", NS: "urn:echo",
+//	    Ops: []rpc.Op{{
+//	        Name: "say",
+//	        In:   []wsdl.Param{rpc.Str("msg")},
+//	        Out:  []wsdl.Param{rpc.Str("echo")},
+//	        Handle: func(c *core.Context, in rpc.Args) ([]interface{}, error) {
+//	            return rpc.Ret(in.Str("msg")), nil
+//	        },
+//	    }},
+//	}
+//	svc := def.MustBuild() // a deployable *core.Service
+//
+// # Middleware layer
+//
+// Cross-cutting behaviour composes as core.Middleware — func(next
+// core.HandlerFunc) core.HandlerFunc — chained provider-wide or
+// per-service via Use. The kernel ships RequireAssertion (GSS/SAML auth
+// enforcement), Logging, Recover (panic to SOAP fault), ConcurrencyLimit,
+// and Stats (request counts and latency, served at /healthz).
+//
+// # Hosting layer
+//
+// Server assembles the HTTP surface: providers mounted under path
+// prefixes (with WSDL GET handling), the WS-Inspection document at
+// /inspection.wsil, /healthz, and pass-through handlers for UI pages.
+// Recovery and stats middleware are attached to every provider
+// automatically. Server.Transport() gives an in-process transport over
+// the same dispatch path for examples and tests.
+//
+//	srv := rpc.NewServer("portal", "http://localhost:8080")
+//	ssp := srv.Provider("/ssp", rpc.Logging(nil))
+//	ssp.MustRegister(def.MustBuild())
+//	log.Fatal(srv.ListenAndServe(":8080"))
+//
+// Registering a new service is therefore: declare a Def table, build it,
+// and register it on a mounted provider — discovery (WSDL, WSIL, UDDI
+// publication) and operations concerns are inherited from the kernel.
+package rpc

@@ -1,0 +1,222 @@
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/saml"
+	"repro/internal/soap"
+	"repro/internal/xmlutil"
+)
+
+// AssertionVerifier abstracts how a provider reaches the Authentication
+// Service: in-process (authsvc.LocalVerifier) or over SOAP
+// (authsvc.Client). Declared here structurally so the kernel does not
+// depend on the authsvc package it also hosts.
+type AssertionVerifier interface {
+	// Verify returns the authenticated principal, or an error.
+	Verify(a *saml.Assertion) (string, error)
+}
+
+// RequireAssertion enforces the Figure 2 protocol: every request must
+// carry a SAML assertion the Authentication Service accepts; the verified
+// principal lands in the request context. Denials are relayed as Client
+// faults (the caller, not the service, is at fault) carrying the
+// portal-standard AuthenticationFailed detail.
+func RequireAssertion(v AssertionVerifier) core.Middleware {
+	return func(next core.HandlerFunc) core.HandlerFunc {
+		return func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
+			a, err := saml.FromEnvelope(ctx.Envelope)
+			if err != nil {
+				return nil, authFault(soap.ErrCodeBadRequest, "malformed assertion: %v", err)
+			}
+			if a == nil {
+				return nil, authFault(soap.ErrCodeAuthFailed, "request carries no SAML assertion")
+			}
+			principal, err := v.Verify(a)
+			if err != nil {
+				return nil, authFault(soap.ErrCodeAuthFailed, "assertion rejected: %v", err)
+			}
+			ctx.Principal = principal
+			return next(ctx, args)
+		}
+	}
+}
+
+// authFault builds a Client fault relaying a portal-standard error detail,
+// so clients both see the SOAP-level blame (Client) and can decode the
+// portal error code.
+func authFault(code, format string, a ...interface{}) *soap.Fault {
+	pe := soap.NewPortalError("SPP", code, format, a...)
+	return &soap.Fault{
+		Code:   soap.FaultClient,
+		String: pe.Message,
+		Detail: []*xmlutil.Element{pe.Element()},
+	}
+}
+
+// Recover converts a panicking handler into a SOAP Server fault instead of
+// tearing down the provider goroutine, keeping one bad request from
+// killing the server.
+func Recover() core.Middleware {
+	return func(next core.HandlerFunc) core.HandlerFunc {
+		return func(ctx *core.Context, args soap.Args) (vals []soap.Value, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					vals = nil
+					err = &soap.Fault{
+						Code:   soap.FaultServer,
+						String: fmt.Sprintf("panic in %s: %v", ctx.Operation, r),
+					}
+				}
+			}()
+			return next(ctx, args)
+		}
+	}
+}
+
+// Logging emits one structured line per request: namespace, operation,
+// principal, duration, and outcome. A nil logger uses the process default.
+func Logging(l *log.Logger) core.Middleware {
+	if l == nil {
+		l = log.Default()
+	}
+	return func(next core.HandlerFunc) core.HandlerFunc {
+		return func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
+			start := time.Now()
+			vals, err := next(ctx, args)
+			outcome := "ok"
+			if err != nil {
+				if pe := soap.AsPortalError(err); pe != nil {
+					outcome = pe.Code
+				} else {
+					outcome = "fault"
+				}
+			}
+			principal := ctx.Principal
+			if principal == "" {
+				principal = "-"
+			}
+			l.Printf("rpc ns=%s op=%s principal=%s dur=%s outcome=%s",
+				ctx.ServiceNS, ctx.Operation, principal, time.Since(start).Round(time.Microsecond), outcome)
+			return vals, err
+		}
+	}
+}
+
+// ConcurrencyLimit bounds how many requests execute at once in the chain
+// below it; excess requests wait. Apply per service for per-service
+// limits, or provider-wide for a global one.
+func ConcurrencyLimit(n int) core.Middleware {
+	if n <= 0 {
+		n = 1
+	}
+	sem := make(chan struct{}, n)
+	return func(next core.HandlerFunc) core.HandlerFunc {
+		return func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			return next(ctx, args)
+		}
+	}
+}
+
+// OpStats is the accumulated view of one operation.
+type OpStats struct {
+	// Count is the number of completed requests.
+	Count uint64 `json:"count"`
+	// Errors counts requests that ended in any error or fault.
+	Errors uint64 `json:"errors"`
+	// TotalNS and MaxNS accumulate handler latency.
+	TotalNS int64 `json:"totalNs"`
+	MaxNS   int64 `json:"maxNs"`
+}
+
+// Stats counts requests and accumulates latency per operation, and serves
+// the snapshot as a /healthz-style JSON endpoint.
+type Stats struct {
+	mu    sync.Mutex
+	start time.Time
+	ops   map[string]*OpStats
+}
+
+// NewStats returns an empty stats collector.
+func NewStats() *Stats {
+	return &Stats{start: time.Now(), ops: map[string]*OpStats{}}
+}
+
+// Middleware returns the recording middleware. One Stats value may back
+// several providers; operations are keyed "namespace#operation".
+func (s *Stats) Middleware() core.Middleware {
+	return func(next core.HandlerFunc) core.HandlerFunc {
+		return func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
+			start := time.Now()
+			vals, err := next(ctx, args)
+			s.record(ctx.ServiceNS+"#"+ctx.Operation, time.Since(start), err)
+			return vals, err
+		}
+	}
+}
+
+func (s *Stats) record(key string, d time.Duration, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op := s.ops[key]
+	if op == nil {
+		op = &OpStats{}
+		s.ops[key] = op
+	}
+	op.Count++
+	if err != nil {
+		op.Errors++
+	}
+	ns := d.Nanoseconds()
+	op.TotalNS += ns
+	if ns > op.MaxNS {
+		op.MaxNS = ns
+	}
+}
+
+// Snapshot returns a copy of the per-operation stats.
+func (s *Stats) Snapshot() map[string]OpStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]OpStats, len(s.ops))
+	for k, v := range s.ops {
+		out[k] = *v
+	}
+	return out
+}
+
+// ServeHTTP serves the health document: status, uptime, and per-operation
+// counters, deterministically ordered.
+func (s *Stats) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type opLine struct {
+		Operation string `json:"operation"`
+		OpStats
+	}
+	doc := struct {
+		Status     string   `json:"status"`
+		UptimeSecs float64  `json:"uptimeSeconds"`
+		Operations []opLine `json:"operations"`
+	}{Status: "ok", UptimeSecs: time.Since(s.start).Seconds()}
+	for _, k := range keys {
+		doc.Operations = append(doc.Operations, opLine{Operation: k, OpStats: snap[k]})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}

@@ -1,0 +1,304 @@
+package rpc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/databind"
+	"repro/internal/soap"
+	"repro/internal/wsdl"
+	"repro/internal/xmlutil"
+)
+
+// Handler is a typed operation implementation: it receives decoded,
+// validated parameters and returns the out values in the order the
+// operation's Out table declares them. The kernel handles all soap.Value
+// encoding and decoding.
+type Handler func(c *core.Context, in Args) ([]interface{}, error)
+
+// Op is one declarative operation descriptor: the operation's contract
+// (name, doc, typed params and returns) together with its implementation.
+// The kernel derives the wsdl.Operation from the same table, so contract
+// and implementation cannot drift.
+type Op struct {
+	// Name is the operation name.
+	Name string
+	// Doc is the human-readable description, emitted as wsdl:documentation.
+	Doc string
+	// In declares the input parameters in order.
+	In []wsdl.Param
+	// Out declares the output parameters in order.
+	Out []wsdl.Param
+	// Handle implements the operation.
+	Handle Handler
+}
+
+// Def is a service descriptor: identity plus the operation table. It is
+// the single source from which the kernel derives the WSDL interface,
+// registers handlers, and wires parameter codecs.
+type Def struct {
+	// Name is the port type name, e.g. "BatchScriptGenerator".
+	Name string
+	// NS is the service namespace URI.
+	NS string
+	// Doc is the interface documentation.
+	Doc string
+	// Path optionally overrides the provider mount path ("/" + Name).
+	Path string
+	// Ops is the operation table in declaration order.
+	Ops []Op
+}
+
+// Interface derives the abstract WSDL contract from the descriptor table.
+func (d *Def) Interface() *wsdl.Interface {
+	ops := make([]wsdl.Operation, len(d.Ops))
+	for i, op := range d.Ops {
+		ops[i] = wsdl.Operation{Name: op.Name, Doc: op.Doc, Input: op.In, Output: op.Out}
+	}
+	return &wsdl.Interface{Name: d.Name, TargetNS: d.NS, Doc: d.Doc, Operations: ops}
+}
+
+// Build compiles the descriptor into a deployable core.Service: the
+// contract is derived from the table and every operation gets a kernel
+// handler that decodes arguments, invokes the typed implementation, and
+// encodes the returns.
+func (d *Def) Build() (*core.Service, error) {
+	svc := core.NewService(d.Interface())
+	if d.Path != "" {
+		svc.Path = d.Path
+	}
+	for i := range d.Ops {
+		op := d.Ops[i]
+		if op.Handle == nil {
+			return nil, fmt.Errorf("rpc: %s.%s has no handler", d.Name, op.Name)
+		}
+		svc.Handle(op.Name, kernelHandler(d.Name, op))
+	}
+	return svc, nil
+}
+
+// MustBuild is Build for static wiring; it panics on a malformed table.
+func (d *Def) MustBuild() *core.Service {
+	svc, err := d.Build()
+	if err != nil {
+		panic(err)
+	}
+	return svc
+}
+
+// kernelHandler adapts one typed operation into the core handler shape.
+func kernelHandler(service string, op Op) core.HandlerFunc {
+	return func(ctx *core.Context, raw soap.Args) ([]soap.Value, error) {
+		in, err := decodeArgs(service, op.In, raw)
+		if err != nil {
+			return nil, err
+		}
+		outs, err := op.Handle(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		return encodeReturns(service, op.Name, op.Out, outs)
+	}
+}
+
+// Args carries the decoded, type-checked input parameters of one call.
+// Missing optional parameters read as zero values; malformed values were
+// already rejected by the kernel before the handler ran.
+type Args struct {
+	vals map[string]interface{}
+}
+
+// Str returns the named string parameter or "".
+func (a Args) Str(name string) string {
+	v, _ := a.vals[name].(string)
+	return v
+}
+
+// Int returns the named int parameter or 0.
+func (a Args) Int(name string) int {
+	v, _ := a.vals[name].(int)
+	return v
+}
+
+// Bool returns the named boolean parameter or false.
+func (a Args) Bool(name string) bool {
+	v, _ := a.vals[name].(bool)
+	return v
+}
+
+// Float returns the named double parameter or 0.
+func (a Args) Float(name string) float64 {
+	v, _ := a.vals[name].(float64)
+	return v
+}
+
+// Strings returns the named string-array parameter or nil.
+func (a Args) Strings(name string) []string {
+	v, _ := a.vals[name].([]string)
+	return v
+}
+
+// XML returns the named literal XML parameter or nil.
+func (a Args) XML(name string) *xmlutil.Element {
+	v, _ := a.vals[name].(*xmlutil.Element)
+	return v
+}
+
+// decodeArgs turns raw wire parameters into typed values, validating each
+// present scalar against its declared XSD type through databind. A
+// malformed value is a caller error and surfaces as a BadRequest portal
+// error; an absent parameter decodes to the zero value, matching the
+// tolerant behaviour of the paper's Python services.
+func decodeArgs(service string, in []wsdl.Param, raw soap.Args) (Args, error) {
+	vals := make(map[string]interface{}, len(in))
+	badParam := func(name string, err error) error {
+		return soap.NewPortalError(service, soap.ErrCodeBadRequest, "parameter %q: %v", name, err)
+	}
+	for _, p := range in {
+		v, ok := raw.Get(p.Name)
+		if !ok {
+			continue
+		}
+		switch p.Type {
+		case "int", "boolean", "double":
+			text := strings.TrimSpace(v.Text)
+			if text == "" {
+				continue
+			}
+			if err := databind.ValidateValue(p.Type, text); err != nil {
+				return Args{}, badParam(p.Name, err)
+			}
+			switch p.Type {
+			case "int":
+				n, _ := strconv.Atoi(text)
+				vals[p.Name] = n
+			case "boolean":
+				b, _ := strconv.ParseBool(text)
+				vals[p.Name] = b
+			default:
+				f, _ := strconv.ParseFloat(text, 64)
+				vals[p.Name] = f
+			}
+		case "stringArray":
+			items := make([]string, 0, len(v.Items))
+			for _, item := range v.Items {
+				items = append(items, item.Text)
+			}
+			vals[p.Name] = items
+		case "xml":
+			if v.XML != nil {
+				vals[p.Name] = v.XML
+			}
+		default: // "string" and any future scalar alias
+			vals[p.Name] = v.Text
+		}
+	}
+	return Args{vals: vals}, nil
+}
+
+// encodeReturns binds the handler's ordered return values to the declared
+// out parameters. A shape mismatch is a service implementation bug and is
+// relayed as an InternalError portal error rather than a silent
+// misencoding.
+func encodeReturns(service, op string, out []wsdl.Param, vals []interface{}) ([]soap.Value, error) {
+	if len(vals) != len(out) {
+		return nil, soap.NewPortalError(service, soap.ErrCodeInternal,
+			"operation %s returned %d values, contract declares %d", op, len(vals), len(out))
+	}
+	res := make([]soap.Value, len(out))
+	for i, p := range out {
+		sv, err := encodeOne(p, vals[i])
+		if err != nil {
+			return nil, soap.NewPortalError(service, soap.ErrCodeInternal,
+				"operation %s return %q: %v", op, p.Name, err)
+		}
+		res[i] = sv
+	}
+	return res, nil
+}
+
+func encodeOne(p wsdl.Param, v interface{}) (soap.Value, error) {
+	if sv, ok := v.(soap.Value); ok { // escape hatch for pre-encoded values
+		return sv, nil
+	}
+	switch p.Type {
+	case "string":
+		s, ok := v.(string)
+		if !ok && v != nil {
+			return soap.Value{}, fmt.Errorf("got %T, want string", v)
+		}
+		return soap.Str(p.Name, s), nil
+	case "int":
+		n, ok := v.(int)
+		if !ok && v != nil {
+			return soap.Value{}, fmt.Errorf("got %T, want int", v)
+		}
+		return soap.Int(p.Name, n), nil
+	case "boolean":
+		b, ok := v.(bool)
+		if !ok && v != nil {
+			return soap.Value{}, fmt.Errorf("got %T, want bool", v)
+		}
+		return soap.Bool(p.Name, b), nil
+	case "double":
+		f, ok := v.(float64)
+		if !ok && v != nil {
+			return soap.Value{}, fmt.Errorf("got %T, want float64", v)
+		}
+		return soap.Value{Name: p.Name, Type: "double", Text: strconv.FormatFloat(f, 'g', -1, 64)}, nil
+	case "stringArray":
+		if v == nil {
+			return soap.StrArray(p.Name, nil), nil
+		}
+		items, ok := v.([]string)
+		if !ok {
+			return soap.Value{}, fmt.Errorf("got %T, want []string", v)
+		}
+		return soap.StrArray(p.Name, items), nil
+	case "xml":
+		if v == nil {
+			return soap.Value{}, fmt.Errorf("got nil, want *xmlutil.Element")
+		}
+		el, ok := v.(*xmlutil.Element)
+		if !ok {
+			return soap.Value{}, fmt.Errorf("got %T, want *xmlutil.Element", v)
+		}
+		return soap.XMLDoc(p.Name, el), nil
+	default:
+		return soap.Value{}, fmt.Errorf("unsupported declared type %q", p.Type)
+	}
+}
+
+// Ret packages a handler's return values; sugar for []interface{}{...}.
+func Ret(vals ...interface{}) []interface{} { return vals }
+
+// --- Param constructors -------------------------------------------------------
+
+// Str declares a string parameter.
+func Str(name string) wsdl.Param { return wsdl.Param{Name: name, Type: "string"} }
+
+// Int declares an int parameter.
+func Int(name string) wsdl.Param { return wsdl.Param{Name: name, Type: "int"} }
+
+// Bool declares a boolean parameter.
+func Bool(name string) wsdl.Param { return wsdl.Param{Name: name, Type: "boolean"} }
+
+// Float declares a double parameter.
+func Float(name string) wsdl.Param { return wsdl.Param{Name: name, Type: "double"} }
+
+// Strs declares a string-array parameter.
+func Strs(name string) wsdl.Param { return wsdl.Param{Name: name, Type: "stringArray"} }
+
+// XML declares a literal-XML parameter.
+func XML(name string) wsdl.Param { return wsdl.Param{Name: name, Type: "xml"} }
+
+// StrParams declares a string parameter per name, in order.
+func StrParams(names ...string) []wsdl.Param {
+	out := make([]wsdl.Param, 0, len(names))
+	for _, n := range names {
+		out = append(out, Str(n))
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package rpc
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/soap"
+	"repro/internal/wsil"
+)
+
+// Server is the hosting layer: it owns one or more SOAP service providers
+// mounted under path prefixes, serves each service's WSDL (through the
+// provider's GET ?wsdl handling), publishes the WS-Inspection document at
+// the well-known path, exposes request stats at /healthz, and wraps every
+// provider in the kernel's recovery and stats middleware. Binaries build
+// their whole HTTP surface from one Server instead of hand-assembling a
+// mux, provider set, and inspection publisher.
+type Server struct {
+	// Name identifies the deployment in faults and logs.
+	Name string
+
+	mux   *http.ServeMux
+	stats *Stats
+
+	mu      sync.Mutex
+	baseURL string
+	mounts  []*mount
+}
+
+type mount struct {
+	prefix   string
+	provider *core.Provider
+}
+
+// NewServer creates a hosting server. baseURL is the externally visible
+// URL prefix used in published WSDL endpoint addresses (it may be
+// corrected later with SetBaseURL once a listener address is known).
+func NewServer(name, baseURL string) *Server {
+	s := &Server{
+		Name:    name,
+		baseURL: strings.TrimSuffix(baseURL, "/"),
+		mux:     http.NewServeMux(),
+		stats:   NewStats(),
+	}
+	s.mux.Handle("/healthz", s.stats)
+	s.mux.HandleFunc(wsil.WellKnownPath, s.serveWSIL)
+	return s
+}
+
+// Stats returns the server-wide request stats collector.
+func (s *Server) Stats() *Stats { return s.stats }
+
+// Provider creates and mounts a SOAP service provider under prefix (""
+// mounts at the root). Every provider gets the kernel's recovery and
+// stats middleware, then the given middlewares, in order. Services are
+// then deployed with the returned provider's Register/MustRegister.
+func (s *Server) Provider(prefix string, mw ...core.Middleware) *core.Provider {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prefix = strings.TrimSuffix(prefix, "/")
+	for _, m := range s.mounts {
+		if m.prefix == prefix {
+			panic(fmt.Sprintf("rpc: server %s already has a provider at prefix %q", s.Name, prefix))
+		}
+	}
+	name := s.Name
+	if prefix != "" {
+		name += strings.ReplaceAll(prefix, "/", "-")
+	}
+	p := core.NewProvider(name, s.baseURL+prefix)
+	// Stats outermost so it also observes panics after Recover turns them
+	// into faults.
+	p.Use(s.stats.Middleware())
+	p.Use(Recover())
+	for _, m := range mw {
+		p.Use(m)
+	}
+	if prefix == "" {
+		s.mux.Handle("/", p)
+	} else {
+		s.mux.Handle(prefix+"/", http.StripPrefix(prefix, p))
+	}
+	s.mounts = append(s.mounts, &mount{prefix: prefix, provider: p})
+	return p
+}
+
+// Handle mounts an arbitrary HTTP handler (UI pages, wizard forms) on the
+// server's mux alongside the SOAP endpoints.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+}
+
+// HandleFunc mounts an HTTP handler function on the server's mux.
+func (s *Server) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {
+	s.mux.HandleFunc(pattern, h)
+}
+
+// SetBaseURL rewrites the externally visible base URL on the server and
+// every mounted provider — used when the listener address is only known
+// after the server is assembled (httptest, port 0).
+func (s *Server) SetBaseURL(baseURL string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.baseURL = strings.TrimSuffix(baseURL, "/")
+	for _, m := range s.mounts {
+		m.provider.BaseURL = s.baseURL + m.prefix
+	}
+}
+
+// Providers returns the mounted providers in mount order.
+func (s *Server) Providers() []*core.Provider {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*core.Provider, len(s.mounts))
+	for i, m := range s.mounts {
+		out[i] = m.provider
+	}
+	return out
+}
+
+// Handler returns the complete HTTP surface: SOAP endpoints with WSDL
+// publication, the WS-Inspection document, /healthz, and any extra
+// mounted handlers.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP makes the server itself mountable.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// ListenAndServe serves the handler on addr.
+func (s *Server) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, s.mux)
+}
+
+// serveWSIL publishes the live WS-Inspection document enumerating every
+// deployed service with a link to its WSDL — regenerated per request so
+// late registrations appear without re-publication.
+func (s *Server) serveWSIL(w http.ResponseWriter, r *http.Request) {
+	doc := &wsil.Document{}
+	for _, p := range s.Providers() {
+		for _, svc := range p.Services() {
+			doc.Services = append(doc.Services, wsil.ServiceEntry{
+				Name:         svc.Contract.Name,
+				Abstract:     svc.Contract.Doc,
+				WSDLLocation: p.EndpointFor(svc) + "?wsdl",
+			})
+		}
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	_, _ = w.Write([]byte(doc.Render()))
+}
+
+// Transport returns an in-process transport that routes calls addressed
+// to any of the given servers' endpoints straight into the owning
+// provider's dispatch (serialising and reparsing envelopes for wire
+// fidelity). Examples and tests use it to exercise the full stack without
+// TCP.
+func Transport(servers ...*Server) soap.Transport {
+	return &serverTransport{servers: servers}
+}
+
+// Transport returns the in-process transport for this server alone.
+func (s *Server) Transport() soap.Transport { return Transport(s) }
+
+type serverTransport struct {
+	servers []*Server
+}
+
+func (t *serverTransport) RoundTrip(endpoint, action string, req *soap.Envelope) (*soap.Envelope, error) {
+	var best *core.Provider
+	bestLen := -1
+	for _, s := range t.servers {
+		s.mu.Lock()
+		for _, m := range s.mounts {
+			base := m.provider.BaseURL
+			if (endpoint == base || strings.HasPrefix(endpoint, base+"/")) && len(base) > bestLen {
+				best, bestLen = m.provider, len(base)
+			}
+		}
+		s.mu.Unlock()
+	}
+	if best == nil {
+		return nil, fmt.Errorf("rpc: no mounted provider serves endpoint %q", endpoint)
+	}
+	lb := soap.LoopbackTransport{Handler: best.Dispatch}
+	return lb.RoundTrip(endpoint, action, req)
+}

@@ -12,6 +12,7 @@
 package soap
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strconv"
@@ -109,10 +110,25 @@ func (e *Envelope) Element() *xmlutil.Element {
 	return env
 }
 
+// xmlDecl is the declaration prefixed to every serialised envelope.
+const xmlDecl = `<?xml version="1.0" encoding="UTF-8"?>` + "\n"
+
 // Render serialises the envelope with an XML declaration, ready to be sent
 // as an HTTP request or response body.
 func (e *Envelope) Render() string {
-	return `<?xml version="1.0" encoding="UTF-8"?>` + "\n" + e.Element().Render()
+	b := xmlutil.GetBuffer()
+	e.AppendTo(b)
+	s := b.String()
+	xmlutil.PutBuffer(b)
+	return s
+}
+
+// AppendTo serialises the envelope (XML declaration included) into b. The
+// transport hot paths use this with pooled buffers to avoid the string
+// round trip Render pays.
+func (e *Envelope) AppendTo(b *bytes.Buffer) {
+	b.WriteString(xmlDecl)
+	e.Element().RenderTo(b)
 }
 
 // ParseEnvelope parses a SOAP 1.1 envelope from its serialised form.
@@ -121,6 +137,21 @@ func ParseEnvelope(data string) (*Envelope, error) {
 	if err != nil {
 		return nil, fmt.Errorf("soap: %w", err)
 	}
+	return envelopeFromRoot(root)
+}
+
+// ParseEnvelopeBytes parses a serialised envelope directly from bytes,
+// avoiding the string conversion of ParseEnvelope. The returned envelope
+// does not alias data.
+func ParseEnvelopeBytes(data []byte) (*Envelope, error) {
+	root, err := xmlutil.ParseBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("soap: %w", err)
+	}
+	return envelopeFromRoot(root)
+}
+
+func envelopeFromRoot(root *xmlutil.Element) (*Envelope, error) {
 	if root.Name != "Envelope" {
 		return nil, fmt.Errorf("soap: root element %q is not Envelope", root.Name)
 	}

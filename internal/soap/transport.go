@@ -5,11 +5,17 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
+
+	"repro/internal/xmlutil"
 )
 
 // ContentType is the media type of SOAP 1.1 messages.
 const ContentType = "text/xml; charset=utf-8"
+
+// maxMessageBytes bounds how much of a request or response body is read.
+const maxMessageBytes = 64 << 20
 
 // Transport posts a request envelope to an endpoint and returns the
 // response envelope. Implementations include the HTTP transport below and
@@ -19,10 +25,25 @@ type Transport interface {
 	RoundTrip(endpoint string, action string, req *Envelope) (*Envelope, error)
 }
 
+var (
+	defaultClientOnce sync.Once
+	defaultClient     *http.Client
+)
+
+// DefaultClient returns the shared HTTP client used when an HTTPTransport
+// has none configured. It is constructed once so TCP connections are
+// pooled and reused across calls instead of being re-dialled per request.
+func DefaultClient() *http.Client {
+	defaultClientOnce.Do(func() {
+		defaultClient = &http.Client{Timeout: 30 * time.Second}
+	})
+	return defaultClient
+}
+
 // HTTPTransport sends SOAP messages over HTTP POST with a SOAPAction
 // header, as the paper's Apache SOAP and Python SOAP services did.
 type HTTPTransport struct {
-	// Client is the underlying HTTP client; http.DefaultClient when nil.
+	// Client is the underlying HTTP client; DefaultClient() when nil.
 	Client *http.Client
 }
 
@@ -30,9 +51,16 @@ type HTTPTransport struct {
 func (t *HTTPTransport) RoundTrip(endpoint, action string, req *Envelope) (*Envelope, error) {
 	hc := t.Client
 	if hc == nil {
-		hc = &http.Client{Timeout: 30 * time.Second}
+		hc = DefaultClient()
 	}
-	httpReq, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader([]byte(req.Render())))
+	reqBuf := xmlutil.GetBuffer()
+	req.AppendTo(reqBuf)
+	// Detach the bytes before handing them to net/http: Do can return
+	// while the transport's write loop is still streaming the body, so the
+	// pooled buffer must not be recycled under an aliasing reader.
+	body := bytes.Clone(reqBuf.Bytes())
+	xmlutil.PutBuffer(reqBuf)
+	httpReq, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("soap: build request: %w", err)
 	}
@@ -43,15 +71,16 @@ func (t *HTTPTransport) RoundTrip(endpoint, action string, req *Envelope) (*Enve
 		return nil, fmt.Errorf("soap: post %s: %w", endpoint, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
+	respBuf := xmlutil.GetBuffer()
+	defer xmlutil.PutBuffer(respBuf)
+	if _, err := io.Copy(respBuf, io.LimitReader(resp.Body, maxMessageBytes)); err != nil {
 		return nil, fmt.Errorf("soap: read response: %w", err)
 	}
 	// SOAP 1.1 uses HTTP 500 for faults; the envelope still parses.
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusInternalServerError {
 		return nil, fmt.Errorf("soap: endpoint %s returned HTTP %d", endpoint, resp.StatusCode)
 	}
-	return ParseEnvelope(string(body))
+	return ParseEnvelopeBytes(respBuf.Bytes())
 }
 
 // EnvelopeHandler processes one request envelope and produces a response
@@ -67,12 +96,13 @@ func Handler(h EnvelopeHandler) http.Handler {
 			http.Error(w, "soap endpoint: POST required", http.StatusMethodNotAllowed)
 			return
 		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
-		if err != nil {
+		body := xmlutil.GetBuffer()
+		defer xmlutil.PutBuffer(body)
+		if _, err := io.Copy(body, io.LimitReader(r.Body, maxMessageBytes)); err != nil {
 			http.Error(w, "soap endpoint: read error", http.StatusBadRequest)
 			return
 		}
-		env, err := ParseEnvelope(string(body))
+		env, err := ParseEnvelopeBytes(body.Bytes())
 		var respEnv *Envelope
 		if err != nil {
 			respEnv = faultEnvelope(err, FaultClient)
@@ -88,9 +118,12 @@ func Handler(h EnvelopeHandler) http.Handler {
 		if isFaultEnvelope(respEnv) {
 			status = http.StatusInternalServerError
 		}
+		out := xmlutil.GetBuffer()
+		defer xmlutil.PutBuffer(out)
+		respEnv.AppendTo(out)
 		w.Header().Set("Content-Type", ContentType)
 		w.WriteHeader(status)
-		_, _ = io.WriteString(w, respEnv.Render())
+		_, _ = w.Write(out.Bytes())
 	})
 }
 
@@ -131,8 +164,11 @@ func (t *LoopbackTransport) RoundTrip(endpoint, action string, req *Envelope) (*
 			return nil, fmt.Errorf("soap: loopback: no handler for endpoint %q", endpoint)
 		}
 	}
+	buf := xmlutil.GetBuffer()
+	defer xmlutil.PutBuffer(buf)
 	// Serialise and reparse to keep byte-level fidelity with HTTP.
-	wire, err := ParseEnvelope(req.Render())
+	req.AppendTo(buf)
+	wire, err := ParseEnvelopeBytes(buf.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +178,9 @@ func (t *LoopbackTransport) RoundTrip(endpoint, action string, req *Envelope) (*
 	if herr != nil {
 		out = faultEnvelope(herr, FaultServer)
 	}
-	return ParseEnvelope(out.Render())
+	buf.Reset()
+	out.AppendTo(buf)
+	return ParseEnvelopeBytes(buf.Bytes())
 }
 
 // Invoke performs a full RPC round trip: encode the call, send it through

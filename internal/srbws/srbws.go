@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/rpc"
 	"repro/internal/soap"
 	"repro/internal/srb"
 	"repro/internal/wsdl"
@@ -30,76 +31,186 @@ import (
 // ServiceNS is the SRB service namespace.
 const ServiceNS = "urn:gce:srb"
 
-// Contract returns the SRB Web Services WSDL interface.
-func Contract() *wsdl.Interface {
-	return &wsdl.Interface{
-		Name:     "SRBService",
-		TargetNS: ServiceNS,
-		Doc:      "SOAP interface to the Storage Resource Broker (GSI authenticated).",
-		Operations: []wsdl.Operation{
+// def is the declarative operation table of the SRB facade bound to one
+// broker. defaultUser is the principal for unauthenticated calls ("" to
+// require authentication).
+func def(b *srb.Broker, defaultUser string) *rpc.Def {
+	userOf := func(ctx *core.Context) (string, error) {
+		if ctx.Principal != "" {
+			return ctx.Principal, nil
+		}
+		if defaultUser == "" {
+			return "", soap.NewPortalError("SRBService", soap.ErrCodeAuthFailed,
+				"GSI authentication required")
+		}
+		return defaultUser, nil
+	}
+	return &rpc.Def{
+		Name: "SRBService",
+		NS:   ServiceNS,
+		Doc:  "SOAP interface to the Storage Resource Broker (GSI authenticated).",
+		Ops: []rpc.Op{
 			{
-				Name:   "ls",
-				Doc:    "Returns the directory listing of an SRB collection.",
-				Input:  []wsdl.Param{{Name: "collection", Type: "string"}},
-				Output: []wsdl.Param{{Name: "entries", Type: "xml"}},
+				Name: "ls",
+				Doc:  "Returns the directory listing of an SRB collection.",
+				In:   []wsdl.Param{rpc.Str("collection")},
+				Out:  []wsdl.Param{rpc.XML("entries")},
+				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
+					user, err := userOf(ctx)
+					if err != nil {
+						return nil, err
+					}
+					entries, err := b.Sls(user, in.Str("collection"))
+					if err != nil {
+						return nil, mapError(err)
+					}
+					return rpc.Ret(EntriesElement(entries)), nil
+				},
 			},
 			{
-				Name:   "cat",
-				Doc:    "Returns the contents of a file in the SRB collection.",
-				Input:  []wsdl.Param{{Name: "path", Type: "string"}},
-				Output: []wsdl.Param{{Name: "contents", Type: "string"}},
+				Name: "cat",
+				Doc:  "Returns the contents of a file in the SRB collection.",
+				In:   []wsdl.Param{rpc.Str("path")},
+				Out:  []wsdl.Param{rpc.Str("contents")},
+				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
+					user, err := userOf(ctx)
+					if err != nil {
+						return nil, err
+					}
+					data, err := b.Scat(user, in.Str("path"))
+					if err != nil {
+						return nil, mapError(err)
+					}
+					return rpc.Ret(data), nil
+				},
 			},
 			{
-				Name:   "get",
-				Doc:    "Transfers a file to the client by streaming it as one string (proof of concept).",
-				Input:  []wsdl.Param{{Name: "path", Type: "string"}},
-				Output: []wsdl.Param{{Name: "data", Type: "string"}},
+				Name: "get",
+				Doc:  "Transfers a file to the client by streaming it as one string (proof of concept).",
+				In:   []wsdl.Param{rpc.Str("path")},
+				Out:  []wsdl.Param{rpc.Str("data")},
+				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
+					user, err := userOf(ctx)
+					if err != nil {
+						return nil, err
+					}
+					data, err := b.Sget(user, in.Str("path"))
+					if err != nil {
+						return nil, mapError(err)
+					}
+					return rpc.Ret(data), nil
+				},
 			},
 			{
 				Name: "put",
 				Doc:  "Transfers a file from the client by streaming it as one string (proof of concept).",
-				Input: []wsdl.Param{
-					{Name: "path", Type: "string"},
-					{Name: "data", Type: "string"},
-					{Name: "resource", Type: "string"},
+				In:   []wsdl.Param{rpc.Str("path"), rpc.Str("data"), rpc.Str("resource")},
+				Out:  []wsdl.Param{rpc.Bool("stored")},
+				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
+					user, err := userOf(ctx)
+					if err != nil {
+						return nil, err
+					}
+					if err := b.Sput(user, in.Str("path"), in.Str("data"), in.Str("resource")); err != nil {
+						return nil, mapError(err)
+					}
+					return rpc.Ret(true), nil
 				},
-				Output: []wsdl.Param{{Name: "stored", Type: "boolean"}},
 			},
 			{
-				Name:   "xmlCall",
-				Doc:    "Executes multiple SRB commands from one XML request over a single connection.",
-				Input:  []wsdl.Param{{Name: "request", Type: "xml"}},
-				Output: []wsdl.Param{{Name: "results", Type: "xml"}},
+				Name: "xmlCall",
+				Doc:  "Executes multiple SRB commands from one XML request over a single connection.",
+				In:   []wsdl.Param{rpc.XML("request")},
+				Out:  []wsdl.Param{rpc.XML("results")},
+				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
+					user, err := userOf(ctx)
+					if err != nil {
+						return nil, err
+					}
+					req := in.XML("request")
+					if req == nil || req.Name != "srbRequest" {
+						return nil, soap.NewPortalError("SRBService", soap.ErrCodeBadRequest, "missing srbRequest document")
+					}
+					results := xmlutil.New("srbResults")
+					for i, cmd := range req.ChildrenNamed("command") {
+						results.Add(execCommand(b, user, i, cmd))
+					}
+					return rpc.Ret(results), nil
+				},
 			},
 			{
-				Name:   "stat",
-				Doc:    "Returns a file's size, enabling chunked transfer (scalability extension).",
-				Input:  []wsdl.Param{{Name: "path", Type: "string"}},
-				Output: []wsdl.Param{{Name: "size", Type: "int"}},
+				Name: "stat",
+				Doc:  "Returns a file's size, enabling chunked transfer (scalability extension).",
+				In:   []wsdl.Param{rpc.Str("path")},
+				Out:  []wsdl.Param{rpc.Int("size")},
+				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
+					user, err := userOf(ctx)
+					if err != nil {
+						return nil, err
+					}
+					size, err := b.Size(user, in.Str("path"))
+					if err != nil {
+						return nil, mapError(err)
+					}
+					return rpc.Ret(size), nil
+				},
 			},
 			{
 				Name: "getChunk",
 				Doc:  "Reads one bounded chunk of a file (scalability extension).",
-				Input: []wsdl.Param{
-					{Name: "path", Type: "string"},
-					{Name: "offset", Type: "int"},
-					{Name: "size", Type: "int"},
+				In:   []wsdl.Param{rpc.Str("path"), rpc.Int("offset"), rpc.Int("size")},
+				Out:  []wsdl.Param{rpc.Str("data")},
+				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
+					user, err := userOf(ctx)
+					if err != nil {
+						return nil, err
+					}
+					data, err := b.SgetRange(user, in.Str("path"), in.Int("offset"), in.Int("size"))
+					if err != nil {
+						if strings.Contains(err.Error(), "bad range") {
+							return nil, soap.NewPortalError("SRBService", soap.ErrCodeBadRequest, "%v", err)
+						}
+						return nil, mapError(err)
+					}
+					return rpc.Ret(data), nil
 				},
-				Output: []wsdl.Param{{Name: "data", Type: "string"}},
 			},
 			{
 				Name: "putChunk",
 				Doc:  "Appends one bounded chunk to a file (scalability extension).",
-				Input: []wsdl.Param{
-					{Name: "path", Type: "string"},
-					{Name: "offset", Type: "int"},
-					{Name: "data", Type: "string"},
-					{Name: "resource", Type: "string"},
+				In:   []wsdl.Param{rpc.Str("path"), rpc.Int("offset"), rpc.Str("data"), rpc.Str("resource")},
+				Out:  []wsdl.Param{rpc.Bool("stored")},
+				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
+					user, err := userOf(ctx)
+					if err != nil {
+						return nil, err
+					}
+					path, off := in.Str("path"), in.Int("offset")
+					existing := ""
+					if off > 0 {
+						var err error
+						existing, err = b.Sget(user, path)
+						if err != nil {
+							return nil, mapError(err)
+						}
+						if off != len(existing) {
+							return nil, soap.NewPortalError("SRBService", soap.ErrCodeBadRequest,
+								"chunk offset %d does not match current size %d", off, len(existing))
+						}
+					}
+					if err := b.Sput(user, path, existing+in.Str("data"), in.Str("resource")); err != nil {
+						return nil, mapError(err)
+					}
+					return rpc.Ret(true), nil
 				},
-				Output: []wsdl.Param{{Name: "stored", Type: "boolean"}},
 			},
 		},
 	}
+}
+
+// Contract returns the SRB Web Services WSDL interface.
+func Contract() *wsdl.Interface {
+	return def(nil, "").Interface()
 }
 
 // mapError converts broker errors to portal errors with the standard codes
@@ -159,128 +270,11 @@ func EntriesFromElement(root *xmlutil.Element) []srb.Entry {
 	return out
 }
 
-// NewService builds the deployable SRB service. defaultUser is the
-// principal for unauthenticated calls ("" to require authentication).
+// NewService builds the deployable SRB service from the declarative
+// operation table. defaultUser is the principal for unauthenticated calls
+// ("" to require authentication).
 func NewService(b *srb.Broker, defaultUser string) *core.Service {
-	svc := core.NewService(Contract())
-	userOf := func(ctx *core.Context) (string, error) {
-		if ctx.Principal != "" {
-			return ctx.Principal, nil
-		}
-		if defaultUser == "" {
-			return "", soap.NewPortalError("SRBService", soap.ErrCodeAuthFailed,
-				"GSI authentication required")
-		}
-		return defaultUser, nil
-	}
-	svc.Handle("ls", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
-		user, err := userOf(ctx)
-		if err != nil {
-			return nil, err
-		}
-		entries, err := b.Sls(user, args.String("collection"))
-		if err != nil {
-			return nil, mapError(err)
-		}
-		return []soap.Value{soap.XMLDoc("entries", EntriesElement(entries))}, nil
-	})
-	svc.Handle("cat", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
-		user, err := userOf(ctx)
-		if err != nil {
-			return nil, err
-		}
-		data, err := b.Scat(user, args.String("path"))
-		if err != nil {
-			return nil, mapError(err)
-		}
-		return []soap.Value{soap.Str("contents", data)}, nil
-	})
-	svc.Handle("get", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
-		user, err := userOf(ctx)
-		if err != nil {
-			return nil, err
-		}
-		data, err := b.Sget(user, args.String("path"))
-		if err != nil {
-			return nil, mapError(err)
-		}
-		return []soap.Value{soap.Str("data", data)}, nil
-	})
-	svc.Handle("put", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
-		user, err := userOf(ctx)
-		if err != nil {
-			return nil, err
-		}
-		if err := b.Sput(user, args.String("path"), args.String("data"), args.String("resource")); err != nil {
-			return nil, mapError(err)
-		}
-		return []soap.Value{soap.Bool("stored", true)}, nil
-	})
-	svc.Handle("xmlCall", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
-		user, err := userOf(ctx)
-		if err != nil {
-			return nil, err
-		}
-		req := args.XML("request")
-		if req == nil || req.Name != "srbRequest" {
-			return nil, soap.NewPortalError("SRBService", soap.ErrCodeBadRequest, "missing srbRequest document")
-		}
-		results := xmlutil.New("srbResults")
-		for i, cmd := range req.ChildrenNamed("command") {
-			results.Add(execCommand(b, user, i, cmd))
-		}
-		return []soap.Value{soap.XMLDoc("results", results)}, nil
-	})
-	svc.Handle("stat", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
-		user, err := userOf(ctx)
-		if err != nil {
-			return nil, err
-		}
-		size, err := b.Size(user, args.String("path"))
-		if err != nil {
-			return nil, mapError(err)
-		}
-		return []soap.Value{soap.Int("size", size)}, nil
-	})
-	svc.Handle("getChunk", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
-		user, err := userOf(ctx)
-		if err != nil {
-			return nil, err
-		}
-		off, size := args.Int("offset"), args.Int("size")
-		data, err := b.SgetRange(user, args.String("path"), off, size)
-		if err != nil {
-			if strings.Contains(err.Error(), "bad range") {
-				return nil, soap.NewPortalError("SRBService", soap.ErrCodeBadRequest, "%v", err)
-			}
-			return nil, mapError(err)
-		}
-		return []soap.Value{soap.Str("data", data)}, nil
-	})
-	svc.Handle("putChunk", func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
-		user, err := userOf(ctx)
-		if err != nil {
-			return nil, err
-		}
-		path, off := args.String("path"), args.Int("offset")
-		existing := ""
-		if off > 0 {
-			var err error
-			existing, err = b.Sget(user, path)
-			if err != nil {
-				return nil, mapError(err)
-			}
-			if off != len(existing) {
-				return nil, soap.NewPortalError("SRBService", soap.ErrCodeBadRequest,
-					"chunk offset %d does not match current size %d", off, len(existing))
-			}
-		}
-		if err := b.Sput(user, path, existing+args.String("data"), args.String("resource")); err != nil {
-			return nil, mapError(err)
-		}
-		return []soap.Value{soap.Bool("stored", true)}, nil
-	})
-	return svc
+	return def(b, defaultUser).MustBuild()
 }
 
 // execCommand runs one xml_call command, reporting status in-band.

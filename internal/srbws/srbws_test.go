@@ -194,9 +194,11 @@ func TestAuthenticatedPrincipalUsed(t *testing.T) {
 	b.CreateUser("kurt")
 	_ = b.Sput("kurt", "/sdsc/home/kurt/own.txt", "kurt data", "")
 	p := core.NewProvider("srb-ssp", "loopback://srb")
-	p.Use(func(ctx *core.Context) error {
-		ctx.Principal = "kurt"
-		return nil
+	p.Use(func(next core.HandlerFunc) core.HandlerFunc {
+		return func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
+			ctx.Principal = "kurt"
+			return next(ctx, args)
+		}
 	})
 	p.MustRegister(NewService(b, "mock"))
 	cl := NewClient(&soap.LoopbackTransport{Handler: p.Dispatch}, "loopback://srb/SRBService")

@@ -2,6 +2,7 @@ package uddi
 
 import (
 	"repro/internal/core"
+	"repro/internal/rpc"
 	"repro/internal/soap"
 	"repro/internal/wsdl"
 	"repro/internal/xmlutil"
@@ -10,83 +11,150 @@ import (
 // ServiceNS is the namespace of the UDDI registry's own SOAP interface.
 const ServiceNS = "urn:gce:uddi"
 
-// Contract returns the WSDL interface of the registry service: a compact
-// publish + inquiry API shaped like UDDI v2's save_xxx/find_xxx messages.
-func Contract() *wsdl.Interface {
-	return &wsdl.Interface{
-		Name:     "UDDIRegistry",
-		TargetNS: ServiceNS,
-		Doc:      "UDDI-style publish and inquiry API for portal services.",
-		Operations: []wsdl.Operation{
+// def is the declarative operation table of the registry service: a
+// compact publish + inquiry API shaped like UDDI v2's save_xxx/find_xxx
+// messages.
+func def(r *Registry) *rpc.Def {
+	fail := func(code, format string, a ...interface{}) error {
+		return soap.NewPortalError("UDDIRegistry", code, format, a...)
+	}
+	return &rpc.Def{
+		Name: "UDDIRegistry",
+		NS:   ServiceNS,
+		Doc:  "UDDI-style publish and inquiry API for portal services.",
+		Ops: []rpc.Op{
 			{
-				Name:   "saveBusiness",
-				Doc:    "Publishes a business entity; returns its key.",
-				Input:  []wsdl.Param{{Name: "name", Type: "string"}, {Name: "description", Type: "string"}},
-				Output: []wsdl.Param{{Name: "businessKey", Type: "string"}},
+				Name: "saveBusiness",
+				Doc:  "Publishes a business entity; returns its key.",
+				In:   []wsdl.Param{rpc.Str("name"), rpc.Str("description")},
+				Out:  []wsdl.Param{rpc.Str("businessKey")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					b := r.SaveBusiness(BusinessEntity{Name: in.Str("name"), Description: in.Str("description")})
+					return rpc.Ret(b.Key), nil
+				},
 			},
 			{
 				Name: "saveTModel",
 				Doc:  "Publishes a tModel pointing at a WSDL interface document.",
-				Input: []wsdl.Param{
-					{Name: "name", Type: "string"},
-					{Name: "description", Type: "string"},
-					{Name: "overviewURL", Type: "string"},
+				In:   []wsdl.Param{rpc.Str("name"), rpc.Str("description"), rpc.Str("overviewURL")},
+				Out:  []wsdl.Param{rpc.Str("tModelKey")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					t := r.SaveTModel(TModel{
+						Name:        in.Str("name"),
+						Description: in.Str("description"),
+						OverviewURL: in.Str("overviewURL"),
+					})
+					return rpc.Ret(t.Key), nil
 				},
-				Output: []wsdl.Param{{Name: "tModelKey", Type: "string"}},
 			},
 			{
 				Name: "saveService",
 				Doc:  "Publishes a service with one binding template.",
-				Input: []wsdl.Param{
-					{Name: "businessKey", Type: "string"},
-					{Name: "name", Type: "string"},
-					{Name: "description", Type: "string"},
-					{Name: "accessPoint", Type: "string"},
-					{Name: "tModelKeys", Type: "stringArray"},
+				In: []wsdl.Param{rpc.Str("businessKey"), rpc.Str("name"), rpc.Str("description"),
+					rpc.Str("accessPoint"), rpc.Strs("tModelKeys")},
+				Out: []wsdl.Param{rpc.Str("serviceKey")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					s, err := r.SaveService(BusinessService{
+						BusinessKey: in.Str("businessKey"),
+						Name:        in.Str("name"),
+						Description: in.Str("description"),
+						Bindings: []BindingTemplate{{
+							AccessPoint: in.Str("accessPoint"),
+							TModelKeys:  in.Strings("tModelKeys"),
+						}},
+					})
+					if err != nil {
+						return nil, fail(soap.ErrCodeBadRequest, "%v", err)
+					}
+					return rpc.Ret(s.Key), nil
 				},
-				Output: []wsdl.Param{{Name: "serviceKey", Type: "string"}},
 			},
 			{
-				Name:   "deleteService",
-				Input:  []wsdl.Param{{Name: "serviceKey", Type: "string"}},
-				Output: []wsdl.Param{{Name: "deleted", Type: "boolean"}},
+				Name: "deleteService",
+				In:   []wsdl.Param{rpc.Str("serviceKey")},
+				Out:  []wsdl.Param{rpc.Bool("deleted")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					if err := r.DeleteService(in.Str("serviceKey")); err != nil {
+						return nil, fail(soap.ErrCodeNoSuchResource, "%v", err)
+					}
+					return rpc.Ret(true), nil
+				},
 			},
 			{
-				Name:   "findBusiness",
-				Input:  []wsdl.Param{{Name: "name", Type: "string"}},
-				Output: []wsdl.Param{{Name: "businessList", Type: "xml"}},
+				Name: "findBusiness",
+				In:   []wsdl.Param{rpc.Str("name")},
+				Out:  []wsdl.Param{rpc.XML("businessList")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					list := xmlutil.New("businessList")
+					for _, b := range r.FindBusiness(in.Str("name")) {
+						be := xmlutil.New("businessEntity").SetAttr("businessKey", b.Key)
+						be.AddText("name", b.Name)
+						be.AddText("description", b.Description)
+						list.Add(be)
+					}
+					return rpc.Ret(list), nil
+				},
 			},
 			{
 				Name: "findService",
-				Input: []wsdl.Param{
-					{Name: "businessKey", Type: "string"},
-					{Name: "name", Type: "string"},
+				In:   []wsdl.Param{rpc.Str("businessKey"), rpc.Str("name")},
+				Out:  []wsdl.Param{rpc.XML("serviceList")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return rpc.Ret(serviceList(r.FindService(in.Str("businessKey"), in.Str("name")))), nil
 				},
-				Output: []wsdl.Param{{Name: "serviceList", Type: "xml"}},
 			},
 			{
-				Name:   "findServiceByTModel",
-				Input:  []wsdl.Param{{Name: "tModelKey", Type: "string"}},
-				Output: []wsdl.Param{{Name: "serviceList", Type: "xml"}},
+				Name: "findServiceByTModel",
+				In:   []wsdl.Param{rpc.Str("tModelKey")},
+				Out:  []wsdl.Param{rpc.XML("serviceList")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return rpc.Ret(serviceList(r.FindServiceByTModel(in.Str("tModelKey")))), nil
+				},
 			},
 			{
-				Name:   "findByDescription",
-				Doc:    "Substring search over service descriptions: the string-convention capability lookup.",
-				Input:  []wsdl.Param{{Name: "pattern", Type: "string"}},
-				Output: []wsdl.Param{{Name: "serviceList", Type: "xml"}},
+				Name: "findByDescription",
+				Doc:  "Substring search over service descriptions: the string-convention capability lookup.",
+				In:   []wsdl.Param{rpc.Str("pattern")},
+				Out:  []wsdl.Param{rpc.XML("serviceList")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					return rpc.Ret(serviceList(r.FindByConvention(in.Str("pattern")))), nil
+				},
 			},
 			{
-				Name:   "getServiceDetail",
-				Input:  []wsdl.Param{{Name: "serviceKey", Type: "string"}},
-				Output: []wsdl.Param{{Name: "service", Type: "xml"}},
+				Name: "getServiceDetail",
+				In:   []wsdl.Param{rpc.Str("serviceKey")},
+				Out:  []wsdl.Param{rpc.XML("service")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					s, err := r.GetServiceDetail(in.Str("serviceKey"))
+					if err != nil {
+						return nil, fail(soap.ErrCodeNoSuchResource, "%v", err)
+					}
+					return rpc.Ret(serviceElement(s)), nil
+				},
 			},
 			{
-				Name:   "getTModel",
-				Input:  []wsdl.Param{{Name: "tModelKey", Type: "string"}},
-				Output: []wsdl.Param{{Name: "tModel", Type: "xml"}},
+				Name: "getTModel",
+				In:   []wsdl.Param{rpc.Str("tModelKey")},
+				Out:  []wsdl.Param{rpc.XML("tModel")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					t, err := r.GetTModel(in.Str("tModelKey"))
+					if err != nil {
+						return nil, fail(soap.ErrCodeNoSuchResource, "%v", err)
+					}
+					el := xmlutil.New("tModel").SetAttr("tModelKey", t.Key)
+					el.AddText("name", t.Name)
+					el.AddText("description", t.Description)
+					el.AddText("overviewURL", t.OverviewURL)
+					return rpc.Ret(el), nil
+				},
 			},
 		},
 	}
+}
+
+// Contract returns the WSDL interface of the registry service.
+func Contract() *wsdl.Interface {
+	return def(nil).Interface()
 }
 
 // serviceElement renders a BusinessService for the wire.
@@ -149,83 +217,10 @@ func ServicesFromList(el *xmlutil.Element) []*BusinessService {
 	return out
 }
 
-// NewService wraps a Registry as a deployable core.Service.
+// NewService wraps a Registry as a deployable core.Service built from the
+// declarative operation table.
 func NewService(r *Registry) *core.Service {
-	svc := core.NewService(Contract())
-	svc.Handle("saveBusiness", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		b := r.SaveBusiness(BusinessEntity{Name: args.String("name"), Description: args.String("description")})
-		return []soap.Value{soap.Str("businessKey", b.Key)}, nil
-	})
-	svc.Handle("saveTModel", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		t := r.SaveTModel(TModel{
-			Name:        args.String("name"),
-			Description: args.String("description"),
-			OverviewURL: args.String("overviewURL"),
-		})
-		return []soap.Value{soap.Str("tModelKey", t.Key)}, nil
-	})
-	svc.Handle("saveService", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		s, err := r.SaveService(BusinessService{
-			BusinessKey: args.String("businessKey"),
-			Name:        args.String("name"),
-			Description: args.String("description"),
-			Bindings: []BindingTemplate{{
-				AccessPoint: args.String("accessPoint"),
-				TModelKeys:  args.Strings("tModelKeys"),
-			}},
-		})
-		if err != nil {
-			return nil, soap.NewPortalError("UDDIRegistry", soap.ErrCodeBadRequest, "%v", err)
-		}
-		return []soap.Value{soap.Str("serviceKey", s.Key)}, nil
-	})
-	svc.Handle("deleteService", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		if err := r.DeleteService(args.String("serviceKey")); err != nil {
-			return nil, soap.NewPortalError("UDDIRegistry", soap.ErrCodeNoSuchResource, "%v", err)
-		}
-		return []soap.Value{soap.Bool("deleted", true)}, nil
-	})
-	svc.Handle("findBusiness", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		list := xmlutil.New("businessList")
-		for _, b := range r.FindBusiness(args.String("name")) {
-			be := xmlutil.New("businessEntity").SetAttr("businessKey", b.Key)
-			be.AddText("name", b.Name)
-			be.AddText("description", b.Description)
-			list.Add(be)
-		}
-		return []soap.Value{soap.XMLDoc("businessList", list)}, nil
-	})
-	svc.Handle("findService", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		services := r.FindService(args.String("businessKey"), args.String("name"))
-		return []soap.Value{soap.XMLDoc("serviceList", serviceList(services))}, nil
-	})
-	svc.Handle("findServiceByTModel", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		services := r.FindServiceByTModel(args.String("tModelKey"))
-		return []soap.Value{soap.XMLDoc("serviceList", serviceList(services))}, nil
-	})
-	svc.Handle("findByDescription", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		services := r.FindByConvention(args.String("pattern"))
-		return []soap.Value{soap.XMLDoc("serviceList", serviceList(services))}, nil
-	})
-	svc.Handle("getServiceDetail", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		s, err := r.GetServiceDetail(args.String("serviceKey"))
-		if err != nil {
-			return nil, soap.NewPortalError("UDDIRegistry", soap.ErrCodeNoSuchResource, "%v", err)
-		}
-		return []soap.Value{soap.XMLDoc("service", serviceElement(s))}, nil
-	})
-	svc.Handle("getTModel", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		t, err := r.GetTModel(args.String("tModelKey"))
-		if err != nil {
-			return nil, soap.NewPortalError("UDDIRegistry", soap.ErrCodeNoSuchResource, "%v", err)
-		}
-		el := xmlutil.New("tModel").SetAttr("tModelKey", t.Key)
-		el.AddText("name", t.Name)
-		el.AddText("description", t.Description)
-		el.AddText("overviewURL", t.OverviewURL)
-		return []soap.Value{soap.XMLDoc("tModel", el)}, nil
-	})
-	return svc
+	return def(r).MustBuild()
 }
 
 // Client is a typed proxy to a remote UDDI registry service.

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/rpc"
 	"repro/internal/soap"
 	"repro/internal/wsdl"
 	"repro/internal/xmlutil"
@@ -370,39 +371,80 @@ func (r *Registry) Import(doc string) error {
 // ServiceNS is the namespace of the registry's SOAP interface.
 const ServiceNS = "urn:gce:xmlregistry"
 
-// Contract returns the WSDL interface of the registry service.
-func Contract() *wsdl.Interface {
-	return &wsdl.Interface{
-		Name:     "XMLRegistry",
-		TargetNS: ServiceNS,
-		Doc:      "Recursive self-describing XML container hierarchy for service metadata.",
-		Operations: []wsdl.Operation{
+// def is the declarative operation table of the registry service.
+func def(r *Registry) *rpc.Def {
+	fail := func(code, format string, a ...interface{}) error {
+		return soap.NewPortalError("XMLRegistry", code, format, a...)
+	}
+	return &rpc.Def{
+		Name: "XMLRegistry",
+		NS:   ServiceNS,
+		Doc:  "Recursive self-describing XML container hierarchy for service metadata.",
+		Ops: []rpc.Op{
 			{
 				Name: "put",
-				Input: []wsdl.Param{
-					{Name: "path", Type: "string"},
-					{Name: "type", Type: "string"},
-					{Name: "properties", Type: "xml"},
+				In:   []wsdl.Param{rpc.Str("path"), rpc.Str("type"), rpc.XML("properties")},
+				Out:  []wsdl.Param{rpc.Bool("ok")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					err := r.Put(in.Str("path"), in.Str("type"), propsFromElement(in.XML("properties")))
+					if err != nil {
+						return nil, fail(soap.ErrCodeBadRequest, "%v", err)
+					}
+					return rpc.Ret(true), nil
 				},
-				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}},
 			},
 			{
-				Name:   "get",
-				Input:  []wsdl.Param{{Name: "path", Type: "string"}},
-				Output: []wsdl.Param{{Name: "container", Type: "xml"}},
+				Name: "get",
+				In:   []wsdl.Param{rpc.Str("path")},
+				Out:  []wsdl.Param{rpc.XML("container")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					c, err := r.Get(in.Str("path"))
+					if err != nil {
+						return nil, fail(soap.ErrCodeNoSuchResource, "%v", err)
+					}
+					return rpc.Ret(c.Element()), nil
+				},
 			},
 			{
-				Name:   "delete",
-				Input:  []wsdl.Param{{Name: "path", Type: "string"}},
-				Output: []wsdl.Param{{Name: "ok", Type: "boolean"}},
+				Name: "delete",
+				In:   []wsdl.Param{rpc.Str("path")},
+				Out:  []wsdl.Param{rpc.Bool("ok")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					if err := r.Delete(in.Str("path")); err != nil {
+						return nil, fail(soap.ErrCodeNoSuchResource, "%v", err)
+					}
+					return rpc.Ret(true), nil
+				},
 			},
 			{
-				Name:   "find",
-				Input:  []wsdl.Param{{Name: "query", Type: "xml"}},
-				Output: []wsdl.Param{{Name: "matches", Type: "xml"}},
+				Name: "find",
+				In:   []wsdl.Param{rpc.XML("query")},
+				Out:  []wsdl.Param{rpc.XML("matches")},
+				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
+					qEl := in.XML("query")
+					if qEl == nil {
+						return nil, fail(soap.ErrCodeBadRequest, "missing query")
+					}
+					matches, err := r.Find(queryFromElement(qEl))
+					if err != nil {
+						return nil, fail(soap.ErrCodeBadRequest, "%v", err)
+					}
+					list := xmlutil.New("matches")
+					for _, m := range matches {
+						item := xmlutil.New("match").SetAttr("path", m.Path)
+						item.Add(m.Container.Element())
+						list.Add(item)
+					}
+					return rpc.Ret(list), nil
+				},
 			},
 		},
 	}
+}
+
+// Contract returns the WSDL interface of the registry service.
+func Contract() *wsdl.Interface {
+	return def(nil).Interface()
 }
 
 // propsElement renders properties for the wire.
@@ -455,47 +497,10 @@ func queryFromElement(el *xmlutil.Element) Query {
 	return q
 }
 
-// NewService wraps a Registry as a deployable core.Service.
+// NewService wraps a Registry as a deployable core.Service built from
+// the declarative operation table.
 func NewService(r *Registry) *core.Service {
-	svc := core.NewService(Contract())
-	svc.Handle("put", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		err := r.Put(args.String("path"), args.String("type"), propsFromElement(args.XML("properties")))
-		if err != nil {
-			return nil, soap.NewPortalError("XMLRegistry", soap.ErrCodeBadRequest, "%v", err)
-		}
-		return []soap.Value{soap.Bool("ok", true)}, nil
-	})
-	svc.Handle("get", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		c, err := r.Get(args.String("path"))
-		if err != nil {
-			return nil, soap.NewPortalError("XMLRegistry", soap.ErrCodeNoSuchResource, "%v", err)
-		}
-		return []soap.Value{soap.XMLDoc("container", c.Element())}, nil
-	})
-	svc.Handle("delete", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		if err := r.Delete(args.String("path")); err != nil {
-			return nil, soap.NewPortalError("XMLRegistry", soap.ErrCodeNoSuchResource, "%v", err)
-		}
-		return []soap.Value{soap.Bool("ok", true)}, nil
-	})
-	svc.Handle("find", func(_ *core.Context, args soap.Args) ([]soap.Value, error) {
-		qEl := args.XML("query")
-		if qEl == nil {
-			return nil, soap.NewPortalError("XMLRegistry", soap.ErrCodeBadRequest, "missing query")
-		}
-		matches, err := r.Find(queryFromElement(qEl))
-		if err != nil {
-			return nil, soap.NewPortalError("XMLRegistry", soap.ErrCodeBadRequest, "%v", err)
-		}
-		list := xmlutil.New("matches")
-		for _, m := range matches {
-			item := xmlutil.New("match").SetAttr("path", m.Path)
-			item.Add(m.Container.Element())
-			list.Add(item)
-		}
-		return []soap.Value{soap.XMLDoc("matches", list)}, nil
-	})
-	return svc
+	return def(r).MustBuild()
 }
 
 // Client is a typed proxy to a remote XMLRegistry service.

@@ -21,7 +21,30 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
+
+// bufPool recycles render buffers across the XML-heavy hot paths (SOAP
+// envelopes, WSDL documents). Buffers above maxPooledBuffer are dropped so
+// one multi-megabyte file transfer does not pin memory forever.
+var bufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+const maxPooledBuffer = 1 << 20
+
+// GetBuffer returns an empty buffer from the shared render pool.
+func GetBuffer() *bytes.Buffer {
+	return bufPool.Get().(*bytes.Buffer)
+}
+
+// PutBuffer returns a buffer to the shared render pool. The caller must
+// not touch the buffer (or any byte slice derived from it) afterwards.
+func PutBuffer(b *bytes.Buffer) {
+	if b == nil || b.Cap() > maxPooledBuffer {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}
 
 // Attr is a single XML attribute. Space is the namespace URI (not the
 // prefix); Name is the local name.
@@ -345,10 +368,30 @@ func ParseString(s string) (*Element, error) {
 	return Parse(strings.NewReader(s))
 }
 
+// ParseBytes parses an XML document held in a byte slice without copying
+// it into a string first. The returned tree does not alias data.
+func ParseBytes(data []byte) (*Element, error) {
+	return Parse(bytes.NewReader(data))
+}
+
 // renderState tracks prefix assignment during rendering.
 type renderState struct {
 	prefixes map[string]string // namespace URI -> prefix
 	next     int
+}
+
+var statePool = sync.Pool{New: func() interface{} {
+	return &renderState{prefixes: map[string]string{}}
+}}
+
+func getState() *renderState { return statePool.Get().(*renderState) }
+
+func putState(rs *renderState) {
+	for k := range rs.prefixes {
+		delete(rs.prefixes, k)
+	}
+	rs.next = 0
+	statePool.Put(rs)
 }
 
 func (rs *renderState) prefixFor(space string) string {
@@ -369,18 +412,28 @@ func (rs *renderState) prefixFor(space string) string {
 // declaration is emitted on the element where the namespace first appears.
 // Attribute order is preserved. The output carries no XML declaration.
 func (e *Element) Render() string {
-	var b bytes.Buffer
-	rs := &renderState{prefixes: map[string]string{}}
-	e.render(&b, rs, false)
-	return b.String()
+	b := GetBuffer()
+	e.RenderTo(b)
+	s := b.String()
+	PutBuffer(b)
+	return s
+}
+
+// RenderTo serialises the tree into b without intermediate allocations,
+// for callers that manage their own (typically pooled) buffers.
+func (e *Element) RenderTo(b *bytes.Buffer) {
+	rs := getState()
+	e.render(b, rs, false)
+	putState(rs)
 }
 
 // RenderIndent serialises the tree with two-space indentation, for human
 // inspection and documentation output.
 func (e *Element) RenderIndent() string {
 	var b bytes.Buffer
-	rs := &renderState{prefixes: map[string]string{}}
+	rs := getState()
 	e.renderIndent(&b, rs, 0)
+	putState(rs)
 	return b.String()
 }
 
@@ -512,8 +565,14 @@ func (e *Element) forget(rs *renderState, declared []string) {
 }
 
 // EscapeText escapes character data for inclusion in element content.
+// Strings with nothing to escape (the overwhelmingly common case on the
+// SOAP hot path) are returned unchanged without allocating.
 func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "&<>") {
+		return s
+	}
 	var b strings.Builder
+	b.Grow(len(s) + 8)
 	for _, r := range s {
 		switch r {
 		case '&':
@@ -530,8 +589,13 @@ func EscapeText(s string) string {
 }
 
 // EscapeAttr escapes a string for inclusion in a double-quoted attribute.
+// Clean strings are returned unchanged without allocating.
 func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, "&<\"\n\t\r") {
+		return s
+	}
 	var b strings.Builder
+	b.Grow(len(s) + 8)
 	for _, r := range s {
 		switch r {
 		case '&':

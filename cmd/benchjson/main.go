@@ -1,0 +1,115 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so the performance trajectory of the repository is machine
+// readable across PRs. It reads the benchmark output on stdin and writes a
+// JSON report to -o (default stdout):
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH.json
+//
+// Every metric pair the benchmark framework emits is kept, including custom
+// b.ReportMetric values (ns/job, MB/s, methods, ...), keyed by unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path and the
+	// -cpu suffix, e.g. "BenchmarkAblation_SOAPEnvelope/decode-8".
+	Name string `json:"name"`
+	// Runs is the iteration count the framework settled on.
+	Runs int64 `json:"runs"`
+	// Metrics maps unit to value, e.g. {"ns/op": 5376, "allocs/op": 19}.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole converted run.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	report, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(enc); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	r := &Report{Benchmarks: []Benchmark{}}
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			r.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			r.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			r.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			r.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				r.Benchmarks = append(r.Benchmarks, b)
+			}
+		}
+	}
+	return r, sc.Err()
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   43238   26633 ns/op   5816 B/op   104 allocs/op
+//
+// Metrics are (value, unit) pairs after the run count.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/srb"
 	"repro/internal/srbws"
 	"repro/internal/uddi"
+	"repro/internal/xmlregistry"
 )
 
 const gaussianSchema = `<?xml version="1.0"?>
@@ -106,7 +107,18 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	srv.Provider("/uddi").MustRegister(uddi.NewService(registry))
+	// Inquiry ops are memoised: repeated discovery traffic (find*/get*)
+	// short-circuits the codec and handler entirely; publishes flush.
+	uddiSvc := uddi.NewService(registry)
+	uddiSvc.Use(rpc.NewResponseCache(30*time.Second, 4096).Middleware(rpc.OpPrefixes("find", "get")))
+	srv.Provider("/uddi").MustRegister(uddiSvc)
+
+	// XML container-hierarchy registry (Section 3.4's typed discovery),
+	// with the same inquiry caching on its read surface.
+	xreg := xmlregistry.NewRegistry()
+	xregSvc := xmlregistry.NewService(xreg)
+	xregSvc.Use(rpc.NewResponseCache(30*time.Second, 4096).Middleware(rpc.OpPrefixes("find", "get")))
+	srv.Provider("/registry").MustRegister(xregSvc)
 
 	// Authentication Service.
 	kdc := gss.NewKDC("PORTAL.LOCAL")

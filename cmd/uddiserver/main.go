@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"log"
+	"time"
 
 	"repro/internal/rpc"
 	"repro/internal/uddi"
@@ -14,10 +15,18 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8081", "listen address")
+	cacheTTL := flag.Duration("cache-ttl", 30*time.Second, "response cache TTL for find*/get* inquiries (0 disables)")
 	flag.Parse()
 	registry := uddi.NewRegistry()
 	srv := rpc.NewServer("uddi", "http://localhost"+*addr)
-	srv.Provider("", rpc.Logging(nil)).MustRegister(uddi.NewService(registry))
+	svc := uddi.NewService(registry)
+	if *cacheTTL > 0 {
+		// Discovery traffic is dominated by repeated find*/get* inquiries;
+		// memoise them (publishes flush the cache automatically).
+		cache := rpc.NewResponseCache(*cacheTTL, 4096)
+		svc.Use(cache.Middleware(rpc.OpPrefixes("find", "get")))
+	}
+	srv.Provider("", rpc.Logging(nil)).MustRegister(svc)
 	log.Printf("UDDI registry listening on %s (endpoint /UDDIRegistry, WSDL at /UDDIRegistry?wsdl, health at /healthz)", *addr)
 	log.Fatal(srv.ListenAndServe(*addr))
 }

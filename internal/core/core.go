@@ -27,6 +27,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -156,6 +157,16 @@ type Provider struct {
 	byNS       map[string]*Service
 	byPath     map[string]*Service
 	middleware []Middleware
+	// wsdlCache holds the rendered WSDL bytes per service path so the
+	// ?wsdl GET endpoint does not re-render the document on every fetch.
+	// Entries are keyed to the BaseURL they were rendered for, so a
+	// SetBaseURL after wiring (httptest, port 0) invalidates them.
+	wsdlCache map[string]wsdlCacheEntry
+}
+
+type wsdlCacheEntry struct {
+	baseURL string
+	doc     []byte
 }
 
 // NewProvider creates an empty provider.
@@ -166,6 +177,16 @@ func NewProvider(name, baseURL string) *Provider {
 		byNS:    map[string]*Service{},
 		byPath:  map[string]*Service{},
 	}
+}
+
+// SetBaseURL rewrites the externally visible URL prefix under the
+// provider's lock, keeping the WSDL cache's keyed-to-base entries coherent
+// with concurrent readers. Prefer it over assigning BaseURL directly once
+// the provider is serving.
+func (p *Provider) SetBaseURL(baseURL string) {
+	p.mu.Lock()
+	p.BaseURL = strings.TrimSuffix(baseURL, "/")
+	p.mu.Unlock()
 }
 
 // Use appends a provider-wide middleware that wraps every service's chain
@@ -230,6 +251,31 @@ func (p *Provider) EndpointFor(s *Service) string {
 func (p *Provider) WSDLFor(s *Service) string {
 	svc := &wsdl.Service{Name: s.Contract.Name + "Service", Interface: s.Contract, Endpoint: p.EndpointFor(s)}
 	return svc.Render()
+}
+
+// wsdlBytesFor returns the rendered WSDL for a deployed service, cached
+// per service path. Contracts are immutable after registration, so the
+// only invalidation trigger is a BaseURL rewrite. The document is rendered
+// from the same BaseURL snapshot the cache entry is keyed to, so a
+// concurrent SetBaseURL can never poison an entry with mismatched endpoint
+// addresses.
+func (p *Provider) wsdlBytesFor(s *Service) []byte {
+	p.mu.RLock()
+	e, ok := p.wsdlCache[s.Path]
+	base := p.BaseURL
+	p.mu.RUnlock()
+	if ok && e.baseURL == base {
+		return e.doc
+	}
+	svc := &wsdl.Service{Name: s.Contract.Name + "Service", Interface: s.Contract, Endpoint: base + s.Path}
+	doc := []byte(svc.Render())
+	p.mu.Lock()
+	if p.wsdlCache == nil {
+		p.wsdlCache = make(map[string]wsdlCacheEntry)
+	}
+	p.wsdlCache[s.Path] = wsdlCacheEntry{baseURL: base, doc: doc}
+	p.mu.Unlock()
+	return doc
 }
 
 // Dispatch processes one request envelope addressed to any hosted service.
@@ -309,8 +355,10 @@ func (p *Provider) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				http.NotFound(w, r)
 				return
 			}
+			doc := p.wsdlBytesFor(svc)
 			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-			_, _ = io.WriteString(w, p.WSDLFor(svc))
+			w.Header().Set("Content-Length", strconv.Itoa(len(doc)))
+			_, _ = w.Write(doc)
 			return
 		}
 		http.Error(w, "soap service provider: POST SOAP or GET ?wsdl", http.StatusBadRequest)

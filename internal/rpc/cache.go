@@ -1,0 +1,240 @@
+package rpc
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/soap"
+)
+
+// ResponseCache memoises the out parameters of idempotent operations, keyed
+// by service namespace, operation, and the canonicalised call parameters.
+// Repeated discovery traffic — UDDI find*/get* inquiries, xmlregistry
+// queries — short-circuits before the handler (and before any decode work
+// below the middleware) runs.
+//
+// Entries expire after TTL and the cache holds at most MaxEntries values,
+// evicting least-recently-used first. A successful pass through a
+// non-cacheable operation flushes the cache, so writes (save*, delete, put)
+// invalidate the inquiry results derived from them; staleness is therefore
+// bounded by TTL only for out-of-band mutations.
+//
+// Only cache operations whose result depends solely on the operation name
+// and parameters: principal- or time-dependent responses would leak between
+// callers. XML-valued returns are deep-copied at store time so cached trees
+// can never alias a pooled request arena.
+type ResponseCache struct {
+	ttl time.Duration
+	max int
+
+	// now is the clock, injectable for TTL tests.
+	now func() time.Time
+
+	mu      sync.Mutex
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key     string
+	vals    []soap.Value
+	expires time.Time
+}
+
+// NewResponseCache creates a cache with the given entry TTL and maximum
+// entry count. Non-positive values fall back to 30s and 1024 entries.
+func NewResponseCache(ttl time.Duration, maxEntries int) *ResponseCache {
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	return &ResponseCache{
+		ttl:     ttl,
+		max:     maxEntries,
+		now:     time.Now,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// OpPrefixes returns a predicate matching operations whose name starts with
+// any of the given prefixes — the usual way to select the find*/get*/list*
+// inquiry surface of a service.
+func OpPrefixes(prefixes ...string) func(string) bool {
+	return func(op string) bool {
+		for _, p := range prefixes {
+			if strings.HasPrefix(op, p) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Middleware returns the caching middleware. cacheable selects the
+// idempotent operations; every other operation passes through and, when it
+// succeeds, flushes the cache (it presumably mutated the state the cached
+// answers were derived from). Attach it per service (Service.Use) so one
+// service's writes do not flush another's cache.
+func (c *ResponseCache) Middleware(cacheable func(op string) bool) core.Middleware {
+	return func(next core.HandlerFunc) core.HandlerFunc {
+		return func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
+			if cacheable == nil || !cacheable(ctx.Operation) {
+				vals, err := next(ctx, args)
+				if err == nil {
+					c.Flush()
+				}
+				return vals, err
+			}
+			key := cacheKey(ctx.ServiceNS, ctx.Operation, args)
+			if vals, ok := c.get(key); ok {
+				return vals, nil
+			}
+			vals, err := next(ctx, args)
+			if err != nil {
+				return vals, err
+			}
+			c.put(key, vals)
+			return vals, nil
+		}
+	}
+}
+
+// Flush drops every cached entry.
+func (c *ResponseCache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	for k := range c.entries {
+		delete(c.entries, k)
+	}
+}
+
+// Stats reports hit/miss counters and the current entry count.
+func (c *ResponseCache) Stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}
+
+func (c *ResponseCache) get(key string) ([]soap.Value, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	le, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := le.Value.(*cacheEntry)
+	if c.now().After(e.expires) {
+		c.order.Remove(le)
+		delete(c.entries, key)
+		c.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(le)
+	c.hits++
+	return e.vals, true
+}
+
+func (c *ResponseCache) put(key string, vals []soap.Value) {
+	stored := make([]soap.Value, len(vals))
+	for i, v := range vals {
+		stored[i] = detachValue(v)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if le, ok := c.entries[key]; ok {
+		e := le.Value.(*cacheEntry)
+		e.vals = stored
+		e.expires = c.now().Add(c.ttl)
+		c.order.MoveToFront(le)
+		return
+	}
+	for c.order.Len() >= c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	e := &cacheEntry{key: key, vals: stored, expires: c.now().Add(c.ttl)}
+	c.entries[key] = c.order.PushFront(e)
+}
+
+// detachValue deep-copies any XML payloads so a cached value never aliases
+// an element tree owned by someone else (in particular a pooled request
+// arena, should a handler ever echo request XML into its returns).
+func detachValue(v soap.Value) soap.Value {
+	if v.XML != nil {
+		v.XML = v.XML.Clone()
+	}
+	if len(v.Items) > 0 {
+		items := make([]soap.Value, len(v.Items))
+		for i, it := range v.Items {
+			items[i] = detachValue(it)
+		}
+		v.Items = items
+	}
+	return v
+}
+
+// cacheKey canonicalises a call into a collision-free string: parameters are
+// sorted by name (so semantically identical calls share an entry regardless
+// of wire order) and every field is length-prefixed.
+func cacheKey(ns, op string, args soap.Args) string {
+	var b strings.Builder
+	b.Grow(len(ns) + len(op) + 32*len(args))
+	writeField(&b, ns)
+	writeField(&b, op)
+	if len(args) <= 1 {
+		for _, v := range args {
+			writeValueKey(&b, v)
+		}
+		return b.String()
+	}
+	idx := make([]int, len(args))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by name: parameter lists are tiny.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && args[idx[j]].Name < args[idx[j-1]].Name; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	for _, i := range idx {
+		writeValueKey(&b, args[i])
+	}
+	return b.String()
+}
+
+func writeField(b *strings.Builder, s string) {
+	b.WriteString(strconv.Itoa(len(s)))
+	b.WriteByte(':')
+	b.WriteString(s)
+}
+
+func writeValueKey(b *strings.Builder, v soap.Value) {
+	writeField(b, v.Name)
+	writeField(b, v.Type)
+	switch {
+	case v.XML != nil:
+		writeField(b, v.XML.Canonical())
+	case len(v.Items) > 0:
+		b.WriteString(strconv.Itoa(len(v.Items)))
+		b.WriteByte('[')
+		for _, it := range v.Items {
+			writeValueKey(b, it)
+		}
+		b.WriteByte(']')
+	default:
+		writeField(b, v.Text)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -343,5 +344,93 @@ func TestBuildRejectsMissingHandler(t *testing.T) {
 	d := &Def{Name: "Broken", NS: "urn:test:broken", Ops: []Op{{Name: "ghost"}}}
 	if _, err := d.Build(); err == nil || !strings.Contains(err.Error(), "ghost") {
 		t.Errorf("Build err = %v", err)
+	}
+}
+
+// TestWSDLCachingAndContentLength: the rendered WSDL document is cached per
+// service, served with Content-Length, and invalidated when the externally
+// visible base URL is rewritten.
+func TestWSDLCachingAndContentLength(t *testing.T) {
+	srv := NewServer("test", "placeholder")
+	srv.Provider("").MustRegister(typedDef().MustBuild())
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	srv.SetBaseURL(hs.URL)
+
+	fetch := func() (string, string) {
+		resp, err := hs.Client().Get(hs.URL + "/TypedEcho?wsdl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Length")
+	}
+	doc1, cl1 := fetch()
+	if cl1 == "" || cl1 != strconv.Itoa(len(doc1)) {
+		t.Errorf("Content-Length = %q for %d body bytes", cl1, len(doc1))
+	}
+	doc2, _ := fetch()
+	if doc1 != doc2 {
+		t.Error("cached WSDL differs between fetches")
+	}
+	if !strings.Contains(doc1, hs.URL+"/TypedEcho") {
+		t.Errorf("WSDL endpoint missing from document")
+	}
+	// Rewriting the base URL must invalidate the cached document.
+	srv.SetBaseURL("http://relocated:9999")
+	for _, p := range srv.Providers() {
+		for _, svc := range p.Services() {
+			if !strings.Contains(p.WSDLFor(svc), "http://relocated:9999/TypedEcho") {
+				t.Error("WSDLFor did not pick up new base URL")
+			}
+		}
+	}
+	srv.SetBaseURL(hs.URL) // restore so the HTTP fetch goes through again
+	doc3, _ := fetch()
+	if doc3 != doc1 {
+		t.Error("WSDL after base-URL rewrite cycle differs from original")
+	}
+}
+
+// TestWSILCacheFreshness: the cached inspection document still reflects
+// services registered after the first fetch.
+func TestWSILCacheFreshness(t *testing.T) {
+	srv := NewServer("test", "http://host:1")
+	p := srv.Provider("")
+	p.MustRegister(typedDef().MustBuild())
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	srv.SetBaseURL(hs.URL)
+
+	fetch := func() *wsil.Document {
+		resp, err := hs.Client().Get(hs.URL + wsil.WellKnownPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(len(body)) {
+			t.Errorf("WSIL Content-Length = %q for %d bytes", cl, len(body))
+		}
+		doc, err := wsil.Parse(string(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+	if doc := fetch(); len(doc.Services) != 1 {
+		t.Fatalf("services = %d, want 1", len(doc.Services))
+	}
+	if doc := fetch(); len(doc.Services) != 1 { // cached fetch
+		t.Fatalf("cached services = %d, want 1", len(doc.Services))
+	}
+	late := &Def{Name: "Late", NS: "urn:test:late", Ops: []Op{{
+		Name:   "noop",
+		Handle: func(*core.Context, Args) ([]interface{}, error) { return nil, nil },
+	}}}
+	p.MustRegister(late.MustBuild())
+	if doc := fetch(); len(doc.Services) != 2 {
+		t.Fatalf("services after late registration = %d, want 2 (cache must refresh)", len(doc.Services))
 	}
 }

@@ -3,6 +3,7 @@ package rpc
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -28,6 +29,15 @@ type Server struct {
 	mu      sync.Mutex
 	baseURL string
 	mounts  []*mount
+	// wsil caches the rendered WS-Inspection document. Services are only
+	// ever added (never removed), so the (service count, base URL) pair is
+	// a complete freshness key: late registrations and base-URL rewrites
+	// regenerate it, everything else is served from the cache.
+	wsil struct {
+		services int
+		baseURL  string
+		doc      []byte
+	}
 }
 
 type mount struct {
@@ -106,7 +116,7 @@ func (s *Server) SetBaseURL(baseURL string) {
 	defer s.mu.Unlock()
 	s.baseURL = strings.TrimSuffix(baseURL, "/")
 	for _, m := range s.mounts {
-		m.provider.BaseURL = s.baseURL + m.prefix
+		m.provider.SetBaseURL(s.baseURL + m.prefix)
 	}
 }
 
@@ -137,21 +147,50 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // serveWSIL publishes the live WS-Inspection document enumerating every
-// deployed service with a link to its WSDL — regenerated per request so
-// late registrations appear without re-publication.
+// deployed service with a link to its WSDL. The rendered document is cached
+// until a service is registered or the base URL changes, so late
+// registrations still appear without re-publication.
 func (s *Server) serveWSIL(w http.ResponseWriter, r *http.Request) {
+	// Snapshot the base URL and mount list together, then derive every
+	// WSDL link from that snapshot: the cached document is keyed to the
+	// exact base it was rendered for, so a concurrent SetBaseURL cannot
+	// poison the cache with mismatched links.
+	s.mu.Lock()
+	base := s.baseURL
+	mounts := append([]*mount(nil), s.mounts...)
+	s.mu.Unlock()
 	doc := &wsil.Document{}
-	for _, p := range s.Providers() {
-		for _, svc := range p.Services() {
+	for _, m := range mounts {
+		for _, svc := range m.provider.Services() {
 			doc.Services = append(doc.Services, wsil.ServiceEntry{
 				Name:         svc.Contract.Name,
 				Abstract:     svc.Contract.Doc,
-				WSDLLocation: p.EndpointFor(svc) + "?wsdl",
+				WSDLLocation: base + m.prefix + svc.Path + "?wsdl",
 			})
 		}
 	}
+	count := len(doc.Services)
+	s.mu.Lock()
+	if s.wsil.doc != nil && s.wsil.services == count && s.wsil.baseURL == base {
+		cached := s.wsil.doc
+		s.mu.Unlock()
+		writeXML(w, cached)
+		return
+	}
+	s.mu.Unlock()
+	rendered := []byte(doc.Render())
+	s.mu.Lock()
+	s.wsil.services = count
+	s.wsil.baseURL = base
+	s.wsil.doc = rendered
+	s.mu.Unlock()
+	writeXML(w, rendered)
+}
+
+func writeXML(w http.ResponseWriter, doc []byte) {
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
-	_, _ = w.Write([]byte(doc.Render()))
+	w.Header().Set("Content-Length", strconv.Itoa(len(doc)))
+	_, _ = w.Write(doc)
 }
 
 // Transport returns an in-process transport that routes calls addressed

@@ -151,6 +151,26 @@ func ParseEnvelopeBytes(data []byte) (*Envelope, error) {
 	return envelopeFromRoot(root)
 }
 
+// ParseEnvelopeBytesPooled parses a serialised envelope into a pooled
+// element arena — the fully pooled decode path the server-side transports
+// use for request envelopes. The returned Doc owns every element of the
+// envelope: the caller must Release it once the request has been fully
+// processed (response rendered included), and nothing downstream may retain
+// an *xmlutil.Element from the envelope past that point. Strings extracted
+// from the tree remain valid forever.
+func ParseEnvelopeBytesPooled(data []byte) (*Envelope, *xmlutil.Doc, error) {
+	doc, err := xmlutil.ParseBytesPooled(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("soap: %w", err)
+	}
+	env, err := envelopeFromRoot(doc.Root)
+	if err != nil {
+		doc.Release()
+		return nil, nil, err
+	}
+	return env, doc, nil
+}
+
 func envelopeFromRoot(root *xmlutil.Element) (*Envelope, error) {
 	if root.Name != "Envelope" {
 		return nil, fmt.Errorf("soap: root element %q is not Envelope", root.Name)

@@ -303,3 +303,65 @@ func randomString(r *rand.Rand) string {
 	}
 	return strings.TrimSpace(string(out))
 }
+
+// TestEnvelopeBOMAndLeadingWhitespace: peer SOAP stacks (notably on Windows)
+// prefix envelopes with a UTF-8 byte-order mark or whitespace before the XML
+// declaration; decoding must tolerate both.
+func TestEnvelopeBOMAndLeadingWhitespace(t *testing.T) {
+	call := &Call{ServiceNS: "urn:bench", Method: "op", Params: []Value{Str("a", "v")}}
+	buf := xmlutil.GetBuffer()
+	defer xmlutil.PutBuffer(buf)
+	call.Envelope().AppendTo(buf) // includes the XML declaration
+	wire := buf.String()
+	for _, tc := range []struct {
+		name, prefix string
+	}{
+		{"bom", "\xef\xbb\xbf"},
+		{"whitespace", "  \r\n\t"},
+		{"bom+whitespace", "\xef\xbb\xbf \n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			env, err := ParseEnvelope(tc.prefix + wire)
+			if err != nil {
+				t.Fatalf("ParseEnvelope with %s prefix: %v", tc.name, err)
+			}
+			got, err := ParseCall(env)
+			if err != nil || got.Method != "op" || len(got.Params) != 1 {
+				t.Fatalf("ParseCall = %+v, %v", got, err)
+			}
+			envp, doc, err := ParseEnvelopeBytesPooled([]byte(tc.prefix + wire))
+			if err != nil {
+				t.Fatalf("pooled parse with %s prefix: %v", tc.name, err)
+			}
+			if len(envp.Body) != 1 {
+				t.Fatalf("pooled body entries = %d", len(envp.Body))
+			}
+			doc.Release()
+		})
+	}
+}
+
+// TestPooledEnvelopeRelease: the arena behind ParseEnvelopeBytesPooled is
+// recycled across parses without leaking state between documents.
+func TestPooledEnvelopeRelease(t *testing.T) {
+	mk := func(text string) string {
+		c := &Call{ServiceNS: "urn:x", Method: "m", Params: []Value{Str("p", text)}}
+		return c.Envelope().Render()
+	}
+	for i := 0; i < 50; i++ {
+		wire := mk(strings.Repeat("x", i+1))
+		env, doc, err := ParseEnvelopeBytesPooled([]byte(wire))
+		if err != nil {
+			t.Fatal(err)
+		}
+		call, err := ParseCall(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := call.Params[0].Text; got != strings.Repeat("x", i+1) {
+			t.Fatalf("iteration %d: param = %q", i, got)
+		}
+		doc.Release()
+		doc.Release() // double release must be a no-op
+	}
+}

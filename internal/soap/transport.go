@@ -102,7 +102,10 @@ func Handler(h EnvelopeHandler) http.Handler {
 			http.Error(w, "soap endpoint: read error", http.StatusBadRequest)
 			return
 		}
-		env, err := ParseEnvelopeBytes(body.Bytes())
+		// The request envelope lives in a pooled element arena: it is only
+		// needed until the response has been rendered, after which the whole
+		// tree is recycled. Handlers must not retain request elements.
+		env, doc, err := ParseEnvelopeBytesPooled(body.Bytes())
 		var respEnv *Envelope
 		if err != nil {
 			respEnv = faultEnvelope(err, FaultClient)
@@ -121,6 +124,9 @@ func Handler(h EnvelopeHandler) http.Handler {
 		out := xmlutil.GetBuffer()
 		defer xmlutil.PutBuffer(out)
 		respEnv.AppendTo(out)
+		if doc != nil {
+			doc.Release() // response rendered: request tree no longer needed
+		}
 		w.Header().Set("Content-Type", ContentType)
 		w.WriteHeader(status)
 		_, _ = w.Write(out.Bytes())
@@ -166,9 +172,10 @@ func (t *LoopbackTransport) RoundTrip(endpoint, action string, req *Envelope) (*
 	}
 	buf := xmlutil.GetBuffer()
 	defer xmlutil.PutBuffer(buf)
-	// Serialise and reparse to keep byte-level fidelity with HTTP.
+	// Serialise and reparse to keep byte-level fidelity with HTTP. The
+	// request-side tree is arena-pooled exactly as in the HTTP handler.
 	req.AppendTo(buf)
-	wire, err := ParseEnvelopeBytes(buf.Bytes())
+	wire, doc, err := ParseEnvelopeBytesPooled(buf.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +187,7 @@ func (t *LoopbackTransport) RoundTrip(endpoint, action string, req *Envelope) (*
 	}
 	buf.Reset()
 	out.AppendTo(buf)
+	doc.Release() // response rendered: request tree no longer needed
 	return ParseEnvelopeBytes(buf.Bytes())
 }
 

@@ -7,15 +7,13 @@
 // is a poor fit for the open, recursive document shapes computational-portal
 // services exchange. Element is a dynamic tree: every node carries a name,
 // optional namespace, attributes, character data, and ordered children. The
-// package supplies parsing (on top of xml.Decoder tokens), deterministic
-// canonical rendering (needed for signature computation in the SAML layer),
-// and path-based navigation helpers.
+// package supplies parsing (a hand-rolled pooled byte scanner — see
+// scanner.go), deterministic canonical rendering (needed for signature
+// computation in the SAML layer), and path-based navigation helpers.
 package xmlutil
 
 import (
 	"bytes"
-	"encoding/xml"
-	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -302,76 +300,29 @@ func (e *Element) Bool() (bool, error) {
 }
 
 // Parse reads a complete XML document from r and returns the root element.
-// Processing instructions, comments, and the XML declaration are skipped.
+// Processing instructions, comments, and the XML declaration are skipped;
+// a UTF-8 byte-order mark and leading whitespace are tolerated. Parsing is
+// done by the pooled byte scanner in scanner.go.
 func Parse(r io.Reader) (*Element, error) {
-	dec := xml.NewDecoder(r)
-	var root *Element
-	var stack []*Element
-	for {
-		tok, err := dec.Token()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("xmlutil: parse: %w", err)
-		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			el := &Element{Space: t.Name.Space, Name: t.Name.Local}
-			for _, a := range t.Attr {
-				// Drop namespace declarations: prefixes are resolved by the
-				// decoder, and re-rendering assigns fresh prefixes.
-				if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
-					continue
-				}
-				el.Attrs = append(el.Attrs, Attr{Space: a.Name.Space, Name: a.Name.Local, Value: a.Value})
-			}
-			if len(stack) == 0 {
-				if root != nil {
-					return nil, errors.New("xmlutil: parse: multiple root elements")
-				}
-				root = el
-			} else {
-				parent := stack[len(stack)-1]
-				parent.Children = append(parent.Children, el)
-			}
-			stack = append(stack, el)
-		case xml.EndElement:
-			if len(stack) == 0 {
-				return nil, errors.New("xmlutil: parse: unbalanced end element")
-			}
-			top := stack[len(stack)-1]
-			// Whitespace between child elements is formatting, not content;
-			// leaf text is preserved verbatim because portal payloads (job
-			// output, file contents) carry significant whitespace.
-			if len(top.Children) > 0 {
-				top.Text = strings.TrimSpace(top.Text)
-			}
-			stack = stack[:len(stack)-1]
-		case xml.CharData:
-			if len(stack) > 0 {
-				stack[len(stack)-1].Text += string(t)
-			}
-		}
+	b := GetBuffer()
+	defer PutBuffer(b)
+	if _, err := io.Copy(b, r); err != nil {
+		return nil, fmt.Errorf("xmlutil: parse: %w", err)
 	}
-	if root == nil {
-		return nil, errors.New("xmlutil: parse: empty document")
-	}
-	if len(stack) != 0 {
-		return nil, errors.New("xmlutil: parse: unterminated document")
-	}
-	return root, nil
+	return ParseBytes(b.Bytes())
 }
 
 // ParseString parses an XML document held in a string.
 func ParseString(s string) (*Element, error) {
-	return Parse(strings.NewReader(s))
+	return ParseBytes([]byte(s))
 }
 
-// ParseBytes parses an XML document held in a byte slice without copying
-// it into a string first. The returned tree does not alias data.
+// ParseBytes parses an XML document held in a byte slice. The returned tree
+// does not alias data and is owned by the caller forever; request-scoped
+// decoders should prefer ParseBytesPooled, which recycles the element
+// storage.
 func ParseBytes(data []byte) (*Element, error) {
-	return Parse(bytes.NewReader(data))
+	return parseRetained(data)
 }
 
 // renderState tracks prefix assignment during rendering.

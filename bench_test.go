@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -702,9 +703,41 @@ func BenchmarkAblation_SOAPEnvelope(b *testing.B) {
 	call := &soap.Call{ServiceNS: "urn:bench", Method: "op", Params: []soap.Value{
 		soap.Str("a", strings.Repeat("x", 256)), soap.Int("b", 42), soap.Bool("c", true),
 	}}
+	// encode is the production request-encode path: the streamed
+	// direct-to-buffer writer, no element tree.
 	b.Run("encode", func(b *testing.B) {
+		var buf bytes.Buffer
 		for i := 0; i < b.N; i++ {
-			if len(call.Envelope().Render()) == 0 {
+			buf.Reset()
+			call.WireEnvelope().AppendTo(&buf)
+			if buf.Len() == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	// encode-tree is the pre-PR4 path kept as the oracle: build the
+	// element tree, then render it.
+	b.Run("encode-tree", func(b *testing.B) {
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			call.Envelope().AppendTo(&buf)
+			if buf.Len() == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	// encode-response is the server-side hot path: the rpc kernel's typed
+	// return values streamed straight to the wire.
+	resp := &soap.Response{ServiceNS: "urn:bench", Method: "op", Returns: []soap.Value{
+		soap.Str("result", strings.Repeat("y", 256)), soap.Int("count", 7),
+	}}
+	b.Run("encode-response", func(b *testing.B) {
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			resp.WireEnvelope().AppendTo(&buf)
+			if buf.Len() == 0 {
 				b.Fatal("empty")
 			}
 		}

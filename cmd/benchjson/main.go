@@ -31,6 +31,26 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
+// Breakdown summarises the raw-messaging ablation: where the XML cost of
+// one SOAP round trip sits between encode and decode, and what the
+// streamed encoder saves over the element-tree path. Derived from the
+// BenchmarkAblation_SOAPEnvelope sub-benchmarks when present.
+type Breakdown struct {
+	// EncodeNsOp is the streamed (production) envelope encode cost.
+	EncodeNsOp float64 `json:"encode_ns_op"`
+	// EncodeTreeNsOp is the legacy element-tree encode cost, kept as the
+	// differential oracle.
+	EncodeTreeNsOp float64 `json:"encode_tree_ns_op,omitempty"`
+	// DecodeNsOp is the envelope decode (scanner) cost.
+	DecodeNsOp float64 `json:"decode_ns_op"`
+	// EncodeAllocsOp / DecodeAllocsOp are the per-op allocation counts.
+	EncodeAllocsOp float64 `json:"encode_allocs_op"`
+	DecodeAllocsOp float64 `json:"decode_allocs_op"`
+	// EncodeShare is encode/(encode+decode) in ns — the fraction of the
+	// XML round-trip tax paid on the way out.
+	EncodeShare float64 `json:"encode_share"`
+}
+
 // Report is the whole converted run.
 type Report struct {
 	Goos       string      `json:"goos,omitempty"`
@@ -38,6 +58,8 @@ type Report struct {
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// EncodeVsDecode is present when the SOAP envelope ablation ran.
+	EncodeVsDecode *Breakdown `json:"encode_vs_decode,omitempty"`
 }
 
 func main() {
@@ -86,7 +108,56 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 			}
 		}
 	}
+	r.EncodeVsDecode = breakdown(r.Benchmarks)
 	return r, sc.Err()
+}
+
+// subBenchName extracts the sub-benchmark segment of a full name,
+// stripping the trailing -cpu suffix the framework appends:
+// "BenchmarkX/encode-tree-8" -> "encode-tree".
+func subBenchName(name string) string {
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name
+}
+
+// breakdown derives the encode-vs-decode summary from the envelope
+// ablation sub-benchmarks, or nil when they are absent from the run.
+func breakdown(benchmarks []Benchmark) *Breakdown {
+	find := func(sub string) *Benchmark {
+		for i := range benchmarks {
+			if strings.Contains(benchmarks[i].Name, "Ablation_SOAPEnvelope/") &&
+				subBenchName(benchmarks[i].Name) == sub {
+				return &benchmarks[i]
+			}
+		}
+		return nil
+	}
+	encode := find("encode")
+	tree := find("encode-tree")
+	decode := find("decode")
+	if encode == nil || decode == nil {
+		return nil
+	}
+	b := &Breakdown{
+		EncodeNsOp:     encode.Metrics["ns/op"],
+		DecodeNsOp:     decode.Metrics["ns/op"],
+		EncodeAllocsOp: encode.Metrics["allocs/op"],
+		DecodeAllocsOp: decode.Metrics["allocs/op"],
+	}
+	if tree != nil {
+		b.EncodeTreeNsOp = tree.Metrics["ns/op"]
+	}
+	if total := b.EncodeNsOp + b.DecodeNsOp; total > 0 {
+		b.EncodeShare = b.EncodeNsOp / total
+	}
+	return b
 }
 
 // parseBenchLine parses one result line of the form

@@ -81,7 +81,11 @@ type HandlerFunc func(ctx *Context, args soap.Args) ([]soap.Value, error)
 type Middleware func(next HandlerFunc) HandlerFunc
 
 // ClientInterceptor may mutate an outbound request envelope before it is
-// sent (e.g. attach a signed SAML assertion header).
+// sent (e.g. attach a signed SAML assertion header). Request envelopes are
+// streamed (soap.Call.WireEnvelope): AddHeader and AddBody both still
+// serialise, and the call element itself is read from call at send time —
+// but env.Body does not expose the call element as a tree, so interceptors
+// that need to inspect the outgoing parameters should read call.Params.
 type ClientInterceptor func(call *soap.Call, env *soap.Envelope) error
 
 // Service couples a WSDL contract with its operation handlers.
@@ -325,7 +329,10 @@ func (p *Provider) Dispatch(env *soap.Envelope, httpReq *http.Request) (*soap.En
 		return nil, err
 	}
 	resp := &soap.Response{ServiceNS: call.ServiceNS, Method: call.Method, Returns: returns}
-	return resp.Envelope(), nil
+	// The response envelope is streamed: when the transport serialises it,
+	// the operation element and typed return values are written directly to
+	// the output buffer, with no element tree in between.
+	return resp.WireEnvelope(), nil
 }
 
 // Chain composes middleware groups around a handler. Groups are applied in
@@ -431,25 +438,88 @@ func (c *Client) Use(i ClientInterceptor) *Client {
 	return c
 }
 
-// Call invokes a contract operation with ordered parameters.
-func (c *Client) Call(operation string, params ...soap.Value) (*soap.Response, error) {
+// prepare validates a call against the contract, builds the streamed
+// request envelope, and runs the client interceptors.
+func (c *Client) prepare(operation string, params []soap.Value) (*soap.Envelope, error) {
 	if c.Strict {
 		if err := c.validate(operation, params); err != nil {
 			return nil, err
 		}
 	}
 	call := &soap.Call{ServiceNS: c.Contract.TargetNS, Method: operation, Params: params}
-	env := call.Envelope()
+	env := call.WireEnvelope()
 	for _, i := range c.interceptors {
 		if err := i(call, env); err != nil {
 			return nil, err
 		}
+	}
+	return env, nil
+}
+
+// Call invokes a contract operation with ordered parameters. The response
+// tree is retained and owned by the caller forever; request-scoped callers
+// that only extract strings should prefer CallPooled (or the CallText /
+// CallStrings helpers, which pool internally).
+func (c *Client) Call(operation string, params ...soap.Value) (*soap.Response, error) {
+	env, err := c.prepare(operation, params)
+	if err != nil {
+		return nil, err
 	}
 	respEnv, err := c.Transport.RoundTrip(c.Endpoint, c.Contract.TargetNS+"#"+operation, env)
 	if err != nil {
 		return nil, err
 	}
 	return soap.ParseResponse(respEnv)
+}
+
+// CallPooled invokes a contract operation and parses the response envelope
+// into a pooled element arena — the client-side counterpart of the pooled
+// request decode the server transports use. The returned release function
+// must be called exactly once when the caller is done with the response;
+// afterwards no *xmlutil.Element reachable from it (XML-valued returns,
+// fault details) may be retained. Strings extracted from the response stay
+// valid forever. On error the response storage has already been reclaimed
+// (fault details are detached first, so a returned *soap.Fault is safe to
+// keep) and the release function is a no-op.
+//
+// Transports that cannot return raw bytes (non-RawTransport
+// implementations) fall back to the retained parse of Call.
+func (c *Client) CallPooled(operation string, params ...soap.Value) (*soap.Response, func(), error) {
+	noop := func() {}
+	rt, ok := c.Transport.(soap.RawTransport)
+	if !ok {
+		resp, err := c.Call(operation, params...)
+		return resp, noop, err
+	}
+	env, err := c.prepare(operation, params)
+	if err != nil {
+		return nil, noop, err
+	}
+	buf := xmlutil.GetBuffer()
+	if err := rt.RoundTripRaw(c.Endpoint, c.Contract.TargetNS+"#"+operation, env, buf); err != nil {
+		xmlutil.PutBuffer(buf)
+		return nil, noop, err
+	}
+	respEnv, doc, err := soap.ParseEnvelopeBytesPooled(buf.Bytes())
+	xmlutil.PutBuffer(buf)
+	if err != nil {
+		return nil, noop, err
+	}
+	resp, rerr := soap.ParseResponse(respEnv)
+	if rerr != nil {
+		// The error (usually a *soap.Fault) outlives the arena: detach any
+		// detail trees before recycling the envelope storage.
+		if resp != nil && resp.Fault != nil {
+			detail := make([]*xmlutil.Element, len(resp.Fault.Detail))
+			for i, d := range resp.Fault.Detail {
+				detail[i] = d.Clone()
+			}
+			resp.Fault.Detail = detail
+		}
+		doc.Release()
+		return resp, noop, rerr
+	}
+	return resp, doc.Release, nil
 }
 
 // validate checks the call against the contract.
@@ -493,13 +563,16 @@ func wireType(v soap.Value) string {
 
 // CallText invokes an operation and returns the first out parameter's text;
 // the one-string-in, one-string-out convenience shape most of the paper's
-// services expose.
+// services expose. The response is parsed into a pooled arena and released
+// before returning — the extracted string is always safe to keep.
 func (c *Client) CallText(operation string, params ...soap.Value) (string, error) {
-	resp, err := c.Call(operation, params...)
+	resp, release, err := c.CallPooled(operation, params...)
 	if err != nil {
 		return "", err
 	}
-	return resp.ReturnText(""), nil
+	text := resp.ReturnText("")
+	release()
+	return text, nil
 }
 
 // CallXML invokes an operation and returns the first out parameter's XML
@@ -517,12 +590,14 @@ func (c *Client) CallXML(operation string, params ...soap.Value) (*xmlutil.Eleme
 }
 
 // CallStrings invokes an operation and returns the first out parameter as a
-// string slice.
+// string slice. Like CallText it parses the response into a pooled arena
+// and releases it before returning.
 func (c *Client) CallStrings(operation string, params ...soap.Value) ([]string, error) {
-	resp, err := c.Call(operation, params...)
+	resp, release, err := c.CallPooled(operation, params...)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	v, ok := resp.Return("")
 	if !ok {
 		return nil, fmt.Errorf("core: %s.%s returned nothing", c.Contract.Name, operation)

@@ -1,6 +1,9 @@
 package rpc
 
 import (
+	"fmt"
+	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -218,5 +221,95 @@ func TestResponseCacheEndToEnd(t *testing.T) {
 	hits, _, _ := cache.Stats()
 	if hits != 2 {
 		t.Fatalf("hits = %d, want 2", hits)
+	}
+}
+
+// TestResponseCacheConcurrency hammers one cache from many goroutines
+// mixing cacheable reads (hits, misses, TTL refreshes), writes (which
+// flush), explicit Flushes, and Stats polling. Run under -race (the CI
+// race job does) this pins the cache's internal locking; the functional
+// assertion is that every call still returns the right value and the
+// counters stay coherent.
+func TestResponseCacheConcurrency(t *testing.T) {
+	handled := make(chan struct{}, 1<<16)
+	def := &Def{
+		Name: "Echo", NS: "urn:test:cache:conc",
+		Ops: []Op{
+			{
+				Name: "getValue",
+				In:   StrParams("k"),
+				Out:  []wsdl.Param{Str("v")},
+				Handle: func(_ *core.Context, in Args) ([]interface{}, error) {
+					handled <- struct{}{}
+					return Ret("v-" + in.Str("k")), nil
+				},
+			},
+			{
+				Name: "putValue",
+				In:   StrParams("k"),
+				Out:  []wsdl.Param{Bool("ok")},
+				Handle: func(_ *core.Context, _ Args) ([]interface{}, error) {
+					return Ret(true), nil
+				},
+			},
+		},
+	}
+	svc := def.MustBuild()
+	cache := NewResponseCache(50*time.Millisecond, 16) // small: forces eviction under load
+	svc.Use(cache.Middleware(OpPrefixes("get")))
+	p := core.NewProvider("ssp", "loopback://conc")
+	p.MustRegister(svc)
+	tr := &soap.LoopbackTransport{Handler: p.Dispatch}
+
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := core.NewClient(tr, "x", def.Interface())
+			for i := 0; i < iters; i++ {
+				k := strconv.Itoa((g + i) % 24) // overlap keys across goroutines
+				switch i % 5 {
+				case 4: // a write: passes through and flushes
+					if _, err := cl.Call("putValue", soap.Str("k", k)); err != nil {
+						errs <- err
+						return
+					}
+				case 3:
+					if g == 0 {
+						cache.Flush()
+					}
+					cache.Stats()
+				default:
+					got, err := cl.CallText("getValue", soap.Str("k", k))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got != "v-"+k {
+						errs <- fmt.Errorf("getValue(%s) = %q", k, got)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	hits, misses, entries := cache.Stats()
+	if entries > 16 {
+		t.Fatalf("cache grew past its bound: %d entries", entries)
+	}
+	if int(hits)+int(misses) == 0 {
+		t.Fatal("no cacheable traffic observed")
+	}
+	if len(handled) == 0 {
+		t.Fatal("handler never ran")
 	}
 }

@@ -52,4 +52,18 @@
 // Registering a new service is therefore: declare a Def table, build it,
 // and register it on a mounted provider — discovery (WSDL, WSIL, UDDI
 // publication) and operations concerns are inherited from the kernel.
+//
+// # Response encoding
+//
+// Handler return values are encoded by the kernel through the streaming
+// xmlutil.Writer: scalar, boolean, numeric, and string-array returns are
+// written straight to the wire buffer and never materialise an element
+// tree. Handlers only still build trees for "xml"-typed returns — an
+// *xmlutil.Element payload (job results, registry containers, descriptors)
+// constructed with the xmlutil builders and bridged onto the wire by
+// Writer.Element. That is the intended division: build a tree when the
+// payload is a document the caller will navigate, return plain values
+// otherwise and let the kernel stream them. The wire bytes of both paths
+// are pinned by the golden conformance suite in golden_test.go
+// (regenerate with -update after an intentional format change).
 package rpc

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -209,7 +210,7 @@ type serverTransport struct {
 	servers []*Server
 }
 
-func (t *serverTransport) RoundTrip(endpoint, action string, req *soap.Envelope) (*soap.Envelope, error) {
+func (t *serverTransport) route(endpoint string) (*core.Provider, error) {
 	var best *core.Provider
 	bestLen := -1
 	for _, s := range t.servers {
@@ -225,6 +226,26 @@ func (t *serverTransport) RoundTrip(endpoint, action string, req *soap.Envelope)
 	if best == nil {
 		return nil, fmt.Errorf("rpc: no mounted provider serves endpoint %q", endpoint)
 	}
+	return best, nil
+}
+
+func (t *serverTransport) RoundTrip(endpoint, action string, req *soap.Envelope) (*soap.Envelope, error) {
+	best, err := t.route(endpoint)
+	if err != nil {
+		return nil, err
+	}
 	lb := soap.LoopbackTransport{Handler: best.Dispatch}
 	return lb.RoundTrip(endpoint, action, req)
+}
+
+// RoundTripRaw implements soap.RawTransport, so clients over a server
+// transport can use the pooled response-parse path (core.Client.CallPooled
+// and the CallText/CallStrings helpers).
+func (t *serverTransport) RoundTripRaw(endpoint, action string, req *soap.Envelope, resp *bytes.Buffer) error {
+	best, err := t.route(endpoint)
+	if err != nil {
+		return err
+	}
+	lb := soap.LoopbackTransport{Handler: best.Dispatch}
+	return lb.RoundTripRaw(endpoint, action, req, resp)
 }

@@ -66,6 +66,18 @@ type Envelope struct {
 	// for a response it is the <methodName>Response element; for a fault it
 	// is the Fault element.
 	Body []*xmlutil.Element
+
+	// stream, when non-nil, emits the primary body entry directly through
+	// a streaming Writer instead of from a Body tree — the tree-free hot
+	// path Call.WireEnvelope and Response.WireEnvelope produce. Body
+	// starts nil on such envelopes (entries appended later with AddBody
+	// are serialised after the streamed entry); consumers that need the
+	// full tree re-parse the serialised form, as every transport already
+	// does for wire fidelity.
+	stream func(w *xmlutil.Writer)
+	// streamFault marks a streamed envelope whose body is a Fault, since
+	// the usual Body[0] inspection is unavailable.
+	streamFault bool
 }
 
 // NewEnvelope returns an empty envelope.
@@ -125,10 +137,36 @@ func (e *Envelope) Render() string {
 
 // AppendTo serialises the envelope (XML declaration included) into b. The
 // transport hot paths use this with pooled buffers to avoid the string
-// round trip Render pays.
+// round trip Render pays. Envelopes built by Call.WireEnvelope or
+// Response.WireEnvelope are emitted through the streaming Writer without
+// materialising an element tree; the output is byte-identical to the tree
+// path either way.
 func (e *Envelope) AppendTo(b *bytes.Buffer) {
 	b.WriteString(xmlDecl)
-	e.Element().RenderTo(b)
+	if e.stream == nil {
+		e.Element().RenderTo(b)
+		return
+	}
+	w := xmlutil.AcquireWriter(b)
+	defer w.Release()
+	w.Start(EnvelopeNS, "Envelope")
+	if len(e.Header) > 0 {
+		w.Start(EnvelopeNS, "Header")
+		for _, h := range e.Header {
+			w.Element(h)
+		}
+		w.End()
+	}
+	w.Start(EnvelopeNS, "Body")
+	e.stream(w)
+	// Entries added with AddBody after WireEnvelope construction (e.g. by
+	// a client interceptor) ride along after the streamed entry, so the
+	// mutation contract of interceptors keeps holding on the hot path.
+	for _, be := range e.Body {
+		w.Element(be)
+	}
+	w.End()
+	w.End()
 }
 
 // ParseEnvelope parses a SOAP 1.1 envelope from its serialised form.
@@ -238,6 +276,31 @@ func (f *Fault) Element() *xmlutil.Element {
 		fe.Add(det)
 	}
 	return fe
+}
+
+// write streams the fault as a Body entry, byte-identical to rendering
+// Element().
+func (f *Fault) write(w *xmlutil.Writer) {
+	w.Start(EnvelopeNS, "Fault")
+	w.Start("", "faultcode")
+	w.Text("soap:" + f.Code)
+	w.End()
+	w.Start("", "faultstring")
+	w.Text(f.String)
+	w.End()
+	if f.Actor != "" {
+		w.Start("", "faultactor")
+		w.Text(f.Actor)
+		w.End()
+	}
+	if len(f.Detail) > 0 {
+		w.Start("", "detail")
+		for _, d := range f.Detail {
+			w.Element(d)
+		}
+		w.End()
+	}
+	w.End()
 }
 
 // ParseFault converts a Fault body entry back into a Fault value.
@@ -382,6 +445,28 @@ func (v Value) Element() *xmlutil.Element {
 	return el
 }
 
+// write streams the value as an RPC parameter element, byte-identical to
+// rendering Element(). Scalar and array values never touch the element
+// tree; literal XML payloads bridge through Writer.Element.
+func (v Value) write(w *xmlutil.Writer) {
+	w.Start("", v.Name)
+	switch {
+	case v.XML != nil:
+		w.Element(v.XML)
+	case v.Type == "Array":
+		w.Attr(XSINS, "type", "soapenc:Array")
+		for _, item := range v.Items {
+			item.write(w)
+		}
+	default:
+		if v.Type != "" {
+			w.Attr(XSINS, "type", "xsd:"+v.Type)
+		}
+		w.Text(v.Text)
+	}
+	w.End()
+}
+
 // ParseValue reads an RPC parameter element back into a Value.
 func ParseValue(el *xmlutil.Element) Value {
 	v := Value{Name: el.Name}
@@ -425,6 +510,25 @@ func (c *Call) Envelope() *Envelope {
 	return NewEnvelope().AddBody(op)
 }
 
+// WireEnvelope builds the request envelope with a streamed body: when
+// serialised it writes the call element and parameters directly to the
+// buffer instead of materialising an element tree. Byte-identical to
+// Envelope(); this is the client-side encode hot path. Parameter values
+// are read at serialisation time, so interceptors that run before the
+// transport see (and may still amend) the call.
+func (c *Call) WireEnvelope() *Envelope {
+	env := NewEnvelope()
+	env.stream = func(w *xmlutil.Writer) {
+		w.Start(c.ServiceNS, c.Method)
+		w.Attr(EnvelopeNS, "encodingStyle", EncodingNS)
+		for _, p := range c.Params {
+			p.write(w)
+		}
+		w.End()
+	}
+	return env
+}
+
 // ParseCall extracts the RPC call from a request envelope.
 func ParseCall(env *Envelope) (*Call, error) {
 	if len(env.Body) == 0 {
@@ -461,6 +565,28 @@ func (r *Response) Envelope() *Envelope {
 		op.Add(v.Element())
 	}
 	return env.AddBody(op)
+}
+
+// WireEnvelope builds the response envelope with a streamed body: the
+// operation response element, return values, or fault are written directly
+// to the output buffer at serialisation time, with no element tree in
+// between. Byte-identical to Envelope(); this is the server-side encode
+// hot path the rpc kernel responds through.
+func (r *Response) WireEnvelope() *Envelope {
+	env := NewEnvelope()
+	if r.Fault != nil {
+		env.stream = r.Fault.write
+		env.streamFault = true
+		return env
+	}
+	env.stream = func(w *xmlutil.Writer) {
+		w.Start(r.ServiceNS, r.Method+"Response")
+		for _, v := range r.Returns {
+			v.write(w)
+		}
+		w.End()
+	}
+	return env
 }
 
 // ParseResponse extracts an RPC response from an envelope. A Fault body

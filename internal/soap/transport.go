@@ -25,6 +25,16 @@ type Transport interface {
 	RoundTrip(endpoint string, action string, req *Envelope) (*Envelope, error)
 }
 
+// RawTransport is implemented by transports that can hand back the raw
+// response envelope bytes, letting the caller choose the parse mode. The
+// pooled client path (core.Client.CallPooled) uses it to parse responses
+// into a recyclable element arena instead of a retained tree; resp is
+// appended to and owned by the caller.
+type RawTransport interface {
+	Transport
+	RoundTripRaw(endpoint string, action string, req *Envelope, resp *bytes.Buffer) error
+}
+
 var (
 	defaultClientOnce sync.Once
 	defaultClient     *http.Client
@@ -49,6 +59,20 @@ type HTTPTransport struct {
 
 // RoundTrip implements Transport over HTTP.
 func (t *HTTPTransport) RoundTrip(endpoint, action string, req *Envelope) (*Envelope, error) {
+	respBuf := xmlutil.GetBuffer()
+	defer xmlutil.PutBuffer(respBuf)
+	if err := t.RoundTripRaw(endpoint, action, req, respBuf); err != nil {
+		return nil, err
+	}
+	return ParseEnvelopeBytes(respBuf.Bytes())
+}
+
+// RoundTripRaw implements RawTransport over HTTP: the raw response
+// envelope bytes are appended to respBuf without being parsed. On error
+// respBuf is restored to its pre-call length, so callers may reuse one
+// buffer across attempts.
+func (t *HTTPTransport) RoundTripRaw(endpoint, action string, req *Envelope, respBuf *bytes.Buffer) error {
+	mark := respBuf.Len()
 	hc := t.Client
 	if hc == nil {
 		hc = DefaultClient()
@@ -62,25 +86,25 @@ func (t *HTTPTransport) RoundTrip(endpoint, action string, req *Envelope) (*Enve
 	xmlutil.PutBuffer(reqBuf)
 	httpReq, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("soap: build request: %w", err)
+		return fmt.Errorf("soap: build request: %w", err)
 	}
 	httpReq.Header.Set("Content-Type", ContentType)
 	httpReq.Header.Set("SOAPAction", `"`+action+`"`)
 	resp, err := hc.Do(httpReq)
 	if err != nil {
-		return nil, fmt.Errorf("soap: post %s: %w", endpoint, err)
+		return fmt.Errorf("soap: post %s: %w", endpoint, err)
 	}
 	defer resp.Body.Close()
-	respBuf := xmlutil.GetBuffer()
-	defer xmlutil.PutBuffer(respBuf)
 	if _, err := io.Copy(respBuf, io.LimitReader(resp.Body, maxMessageBytes)); err != nil {
-		return nil, fmt.Errorf("soap: read response: %w", err)
+		respBuf.Truncate(mark)
+		return fmt.Errorf("soap: read response: %w", err)
 	}
 	// SOAP 1.1 uses HTTP 500 for faults; the envelope still parses.
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusInternalServerError {
-		return nil, fmt.Errorf("soap: endpoint %s returned HTTP %d", endpoint, resp.StatusCode)
+		respBuf.Truncate(mark)
+		return fmt.Errorf("soap: endpoint %s returned HTTP %d", endpoint, resp.StatusCode)
 	}
-	return ParseEnvelopeBytes(respBuf.Bytes())
+	return nil
 }
 
 // EnvelopeHandler processes one request envelope and produces a response
@@ -133,21 +157,29 @@ func Handler(h EnvelopeHandler) http.Handler {
 	})
 }
 
-// faultEnvelope converts any error into a fault response envelope. Portal
-// errors are relayed in the detail entry so clients can decode them.
+// faultEnvelope converts any error into a fault response envelope with a
+// streamed (tree-free) body. Portal errors are relayed in the detail entry
+// so clients can decode them.
 func faultEnvelope(err error, defaultCode string) *Envelope {
-	if f, ok := err.(*Fault); ok {
-		return NewEnvelope().AddBody(f.Element())
+	f, ok := err.(*Fault)
+	if !ok {
+		if pe := AsPortalError(err); pe != nil {
+			f = pe.Fault()
+		} else {
+			f = &Fault{Code: defaultCode, String: err.Error()}
+		}
 	}
-	if pe := AsPortalError(err); pe != nil {
-		return NewEnvelope().AddBody(pe.Fault().Element())
-	}
-	f := &Fault{Code: defaultCode, String: err.Error()}
-	return NewEnvelope().AddBody(f.Element())
+	return (&Response{Fault: f}).WireEnvelope()
 }
 
 func isFaultEnvelope(env *Envelope) bool {
-	return env != nil && len(env.Body) > 0 && env.Body[0].Name == "Fault" && env.Body[0].Space == EnvelopeNS
+	if env == nil {
+		return false
+	}
+	if env.streamFault {
+		return true
+	}
+	return len(env.Body) > 0 && env.Body[0].Name == "Fault" && env.Body[0].Space == EnvelopeNS
 }
 
 // LoopbackTransport invokes an EnvelopeHandler in-process, serialising and
@@ -162,12 +194,23 @@ type LoopbackTransport struct {
 
 // RoundTrip implements Transport in-process.
 func (t *LoopbackTransport) RoundTrip(endpoint, action string, req *Envelope) (*Envelope, error) {
+	buf := xmlutil.GetBuffer()
+	defer xmlutil.PutBuffer(buf)
+	if err := t.RoundTripRaw(endpoint, action, req, buf); err != nil {
+		return nil, err
+	}
+	return ParseEnvelopeBytes(buf.Bytes())
+}
+
+// RoundTripRaw implements RawTransport in-process: the serialised response
+// envelope is appended to respBuf without being parsed.
+func (t *LoopbackTransport) RoundTripRaw(endpoint, action string, req *Envelope, respBuf *bytes.Buffer) error {
 	h := t.Handler
 	if h == nil {
 		var ok bool
 		h, ok = t.Endpoints[endpoint]
 		if !ok {
-			return nil, fmt.Errorf("soap: loopback: no handler for endpoint %q", endpoint)
+			return fmt.Errorf("soap: loopback: no handler for endpoint %q", endpoint)
 		}
 	}
 	buf := xmlutil.GetBuffer()
@@ -177,7 +220,7 @@ func (t *LoopbackTransport) RoundTrip(endpoint, action string, req *Envelope) (*
 	req.AppendTo(buf)
 	wire, doc, err := ParseEnvelopeBytesPooled(buf.Bytes())
 	if err != nil {
-		return nil, err
+		return err
 	}
 	httpReq, _ := http.NewRequest(http.MethodPost, endpoint, nil)
 	httpReq.Header.Set("SOAPAction", `"`+action+`"`)
@@ -185,17 +228,16 @@ func (t *LoopbackTransport) RoundTrip(endpoint, action string, req *Envelope) (*
 	if herr != nil {
 		out = faultEnvelope(herr, FaultServer)
 	}
-	buf.Reset()
-	out.AppendTo(buf)
+	out.AppendTo(respBuf)
 	doc.Release() // response rendered: request tree no longer needed
-	return ParseEnvelopeBytes(buf.Bytes())
+	return nil
 }
 
 // Invoke performs a full RPC round trip: encode the call, send it through
 // the transport, decode the response. A fault response is returned as the
 // error (of type *Fault).
 func Invoke(t Transport, endpoint string, call *Call) (*Response, error) {
-	env := call.Envelope()
+	env := call.WireEnvelope()
 	respEnv, err := t.RoundTrip(endpoint, call.ServiceNS+"#"+call.Method, env)
 	if err != nil {
 		return nil, err

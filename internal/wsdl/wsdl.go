@@ -9,6 +9,7 @@
 package wsdl
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -151,9 +152,114 @@ func (s *Service) Document() *xmlutil.Element {
 	return def
 }
 
-// Render returns the serialised WSDL document.
+// xmlDecl prefixes every serialised WSDL document.
+const xmlDecl = `<?xml version="1.0" encoding="UTF-8"?>` + "\n"
+
+// AppendTo streams the complete WSDL document (XML declaration included)
+// into b without materialising the element tree Document builds. The
+// output is byte-identical to the tree path; TestAppendToMatchesDocument
+// pins the equivalence.
+func (s *Service) AppendTo(b *bytes.Buffer) {
+	iface := s.Interface
+	w := xmlutil.AcquireWriter(b)
+	defer w.Release()
+	w.Raw(xmlDecl)
+	w.Start(WSDLNS, "definitions")
+	w.Attr("", "name", s.Name)
+	w.Attr("", "targetNamespace", iface.TargetNS)
+	if iface.Doc != "" {
+		w.Start(WSDLNS, "documentation")
+		w.Text(iface.Doc)
+		w.End()
+	}
+	// Messages.
+	for _, op := range iface.Operations {
+		writeMessage(w, op.Name+"Request", op.Input)
+		writeMessage(w, op.Name+"Response", op.Output)
+	}
+	// Port type.
+	w.Start(WSDLNS, "portType")
+	w.Attr("", "name", iface.Name)
+	for _, op := range iface.Operations {
+		w.Start(WSDLNS, "operation")
+		w.Attr("", "name", op.Name)
+		if op.Doc != "" {
+			w.Start(WSDLNS, "documentation")
+			w.Text(op.Doc)
+			w.End()
+		}
+		w.Start(WSDLNS, "input")
+		w.Attr("", "message", "tns:"+op.Name+"Request")
+		w.End()
+		w.Start(WSDLNS, "output")
+		w.Attr("", "message", "tns:"+op.Name+"Response")
+		w.End()
+		w.End()
+	}
+	w.End()
+	// SOAP RPC binding.
+	w.Start(WSDLNS, "binding")
+	w.Attr("", "name", iface.Name+"SoapBinding")
+	w.Attr("", "type", "tns:"+iface.Name)
+	w.Start(SOAPBindNS, "binding")
+	w.Attr("", "style", "rpc")
+	w.Attr("", "transport", "http://schemas.xmlsoap.org/soap/http")
+	w.End()
+	for _, op := range iface.Operations {
+		w.Start(WSDLNS, "operation")
+		w.Attr("", "name", op.Name)
+		w.Start(SOAPBindNS, "operation")
+		w.Attr("", "soapAction", iface.TargetNS+"#"+op.Name)
+		w.End()
+		w.Start(WSDLNS, "input")
+		w.Start(SOAPBindNS, "body")
+		w.Attr("", "use", "encoded")
+		w.Attr("", "namespace", iface.TargetNS)
+		w.End()
+		w.End()
+		w.Start(WSDLNS, "output")
+		w.Start(SOAPBindNS, "body")
+		w.Attr("", "use", "encoded")
+		w.Attr("", "namespace", iface.TargetNS)
+		w.End()
+		w.End()
+		w.End()
+	}
+	w.End()
+	// Service + port.
+	w.Start(WSDLNS, "service")
+	w.Attr("", "name", s.Name)
+	w.Start(WSDLNS, "port")
+	w.Attr("", "name", iface.Name+"Port")
+	w.Attr("", "binding", "tns:"+iface.Name+"SoapBinding")
+	w.Start(SOAPBindNS, "address")
+	w.Attr("", "location", s.Endpoint)
+	w.End()
+	w.End()
+	w.End()
+	w.End()
+}
+
+func writeMessage(w *xmlutil.Writer, name string, params []Param) {
+	w.Start(WSDLNS, "message")
+	w.Attr("", "name", name)
+	for _, p := range params {
+		w.Start(WSDLNS, "part")
+		w.Attr("", "name", p.Name)
+		w.Attr("", "type", typeQName(p.Type))
+		w.End()
+	}
+	w.End()
+}
+
+// Render returns the serialised WSDL document, streamed through the
+// direct-to-buffer writer (Document is kept as the model form and as the
+// differential-test oracle).
 func (s *Service) Render() string {
-	return `<?xml version="1.0" encoding="UTF-8"?>` + "\n" + s.Document().Render()
+	b := xmlutil.GetBuffer()
+	defer xmlutil.PutBuffer(b)
+	s.AppendTo(b)
+	return b.String()
 }
 
 func messageElement(name string, params []Param) *xmlutil.Element {

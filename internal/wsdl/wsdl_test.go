@@ -1,6 +1,7 @@
 package wsdl
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -215,5 +216,44 @@ func TestDocPreserved(t *testing.T) {
 	}
 	if parsed.Interface.Operation("listSchedulers").Doc == "" {
 		t.Error("operation documentation lost")
+	}
+}
+
+// TestAppendToMatchesDocument pins the streamed WSDL writer to the
+// element-tree renderer: both paths must emit byte-identical documents,
+// across empty, minimal, and compound-typed interfaces.
+func TestAppendToMatchesDocument(t *testing.T) {
+	services := []*Service{
+		{Name: "SDSCBatchScriptService", Interface: scriptGenInterface(),
+			Endpoint: "http://hotpage.sdsc.edu:8080/soap/batchscript"},
+		{Name: "Empty", Interface: &Interface{Name: "Nothing", TargetNS: "urn:none"}, Endpoint: "http://x"},
+		{Name: "Compound", Interface: &Interface{
+			Name: "C", TargetNS: "urn:compound",
+			Operations: []Operation{{
+				Name:   "mix",
+				Input:  []Param{{Name: "doc", Type: "xml"}, {Name: "tags", Type: "stringArray"}},
+				Output: []Param{{Name: "out", Type: "xml"}},
+			}},
+		}, Endpoint: "http://c/soap?q=a&b=c"},
+	}
+	for _, svc := range services {
+		var streamed bytes.Buffer
+		svc.AppendTo(&streamed)
+		tree := xmlDecl + svc.Document().Render()
+		if streamed.String() != tree {
+			t.Errorf("%s: streamed WSDL differs from tree render\nstream: %s\ntree:   %s",
+				svc.Name, streamed.String(), tree)
+		}
+		if svc.Render() != tree {
+			t.Errorf("%s: Render no longer matches tree path", svc.Name)
+		}
+		// And the streamed form must parse back into the same model.
+		back, err := Parse(streamed.String())
+		if err != nil {
+			t.Fatalf("%s: streamed WSDL does not parse: %v", svc.Name, err)
+		}
+		if !Compatible(svc.Interface, back.Interface) || !Compatible(back.Interface, svc.Interface) {
+			t.Errorf("%s: streamed WSDL parsed into an incompatible interface", svc.Name)
+		}
 	}
 }

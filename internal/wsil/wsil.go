@@ -7,6 +7,7 @@
 package wsil
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net/http"
@@ -81,9 +82,53 @@ func (d *Document) Element() *xmlutil.Element {
 	return root
 }
 
-// Render serialises the document with an XML declaration.
+// AppendTo streams the inspection document (XML declaration included)
+// into b without materialising an element tree, byte-identical to
+// rendering Element().
+func (d *Document) AppendTo(b *bytes.Buffer) {
+	w := xmlutil.AcquireWriter(b)
+	defer w.Release()
+	w.Raw(`<?xml version="1.0"?>` + "\n")
+	w.Start(InspectionNS, "inspection")
+	for _, s := range d.Services {
+		w.Start(InspectionNS, "service")
+		if s.Name != "" {
+			w.Start(InspectionNS, "name")
+			w.Text(s.Name)
+			w.End()
+		}
+		if s.Abstract != "" {
+			w.Start(InspectionNS, "abstract")
+			w.Text(s.Abstract)
+			w.End()
+		}
+		w.Start(InspectionNS, "description")
+		w.Attr("", "referencedNamespace", WSDLRefNS)
+		w.Attr("", "location", s.WSDLLocation)
+		w.End()
+		w.End()
+	}
+	for _, l := range d.Links {
+		w.Start(InspectionNS, "link")
+		w.Attr("", "referencedNamespace", InspectionNS)
+		w.Attr("", "location", l.Location)
+		if l.Abstract != "" {
+			w.Start(InspectionNS, "abstract")
+			w.Text(l.Abstract)
+			w.End()
+		}
+		w.End()
+	}
+	w.End()
+}
+
+// Render serialises the document with an XML declaration, streamed
+// through the direct-to-buffer writer.
 func (d *Document) Render() string {
-	return `<?xml version="1.0"?>` + "\n" + d.Element().Render()
+	b := xmlutil.GetBuffer()
+	defer xmlutil.PutBuffer(b)
+	d.AppendTo(b)
+	return b.String()
 }
 
 // Parse reads an inspection document.

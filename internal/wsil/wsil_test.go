@@ -1,6 +1,7 @@
 package wsil
 
 import (
+	"bytes"
 	"fmt"
 	"net/http/httptest"
 	"testing"
@@ -112,5 +113,35 @@ func TestCrawlFetchError(t *testing.T) {
 	fetch := func(url string) (string, error) { return "", fmt.Errorf("unreachable") }
 	if _, err := Crawl("x", 2, fetch); err == nil {
 		t.Error("fetch error swallowed")
+	}
+}
+
+// TestAppendToMatchesElement pins the streamed WSIL writer to the
+// element-tree renderer: byte-identical output on empty, service-only,
+// link-only, and mixed documents.
+func TestAppendToMatchesElement(t *testing.T) {
+	docs := map[string]*Document{
+		"empty": {},
+		"services": {Services: []ServiceEntry{
+			{Name: "Batch & Script", Abstract: "scripts <fast>", WSDLLocation: "http://x/bsg?wsdl"},
+			{WSDLLocation: "http://x/anon?wsdl"},
+		}},
+		"links": {Links: []Link{{Location: "http://other/inspection.wsil", Abstract: "peer"}}},
+		"mixed": {
+			Services: []ServiceEntry{{Name: "S", WSDLLocation: "http://s?wsdl"}},
+			Links:    []Link{{Location: "http://l"}},
+		},
+	}
+	for name, d := range docs {
+		var streamed bytes.Buffer
+		d.AppendTo(&streamed)
+		tree := `<?xml version="1.0"?>` + "\n" + d.Element().Render()
+		if streamed.String() != tree {
+			t.Errorf("%s: streamed WSIL differs from tree render\nstream: %s\ntree:   %s",
+				name, streamed.String(), tree)
+		}
+		if _, err := Parse(streamed.String()); err != nil {
+			t.Errorf("%s: streamed WSIL does not parse: %v", name, err)
+		}
 	}
 }

@@ -1,0 +1,303 @@
+package xmlutil
+
+// A streaming direct-to-buffer XML encoder. Writer is the hot-path
+// counterpart of Element.RenderTo: instead of materialising an *Element
+// tree and walking it, callers emit Start/Attr/Text/End events and the
+// serialised form lands in the buffer immediately. The output is
+// byte-identical to rendering the equivalent element tree — namespace
+// prefixes are assigned in first-use order (ns0, ns1, ...), every
+// declaration is emitted on the element where the namespace first appears
+// and forgotten when that element closes, attribute order is preserved,
+// and escaping matches EscapeText/EscapeAttr exactly. The equivalence is
+// enforced differentially by FuzzWriterVsRender against the tree renderer
+// as oracle, and at the wire level by the golden conformance suite in
+// internal/rpc.
+//
+// Event discipline (mirroring the tree shape Render assumes): attributes
+// must be written before any content of their element, and text before
+// child elements. Violations are programming errors and panic.
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Writer streams XML into a bytes.Buffer without building an element tree.
+// Acquire one with NewWriter (caller-owned) or AcquireWriter (pooled; must
+// be Released). A Writer must not be used concurrently.
+type Writer struct {
+	buf *bytes.Buffer
+
+	// scope is the stack of in-scope namespace bindings in declaration
+	// order. Documents on these wire dialects carry a handful of
+	// namespaces, so a linear scan beats a map on the hot path; frames
+	// record marks into the stack and End truncates to them, which is
+	// exactly XML's lexical scoping.
+	scope []writerBinding
+	// pendingMark delimits the bindings declared on the currently open
+	// start tag (scope[pendingMark:]); they are flushed as xmlns
+	// attributes when the tag closes.
+	pendingMark int
+	// next numbers prefix assignment; monotone for the Writer's lifetime,
+	// exactly like the tree renderer's state.
+	next   int
+	frames []writerFrame
+}
+
+// writerBinding is one in-scope namespace declaration.
+type writerBinding struct {
+	space  string
+	prefix string
+}
+
+// writerFrame is one open element.
+type writerFrame struct {
+	name      string
+	prefix    string
+	scopeMark int
+	// open is true while the start tag has not been closed with '>'.
+	open bool
+}
+
+// prefixNames caches the first prefix names so hot-path encodes never
+// build them; matches the "ns" + strconv.Itoa scheme of the tree renderer.
+var prefixNames = [...]string{
+	"ns0", "ns1", "ns2", "ns3", "ns4", "ns5", "ns6", "ns7",
+	"ns8", "ns9", "ns10", "ns11", "ns12", "ns13", "ns14", "ns15",
+}
+
+func prefixName(n int) string {
+	if n < len(prefixNames) {
+		return prefixNames[n]
+	}
+	return "ns" + strconv.Itoa(n)
+}
+
+// NewWriter returns a Writer emitting into b.
+func NewWriter(b *bytes.Buffer) *Writer {
+	return &Writer{buf: b}
+}
+
+// writerPool recycles Writers (and their scope/frame stacks) across
+// hot-path encodes.
+var writerPool = sync.Pool{New: func() interface{} {
+	return NewWriter(nil)
+}}
+
+// AcquireWriter returns a pooled Writer emitting into b. The caller must
+// Release it (after which neither the Writer nor anything derived from it
+// may be touched); the buffer itself stays with the caller.
+func AcquireWriter(b *bytes.Buffer) *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset(b)
+	return w
+}
+
+// Release returns a pooled Writer to the pool.
+func (w *Writer) Release() {
+	w.Reset(nil)
+	writerPool.Put(w)
+}
+
+// Reset rebinds the Writer to a new buffer and clears all namespace and
+// element state.
+func (w *Writer) Reset(b *bytes.Buffer) {
+	w.buf = b
+	w.next = 0
+	w.scope = w.scope[:0]
+	w.pendingMark = 0
+	w.frames = w.frames[:0]
+}
+
+// Raw writes s verbatim (XML declarations, pre-rendered fragments). Only
+// valid outside an open start tag or before the first element.
+func (w *Writer) Raw(s string) {
+	w.closeOpenTag()
+	w.buf.WriteString(s)
+}
+
+// need returns the prefix for a namespace URI, assigning and scheduling a
+// declaration when the URI is not in scope. The empty URI has no prefix.
+func (w *Writer) need(space string) string {
+	if space == "" {
+		return ""
+	}
+	for i := range w.scope {
+		if w.scope[i].space == space {
+			return w.scope[i].prefix
+		}
+	}
+	p := prefixName(w.next)
+	w.next++
+	w.scope = append(w.scope, writerBinding{space: space, prefix: p})
+	return p
+}
+
+// closeOpenTag finishes the currently open start tag, emitting any pending
+// namespace declarations, exactly where the tree renderer emits them:
+// after the attributes.
+func (w *Writer) closeOpenTag() {
+	n := len(w.frames)
+	if n == 0 || !w.frames[n-1].open {
+		return
+	}
+	w.flushPending()
+	w.buf.WriteByte('>')
+	w.frames[n-1].open = false
+}
+
+func (w *Writer) flushPending() {
+	for _, b := range w.scope[w.pendingMark:] {
+		w.buf.WriteString(` xmlns:`)
+		w.buf.WriteString(b.prefix)
+		w.buf.WriteString(`="`)
+		escapeAttrTo(w.buf, b.space)
+		w.buf.WriteByte('"')
+	}
+	w.pendingMark = len(w.scope)
+}
+
+// Start opens an element with the given namespace URI and local name.
+func (w *Writer) Start(space, name string) {
+	w.closeOpenTag()
+	w.pendingMark = len(w.scope)
+	f := writerFrame{name: name, scopeMark: len(w.scope), open: true}
+	f.prefix = w.need(space)
+	w.buf.WriteByte('<')
+	if f.prefix != "" {
+		w.buf.WriteString(f.prefix)
+		w.buf.WriteByte(':')
+	}
+	w.buf.WriteString(name)
+	w.frames = append(w.frames, f)
+}
+
+// Attr writes one attribute on the currently open start tag. It panics if
+// no start tag is open (attributes after content would be malformed XML).
+func (w *Writer) Attr(space, name, value string) {
+	n := len(w.frames)
+	if n == 0 || !w.frames[n-1].open {
+		panic("xmlutil: Writer.Attr outside an open start tag")
+	}
+	p := w.need(space)
+	w.buf.WriteByte(' ')
+	if p != "" {
+		w.buf.WriteString(p)
+		w.buf.WriteByte(':')
+	}
+	w.buf.WriteString(name)
+	w.buf.WriteString(`="`)
+	escapeAttrTo(w.buf, value)
+	w.buf.WriteByte('"')
+}
+
+// Text writes escaped character data inside the current element. Writing
+// the empty string is a no-op, matching the tree renderer (an element with
+// neither text nor children self-closes).
+func (w *Writer) Text(s string) {
+	if s == "" {
+		return
+	}
+	if len(w.frames) == 0 {
+		panic("xmlutil: Writer.Text outside an element")
+	}
+	w.closeOpenTag()
+	escapeTextTo(w.buf, s)
+}
+
+// End closes the current element: "/>" when it had no content, a full end
+// tag otherwise. Namespaces declared on the element go out of scope.
+func (w *Writer) End() {
+	n := len(w.frames)
+	if n == 0 {
+		panic("xmlutil: Writer.End without Start")
+	}
+	f := &w.frames[n-1]
+	if f.open {
+		w.flushPending()
+		w.buf.WriteString("/>")
+	} else {
+		w.buf.WriteString("</")
+		if f.prefix != "" {
+			w.buf.WriteString(f.prefix)
+			w.buf.WriteByte(':')
+		}
+		w.buf.WriteString(f.name)
+		w.buf.WriteByte('>')
+	}
+	w.scope = w.scope[:f.scopeMark]
+	w.pendingMark = len(w.scope)
+	w.frames = w.frames[:n-1]
+}
+
+// Element streams an existing tree through the Writer — the bridge for
+// payloads that are still built as trees (literal XML parameters, SOAP
+// header entries). Output is byte-identical to el.RenderTo in the same
+// namespace scope.
+func (w *Writer) Element(el *Element) {
+	w.Start(el.Space, el.Name)
+	for _, a := range el.Attrs {
+		w.Attr(a.Space, a.Name, a.Value)
+	}
+	if el.Text != "" {
+		w.Text(el.Text)
+	}
+	for _, c := range el.Children {
+		w.Element(c)
+	}
+	w.End()
+}
+
+// Depth returns the number of currently open elements.
+func (w *Writer) Depth() int { return len(w.frames) }
+
+// escapeTextTo writes s escaped for element content. It mirrors EscapeText
+// byte for byte: the clean fast path copies s unchanged, the slow path
+// re-encodes rune by rune.
+func escapeTextTo(b *bytes.Buffer, s string) {
+	if !strings.ContainsAny(s, "&<>") {
+		b.WriteString(s)
+		return
+	}
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// escapeAttrTo writes s escaped for a double-quoted attribute value,
+// mirroring EscapeAttr byte for byte.
+func escapeAttrTo(b *bytes.Buffer, s string) {
+	if !strings.ContainsAny(s, "&<\"\n\t\r") {
+		b.WriteString(s)
+		return
+	}
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\n':
+			b.WriteString("&#10;")
+		case '\t':
+			b.WriteString("&#9;")
+		case '\r':
+			b.WriteString("&#13;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package xmlutil
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// writerTrees are representative shapes of every dialect the repository
+// serialises: namespace reuse and shadowing, attribute namespaces,
+// escaping, self-closing elements, deep nesting.
+func writerTrees() map[string]*Element {
+	soapish := NewNS("urn:env", "Envelope")
+	body := NewNS("urn:env", "Body")
+	op := NewNS("urn:svc", "opResponse")
+	op.SetAttrNS("urn:env", "encodingStyle", "urn:enc")
+	ret := New("result")
+	ret.SetAttrNS("urn:xsi", "type", "xsd:string")
+	ret.Text = "hello & <world>"
+	ret2 := New("count")
+	ret2.SetAttrNS("urn:xsi", "type", "xsd:int")
+	ret2.Text = "42"
+	op.Add(ret, ret2)
+	body.Add(op)
+	soapish.Add(body)
+
+	deep := New("d0")
+	cur := deep
+	for i := 0; i < 40; i++ {
+		next := NewNS("urn:deep", "d")
+		cur.Add(next)
+		cur = next
+	}
+	cur.Text = "bottom"
+
+	attrs := New("a")
+	attrs.SetAttr("plain", `quote " tab	end`)
+	attrs.SetAttr("nl", "line1\nline2\rline3")
+	attrs.SetAttrNS("urn:one", "x", "1")
+	attrs.SetAttrNS("urn:two", "y", "2")
+	attrs.AddText("empty", "")
+
+	resue := New("root")
+	resue.Add(NewNS("urn:a", "first"))
+	resue.Add(NewNS("urn:a", "second")) // same URI re-declared: new prefix number
+	inner := NewNS("urn:b", "outer")
+	inner.Add(NewNS("urn:b", "inner")) // same URI still in scope: no re-declaration
+	resue.Add(inner)
+
+	return map[string]*Element{
+		"soapish":     soapish,
+		"deep":        deep,
+		"attrs":       attrs,
+		"nsreuse":     resue,
+		"lone":        New("lone"),
+		"textonly":    NewText("t", "a]]>b"),
+		"unicodetext": NewText("u", "日本語 & ü"),
+	}
+}
+
+func TestWriterElementMatchesRenderTo(t *testing.T) {
+	for name, tree := range writerTrees() {
+		var want, got bytes.Buffer
+		tree.RenderTo(&want)
+		w := NewWriter(&got)
+		w.Element(tree)
+		if w.Depth() != 0 {
+			t.Fatalf("%s: writer left %d open elements", name, w.Depth())
+		}
+		if got.String() != want.String() {
+			t.Errorf("%s: writer output differs\nwriter: %s\nrender: %s", name, got.String(), want.String())
+		}
+	}
+}
+
+func TestWriterStreamedEvents(t *testing.T) {
+	var b bytes.Buffer
+	w := AcquireWriter(&b)
+	w.Raw("<?xml version=\"1.0\"?>\n")
+	w.Start("urn:env", "Envelope")
+	w.Start("urn:env", "Body")
+	w.Start("urn:svc", "op")
+	w.Attr("urn:env", "encodingStyle", "urn:enc")
+	w.Start("", "arg")
+	w.Attr("urn:xsi", "type", "xsd:string")
+	w.Text("v<1>")
+	w.End()
+	w.Start("", "none")
+	w.End()
+	w.End()
+	w.End()
+	w.End()
+	w.Release()
+	want := `<?xml version="1.0"?>` + "\n" +
+		`<ns0:Envelope xmlns:ns0="urn:env"><ns0:Body>` +
+		`<ns1:op ns0:encodingStyle="urn:enc" xmlns:ns1="urn:svc">` +
+		`<arg ns2:type="xsd:string" xmlns:ns2="urn:xsi">v&lt;1&gt;</arg>` +
+		`<none/>` +
+		`</ns1:op></ns0:Body></ns0:Envelope>`
+	if b.String() != want {
+		t.Fatalf("streamed output:\n got %s\nwant %s", b.String(), want)
+	}
+}
+
+// TestWriterMatchesEnvelopeShape pins the prefix-numbering behaviour the
+// wire format depends on: a namespace declared, forgotten, and needed
+// again gets a fresh number (the counter never rewinds), exactly like the
+// tree renderer.
+func TestWriterPrefixNumbering(t *testing.T) {
+	root := New("r")
+	a := New("a")
+	a.SetAttrNS("urn:x", "t", "1")
+	b := New("b")
+	b.SetAttrNS("urn:x", "t", "2")
+	root.Add(a, b)
+	want := root.Render()
+	if !strings.Contains(want, "ns0:t") || !strings.Contains(want, "ns1:t") {
+		t.Fatalf("oracle renderer changed numbering: %s", want)
+	}
+	var got bytes.Buffer
+	w := NewWriter(&got)
+	w.Element(root)
+	if got.String() != want {
+		t.Fatalf("prefix numbering diverged:\nwriter: %s\nrender: %s", got.String(), want)
+	}
+}
+
+func TestWriterReuseAfterReset(t *testing.T) {
+	var b1, b2 bytes.Buffer
+	w := NewWriter(&b1)
+	w.Start("urn:x", "a")
+	w.End()
+	w.Reset(&b2)
+	w.Start("urn:y", "b")
+	w.End()
+	if b2.String() != `<ns0:b xmlns:ns0="urn:y"/>` {
+		t.Fatalf("reset did not clear prefix state: %s", b2.String())
+	}
+}
+
+func TestWriterPanicsOnMisuse(t *testing.T) {
+	for name, fn := range map[string]func(w *Writer){
+		"attr-after-content": func(w *Writer) {
+			w.Start("", "a")
+			w.Text("x")
+			w.Attr("", "b", "c")
+		},
+		"end-without-start": func(w *Writer) { w.End() },
+		"text-outside":      func(w *Writer) { w.Text("x") },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			var b bytes.Buffer
+			fn(NewWriter(&b))
+		})
+	}
+}
+
+func BenchmarkWriterVsRender(b *testing.B) {
+	tree := writerTrees()["soapish"]
+	b.Run("render-tree", func(b *testing.B) {
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			tree.RenderTo(&buf)
+		}
+	})
+	b.Run("writer-stream", func(b *testing.B) {
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			w := AcquireWriter(&buf)
+			w.Element(tree)
+			w.Release()
+		}
+	})
+}

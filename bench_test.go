@@ -52,7 +52,7 @@ func fig1Fixture(b *testing.B) (gen *batchscript.Generator, cl *batchscript.Clie
 	gen = batchscript.NewIUGenerator()
 	ssp := core.NewProvider("iu-ssp", "loopback://iu")
 	ssp.MustRegister(batchscript.NewService(gen))
-	tr = &soap.LoopbackTransport{Handler: ssp.Dispatch}
+	tr = ssp.Loopback()
 	cl = batchscript.NewClient(tr, "loopback://iu/BatchScriptGenerator")
 	reg = uddi.NewRegistry()
 	biz := reg.SaveBusiness(uddi.BusinessEntity{Name: "IU"})
@@ -115,7 +115,7 @@ func globusrunFixture(b *testing.B) *jobsub.GlobusrunClient {
 	g.Authorize("bench@GRID")
 	ssp := core.NewProvider("ssp", "loopback://grid")
 	ssp.MustRegister(jobsub.NewGlobusrunService(g, "bench@GRID"))
-	return jobsub.NewGlobusrunClient(&soap.LoopbackTransport{Handler: ssp.Dispatch}, "loopback://grid/Globusrun")
+	return jobsub.NewGlobusrunClient(ssp.Loopback(), "loopback://grid/Globusrun")
 }
 
 func BenchmarkS31_JobSubmission_PlainStrings(b *testing.B) {
@@ -157,7 +157,7 @@ func BenchmarkS31_ServiceComposition(b *testing.B) {
 	inner := globusrunFixture(b)
 	batchSSP := core.NewProvider("batch", "loopback://batch")
 	batchSSP.MustRegister(jobsub.NewBatchJobService(inner))
-	outer := jobsub.NewBatchJobClient(&soap.LoopbackTransport{Handler: batchSSP.Dispatch},
+	outer := jobsub.NewBatchJobClient(batchSSP.Loopback(),
 		"loopback://batch/BatchJobSubmission")
 	b.Run("direct", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -197,7 +197,7 @@ func BenchmarkS31_WebFlowBridge(b *testing.B) {
 	}
 	ssp := core.NewProvider("iu", "loopback://iu")
 	ssp.MustRegister(bridgeSvc)
-	soapClient := core.NewClient(&soap.LoopbackTransport{Handler: ssp.Dispatch},
+	soapClient := core.NewClient(ssp.Loopback(),
 		"loopback://iu/WebFlowJobSubmission", jobsub.WebFlowBridgeContract())
 
 	b.Run("direct-orb", func(b *testing.B) {
@@ -234,7 +234,7 @@ func srbFixture(b *testing.B, size int) (*srbws.Client, string) {
 	}
 	ssp := core.NewProvider("srb", "loopback://srb")
 	ssp.MustRegister(srbws.NewService(broker, "bench"))
-	return srbws.NewClient(&soap.LoopbackTransport{Handler: ssp.Dispatch}, "loopback://srb/SRBService"), home
+	return srbws.NewClient(ssp.Loopback(), "loopback://srb/SRBService"), home
 }
 
 var transferSizes = []int{1 << 10, 64 << 10, 1 << 20, 4 << 20}
@@ -311,7 +311,7 @@ func BenchmarkS33_ArtificialContext(b *testing.B) {
 		}
 		ssp := core.NewProvider("ssp", "loopback://x")
 		ssp.MustRegister(batchscript.NewCoupledService(batchscript.NewIUGenerator(), store))
-		return core.NewClient(&soap.LoopbackTransport{Handler: ssp.Dispatch}, "x", batchscript.CoupledContract())
+		return core.NewClient(ssp.Loopback(), "x", batchscript.CoupledContract())
 	}
 	genArgs := func(user, problem, session string) []soap.Value {
 		return []soap.Value{
@@ -338,7 +338,7 @@ func BenchmarkS33_ArtificialContext(b *testing.B) {
 		ssp := core.NewProvider("ssp", "loopback://x")
 		ssp.MustRegister(batchscript.NewCoupledService(batchscript.NewIUGenerator(), store))
 		ssp.MustRegister(contextmgr.NewMonolithService(store))
-		tr := &soap.LoopbackTransport{Handler: ssp.Dispatch}
+		tr := ssp.Loopback()
 		gen := core.NewClient(tr, "x", batchscript.CoupledContract())
 		ctx := core.NewClient(tr, "x", contextmgr.MonolithContract())
 		b.ResetTimer()
@@ -357,7 +357,7 @@ func BenchmarkS33_ArtificialContext(b *testing.B) {
 		// The redesigned independent service: no context at all.
 		ssp := core.NewProvider("ssp", "loopback://x")
 		ssp.MustRegister(batchscript.NewService(batchscript.NewIUGenerator()))
-		cl := batchscript.NewClient(&soap.LoopbackTransport{Handler: ssp.Dispatch}, "x")
+		cl := batchscript.NewClient(ssp.Loopback(), "x")
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := cl.GenerateScript(batchscript.Request{
@@ -441,7 +441,7 @@ func authFixture(b *testing.B) (*authsvc.ClientSession, *authsvc.Service, *auths
 	service := authsvc.NewService(kt)
 	authSSP := core.NewProvider("auth", "loopback://auth")
 	authSSP.MustRegister(authsvc.NewSOAPService(service))
-	remote := authsvc.NewClient(&soap.LoopbackTransport{Handler: authSSP.Dispatch},
+	remote := authsvc.NewClient(authSSP.Loopback(),
 		"loopback://auth/AuthenticationService")
 	session, err := authsvc.Login(kdc, "bench", "pw", "authsvc/grid", service.EstablishSession, nil)
 	if err != nil {
@@ -473,7 +473,7 @@ func echoProvider(mw core.Middleware) *core.Provider {
 }
 
 func echoClient(p *core.Provider) *core.Client {
-	return core.NewClient(&soap.LoopbackTransport{Handler: p.Dispatch}, "x", echoDef().Interface())
+	return core.NewClient(p.Loopback(), "x", echoDef().Interface())
 }
 
 func BenchmarkFig2_AuthOverhead(b *testing.B) {
@@ -671,7 +671,7 @@ func BenchmarkFig4_PortalShell(b *testing.B) {
 	ssp.MustRegister(jobsub.NewGlobusrunService(g, "bench@GRID"))
 	ssp.MustRegister(srbws.NewService(broker, "bench"))
 	ssp.MustRegister(batchscript.NewService(batchscript.NewIUGenerator()))
-	tr := &soap.LoopbackTransport{Handler: ssp.Dispatch}
+	tr := ssp.Loopback()
 	sh := portal.NewStandardShell(portal.Services{
 		Script:    batchscript.NewClient(tr, "loopback://ssp/BatchScriptGenerator"),
 		Globusrun: jobsub.NewGlobusrunClient(tr, "loopback://ssp/Globusrun"),
@@ -752,6 +752,34 @@ func BenchmarkAblation_SOAPEnvelope(b *testing.B) {
 			if _, err := soap.ParseCall(env); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+	// decode-stream is the treeless fast path over the same bytes: the
+	// pooled cursor feeds parameter Values directly, no element tree. The
+	// rpc kernel layers typed conversion on top of exactly this loop.
+	wireBytes := []byte(wire)
+	b.Run("decode-stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r := soap.AcquireBodyReader(wireBytes)
+			_, _, ok := r.Begin()
+			n := 0
+			for ok {
+				v, done, vok := r.ReadValue()
+				if !vok {
+					ok = false
+					break
+				}
+				if done {
+					break
+				}
+				_ = v
+				n++
+			}
+			if !ok || !r.Finish() || n != 3 {
+				r.Release()
+				b.Fatal("stream decode outside subset")
+			}
+			r.Release()
 		}
 	})
 }

@@ -51,6 +51,26 @@ type Breakdown struct {
 	EncodeShare float64 `json:"encode_share"`
 }
 
+// DecodePaths summarises the server-side decode split introduced by the
+// treeless streaming path: what a request decode costs through the
+// per-operation stream codecs against the pooled element-tree fallback
+// that handles everything outside the streaming subset. Derived from the
+// BenchmarkAblation_SOAPEnvelope "decode-stream" and "decode"
+// sub-benchmarks when both are present.
+type DecodePaths struct {
+	// StreamNsOp / StreamAllocsOp are the fast-path costs: envelope
+	// tokens straight into typed values, no element tree.
+	StreamNsOp     float64 `json:"stream_ns_op"`
+	StreamAllocsOp float64 `json:"stream_allocs_op"`
+	// TreeNsOp / TreeAllocsOp are the fallback costs: the pooled tree
+	// parse every out-of-subset request still takes.
+	TreeNsOp     float64 `json:"tree_ns_op"`
+	TreeAllocsOp float64 `json:"tree_allocs_op"`
+	// Speedup is TreeNsOp/StreamNsOp — how much cheaper the fast path
+	// makes the common case.
+	Speedup float64 `json:"speedup"`
+}
+
 // Report is the whole converted run.
 type Report struct {
 	Goos       string      `json:"goos,omitempty"`
@@ -60,6 +80,9 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 	// EncodeVsDecode is present when the SOAP envelope ablation ran.
 	EncodeVsDecode *Breakdown `json:"encode_vs_decode,omitempty"`
+	// DecodeFastVsFallback is present when the ablation ran with the
+	// streaming decode sub-benchmark.
+	DecodeFastVsFallback *DecodePaths `json:"decode_fast_vs_fallback,omitempty"`
 }
 
 func main() {
@@ -109,6 +132,7 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 		}
 	}
 	r.EncodeVsDecode = breakdown(r.Benchmarks)
+	r.DecodeFastVsFallback = decodePaths(r.Benchmarks)
 	return r, sc.Err()
 }
 
@@ -158,6 +182,35 @@ func breakdown(benchmarks []Benchmark) *Breakdown {
 		b.EncodeShare = b.EncodeNsOp / total
 	}
 	return b
+}
+
+// decodePaths derives the fast-path-vs-fallback decode summary from the
+// envelope ablation, or nil when the streaming sub-benchmark is absent.
+func decodePaths(benchmarks []Benchmark) *DecodePaths {
+	find := func(sub string) *Benchmark {
+		for i := range benchmarks {
+			if strings.Contains(benchmarks[i].Name, "Ablation_SOAPEnvelope/") &&
+				subBenchName(benchmarks[i].Name) == sub {
+				return &benchmarks[i]
+			}
+		}
+		return nil
+	}
+	stream := find("decode-stream")
+	tree := find("decode")
+	if stream == nil || tree == nil {
+		return nil
+	}
+	d := &DecodePaths{
+		StreamNsOp:     stream.Metrics["ns/op"],
+		StreamAllocsOp: stream.Metrics["allocs/op"],
+		TreeNsOp:       tree.Metrics["ns/op"],
+		TreeAllocsOp:   tree.Metrics["allocs/op"],
+	}
+	if d.StreamNsOp > 0 {
+		d.Speedup = d.TreeNsOp / d.StreamNsOp
+	}
+	return d
 }
 
 // parseBenchLine parses one result line of the form

@@ -51,6 +51,13 @@ type Context struct {
 	// Principal is the authenticated identity, set by a verification
 	// interceptor; empty for unauthenticated calls.
 	Principal string
+	// Decoded carries the kernel-typed arguments when the request came in
+	// through the streaming decode fast path (DispatchRaw): the service's
+	// StreamDecoder produced it straight from the wire tokens, and the
+	// kernel handler consumes it instead of re-decoding the raw args. Nil
+	// on the tree path. Middleware may read it as a fast-path marker but
+	// should treat its dynamic type as the kernel's business.
+	Decoded interface{}
 	// values holds interceptor-provided request-scoped data.
 	values map[string]interface{}
 }
@@ -88,6 +95,21 @@ type Middleware func(next HandlerFunc) HandlerFunc
 // that need to inspect the outgoing parameters should read call.Params.
 type ClientInterceptor func(call *soap.Call, env *soap.Envelope) error
 
+// StreamDecoder decodes request parameters straight from the streaming
+// body reader — the treeless fast path the rpc kernel compiles per
+// operation at build time. DecodeCallStream is called with the reader
+// positioned after the operation element's start tag; it returns the
+// kernel-typed argument value (delivered to handlers via Context.Decoded),
+// the raw wire values for middleware that inspects or keys off them
+// (identical to what soap.ParseCall would have produced), and ok=false
+// when the operation cannot be stream-decoded — unknown operation,
+// xml-typed parameters, a wire shape outside the streaming subset, or a
+// value that fails validation (the tree path then reproduces the exact
+// fault). On !ok nothing may have been committed anywhere.
+type StreamDecoder interface {
+	DecodeCallStream(op string, r *soap.BodyReader) (decoded interface{}, raw []soap.Value, ok bool)
+}
+
 // Service couples a WSDL contract with its operation handlers.
 type Service struct {
 	// Contract is the abstract interface this service implements.
@@ -95,6 +117,9 @@ type Service struct {
 	// Path is the HTTP path the provider mounts the service at, defaulting
 	// to "/" + Contract.Name.
 	Path string
+	// Stream, when non-nil, lets the provider decode requests for this
+	// service through the streaming fast path (set by rpc.Def.Build).
+	Stream StreamDecoder
 	// handlers maps operation name to implementation.
 	handlers map[string]HandlerFunc
 	// middleware wraps this service's handlers only.
@@ -293,30 +318,15 @@ func (p *Provider) Dispatch(env *soap.Envelope, httpReq *http.Request) (*soap.En
 	}
 	p.mu.RLock()
 	svc := p.byNS[call.ServiceNS]
-	var h HandlerFunc
-	if svc != nil {
-		h = svc.composed[call.Method]
-	}
 	p.mu.RUnlock()
 	if svc == nil {
 		return nil, &soap.Fault{Code: soap.FaultClient, Actor: p.Name,
 			String: fmt.Sprintf("no service for namespace %q", call.ServiceNS)}
 	}
+	h := p.handlerFor(svc, call.Method)
 	if h == nil {
-		// Compose the middleware chain once per operation and memoize it;
-		// Use invalidates the memo, so wiring-time changes still apply.
-		base, ok := svc.handlers[call.Method]
-		if !ok {
-			return nil, soap.NewPortalError(svc.Contract.Name, soap.ErrCodeNoSuchMethod,
-				"operation %q not implemented", call.Method)
-		}
-		p.mu.Lock()
-		h = Chain(base, p.middleware, svc.middleware)
-		if svc.composed == nil {
-			svc.composed = make(map[string]HandlerFunc, len(svc.handlers))
-		}
-		svc.composed[call.Method] = h
-		p.mu.Unlock()
+		return nil, soap.NewPortalError(svc.Contract.Name, soap.ErrCodeNoSuchMethod,
+			"operation %q not implemented", call.Method)
 	}
 	ctx := &Context{
 		Operation:   call.Method,
@@ -333,6 +343,99 @@ func (p *Provider) Dispatch(env *soap.Envelope, httpReq *http.Request) (*soap.En
 	// the operation element and typed return values are written directly to
 	// the output buffer, with no element tree in between.
 	return resp.WireEnvelope(), nil
+}
+
+// handlerFor returns the fully composed middleware chain for one
+// operation, composing and memoizing it on first use (Use invalidates the
+// memo, so wiring-time changes still apply); nil when the operation has no
+// handler.
+func (p *Provider) handlerFor(svc *Service, method string) HandlerFunc {
+	p.mu.RLock()
+	h := svc.composed[method]
+	p.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	base, ok := svc.handlers[method]
+	if !ok {
+		return nil
+	}
+	p.mu.Lock()
+	h = Chain(base, p.middleware, svc.middleware)
+	if svc.composed == nil {
+		svc.composed = make(map[string]HandlerFunc, len(svc.handlers))
+	}
+	svc.composed[method] = h
+	p.mu.Unlock()
+	return h
+}
+
+// DispatchRaw is the streaming decode fast path: it dispatches a request
+// straight from its serialised bytes, walking envelope tokens into typed
+// arguments through the target service's StreamDecoder without building
+// an element tree. handled=false means the request is outside the
+// streaming subset (headers present, xml-typed or malformed parameters,
+// unknown service or operation, foreign envelope shapes ...) and the
+// caller must re-dispatch through Dispatch, whose tree path is the
+// semantic authority for every such case. The decision is made before the
+// handler runs: once handled is true the operation has executed and the
+// result is final, errors converting to faults exactly as for Dispatch.
+func (p *Provider) DispatchRaw(body []byte, httpReq *http.Request) (resp *soap.Envelope, handled bool, err error) {
+	r := soap.AcquireBodyReader(body)
+	defer r.Release()
+	ns, method, ok := r.Begin()
+	if !ok {
+		return nil, false, nil
+	}
+	p.mu.RLock()
+	svc := p.byNS[ns]
+	p.mu.RUnlock()
+	if svc == nil || svc.Stream == nil {
+		return nil, false, nil
+	}
+	decoded, raw, ok := svc.Stream.DecodeCallStream(method, r)
+	if !ok {
+		return nil, false, nil
+	}
+	if !r.Finish() {
+		return nil, false, nil
+	}
+	h := p.handlerFor(svc, method)
+	if h == nil {
+		return nil, false, nil // NoSuchMethod fault via the tree path
+	}
+	// The fast path only handles headerless requests, so an empty envelope
+	// is a faithful view for middleware that inspects ctx.Envelope (e.g.
+	// SAML header checks see the same absence either way). Context, the
+	// request envelope view, the response, and the response envelope all
+	// share one request-scoped allocation.
+	var cx struct {
+		ctx    Context
+		env    soap.Envelope
+		out    soap.Response
+		outEnv soap.Envelope
+	}
+	cx.ctx = Context{
+		Operation:   method,
+		ServiceNS:   ns,
+		Envelope:    &cx.env,
+		HTTPRequest: httpReq,
+		Decoded:     decoded,
+	}
+	returns, err := h(&cx.ctx, soap.Args(raw))
+	if err != nil {
+		return nil, true, err
+	}
+	cx.out = soap.Response{ServiceNS: ns, Method: method, Returns: returns}
+	cx.out.WireEnvelopeInto(&cx.outEnv)
+	return &cx.outEnv, true, nil
+}
+
+// Loopback returns the in-process transport for this provider with both
+// dispatch paths wired: the streaming fast path first, the pooled tree
+// path as fallback — the exact wiring ServeHTTP uses.
+func (p *Provider) Loopback() *soap.LoopbackTransport {
+	return &soap.LoopbackTransport{Handler: p.Dispatch, Raw: p.DispatchRaw}
 }
 
 // Chain composes middleware groups around a handler. Groups are applied in
@@ -371,7 +474,7 @@ func (p *Provider) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "soap service provider: POST SOAP or GET ?wsdl", http.StatusBadRequest)
 		return
 	}
-	soap.Handler(p.Dispatch).ServeHTTP(w, r)
+	soap.HandlerWithRaw(p.Dispatch, p.DispatchRaw).ServeHTTP(w, r)
 }
 
 // Client is a proxy bound to a service endpoint and contract. It validates
@@ -446,14 +549,21 @@ func (c *Client) prepare(operation string, params []soap.Value) (*soap.Envelope,
 			return nil, err
 		}
 	}
-	call := &soap.Call{ServiceNS: c.Contract.TargetNS, Method: operation, Params: params}
-	env := call.WireEnvelope()
+	// Call and envelope share one request-scoped allocation; the envelope
+	// reads the call at serialisation time, so interceptor amendments to
+	// either still land on the wire.
+	var m struct {
+		call soap.Call
+		env  soap.Envelope
+	}
+	m.call = soap.Call{ServiceNS: c.Contract.TargetNS, Method: operation, Params: params}
+	m.call.WireEnvelopeInto(&m.env)
 	for _, i := range c.interceptors {
-		if err := i(call, env); err != nil {
+		if err := i(&m.call, &m.env); err != nil {
 			return nil, err
 		}
 	}
-	return env, nil
+	return &m.env, nil
 }
 
 // Call invokes a contract operation with ordered parameters. The response
@@ -499,6 +609,13 @@ func (c *Client) CallPooled(operation string, params ...soap.Value) (*soap.Respo
 	if err := rt.RoundTripRaw(c.Endpoint, c.Contract.TargetNS+"#"+operation, env, buf); err != nil {
 		xmlutil.PutBuffer(buf)
 		return nil, noop, err
+	}
+	// Streaming fast path: scalar/array responses decode straight from the
+	// wire tokens with nothing to release. Faults, XML-valued returns, and
+	// anything unusual fall back to the pooled tree parse below.
+	if resp, ok := soap.ParseResponseStream(buf.Bytes()); ok {
+		xmlutil.PutBuffer(buf)
+		return resp, noop, nil
 	}
 	respEnv, doc, err := soap.ParseEnvelopeBytesPooled(buf.Bytes())
 	xmlutil.PutBuffer(buf)
@@ -576,7 +693,9 @@ func (c *Client) CallText(operation string, params ...soap.Value) (string, error
 }
 
 // CallXML invokes an operation and returns the first out parameter's XML
-// payload.
+// payload. The whole response tree is retained; prefer CallXMLCopy, which
+// parses through the pooled arena and hands back only a copy of the
+// payload itself.
 func (c *Client) CallXML(operation string, params ...soap.Value) (*xmlutil.Element, error) {
 	resp, err := c.Call(operation, params...)
 	if err != nil {
@@ -587,6 +706,24 @@ func (c *Client) CallXML(operation string, params ...soap.Value) (*xmlutil.Eleme
 		return nil, fmt.Errorf("core: %s.%s returned no XML payload", c.Contract.Name, operation)
 	}
 	return v.XML, nil
+}
+
+// CallXMLCopy invokes an operation and returns a copy of the first out
+// parameter's XML payload. The response envelope is parsed into a pooled
+// element arena (the RoundTripRaw path) and released before returning:
+// only the payload subtree is copied out, so the caller owns a minimal
+// tree instead of retaining the whole envelope as CallXML does.
+func (c *Client) CallXMLCopy(operation string, params ...soap.Value) (*xmlutil.Element, error) {
+	resp, release, err := c.CallPooled(operation, params...)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	v, ok := resp.Return("")
+	if !ok || v.XML == nil {
+		return nil, fmt.Errorf("core: %s.%s returned no XML payload", c.Contract.Name, operation)
+	}
+	return v.XML.Clone(), nil
 }
 
 // CallStrings invokes an operation and returns the first out parameter as a

@@ -347,7 +347,7 @@ func (cl *GlobusrunClient) Run(host, rsl string) (string, error) {
 
 // RunXML executes a multi-job request and returns the decoded results.
 func (cl *GlobusrunClient) RunXML(jobs []JobRequest) ([]JobResult, error) {
-	doc, err := cl.c.CallXML("runXML", soap.XMLDoc("request", BuildJobRequest(jobs)))
+	doc, err := cl.c.CallXMLCopy("runXML", soap.XMLDoc("request", BuildJobRequest(jobs)))
 	if err != nil {
 		return nil, err
 	}

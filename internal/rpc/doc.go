@@ -53,6 +53,32 @@
 // and register it on a mounted provider — discovery (WSDL, WSIL, UDDI
 // publication) and operations concerns are inherited from the kernel.
 //
+// # Request decoding — the streaming fast path
+//
+// Build compiles, besides the tree-path codecs, a per-Op streaming codec
+// for every operation whose In table is within the streaming subset
+// (string, int, boolean, and strings parameters; an xml-typed parameter
+// makes the operation tree-only). The compiled codecs implement
+// core.StreamDecoder and are installed as Service.Stream, so the
+// provider's raw dispatch path offers every request body to them first:
+// a soap.BodyReader walks the envelope tokens and the codec decodes each
+// parameter straight into its typed Args slot — no element tree, no
+// arena.
+//
+// The fallback contract: the streaming path may reject a request at any
+// depth — a Header entry, a literal-XML parameter, a soapenc:Array
+// nested inside another, a fault body, an unknown operation, malformed
+// bytes — and rejection is always transparent. The request re-runs
+// through the pooled tree parse and the tree codecs, which remain the
+// semantic authority (exact fault texts included). Handlers cannot tell
+// the paths apart: both deliver the same typed Args, the same
+// core.Context shape (the fast path sets Context.Decoded), and encode
+// responses identically. Equivalence is enforced differentially by
+// FuzzStreamVsTreeDispatch, which requires byte-identical HTTP responses
+// from a fast-path server and a tree-only server for arbitrary bodies;
+// the fast-path/tree-path split is observable at /healthz under
+// "decode".
+//
 // # Response encoding
 //
 // Handler return values are encoded by the kernel through the streaming

@@ -138,12 +138,27 @@ type OpStats struct {
 	MaxNS   int64 `json:"maxNs"`
 }
 
+// DecodeStats counts which decode path served the requests flowing
+// through one Stats collector: the streaming fast path (envelope tokens
+// straight into typed args) or the pooled tree path it falls back to. A
+// fast-path regression — a contract change or middleware that silently
+// forces every request onto the tree path — shows up here instead of only
+// as a latency drift.
+type DecodeStats struct {
+	// FastPath counts requests decoded by the streaming fast path.
+	FastPath uint64 `json:"fastPath"`
+	// TreePath counts requests that went through the pooled tree decode,
+	// whether dispatched that way or fallen back from the fast path.
+	TreePath uint64 `json:"treePath"`
+}
+
 // Stats counts requests and accumulates latency per operation, and serves
 // the snapshot as a /healthz-style JSON endpoint.
 type Stats struct {
-	mu    sync.Mutex
-	start time.Time
-	ops   map[string]*OpStats
+	mu     sync.Mutex
+	start  time.Time
+	ops    map[string]*OpStats
+	decode DecodeStats
 }
 
 // NewStats returns an empty stats collector.
@@ -158,13 +173,16 @@ func (s *Stats) Middleware() core.Middleware {
 		return func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
 			start := time.Now()
 			vals, err := next(ctx, args)
-			s.record(ctx.ServiceNS+"#"+ctx.Operation, time.Since(start), err)
+			// ctx.Decoded is only ever set by the streaming fast path
+			// (Provider.DispatchRaw), so its presence identifies the
+			// decode path that produced this request.
+			s.record(ctx.ServiceNS+"#"+ctx.Operation, time.Since(start), err, ctx.Decoded != nil)
 			return vals, err
 		}
 	}
 }
 
-func (s *Stats) record(key string, d time.Duration, err error) {
+func (s *Stats) record(key string, d time.Duration, err error, fastPath bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	op := s.ops[key]
@@ -175,6 +193,11 @@ func (s *Stats) record(key string, d time.Duration, err error) {
 	op.Count++
 	if err != nil {
 		op.Errors++
+	}
+	if fastPath {
+		s.decode.FastPath++
+	} else {
+		s.decode.TreePath++
 	}
 	ns := d.Nanoseconds()
 	op.TotalNS += ns
@@ -194,6 +217,13 @@ func (s *Stats) Snapshot() map[string]OpStats {
 	return out
 }
 
+// DecodeSnapshot returns the decode-path counters.
+func (s *Stats) DecodeSnapshot() DecodeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.decode
+}
+
 // ServeHTTP serves the health document: status, uptime, and per-operation
 // counters, deterministically ordered.
 func (s *Stats) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -208,10 +238,11 @@ func (s *Stats) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		OpStats
 	}
 	doc := struct {
-		Status     string   `json:"status"`
-		UptimeSecs float64  `json:"uptimeSeconds"`
-		Operations []opLine `json:"operations"`
-	}{Status: "ok", UptimeSecs: time.Since(s.start).Seconds()}
+		Status     string      `json:"status"`
+		UptimeSecs float64     `json:"uptimeSeconds"`
+		Decode     DecodeStats `json:"decode"`
+		Operations []opLine    `json:"operations"`
+	}{Status: "ok", UptimeSecs: time.Since(s.start).Seconds(), Decode: s.DecodeSnapshot()}
 	for _, k := range keys {
 		doc.Operations = append(doc.Operations, opLine{Operation: k, OpStats: snap[k]})
 	}

@@ -61,21 +61,27 @@ func (d *Def) Interface() *wsdl.Interface {
 }
 
 // Build compiles the descriptor into a deployable core.Service: the
-// contract is derived from the table and every operation gets a kernel
+// contract is derived from the table, every operation gets a kernel
 // handler that decodes arguments, invokes the typed implementation, and
-// encodes the returns.
+// encodes the returns, and each operation's parameter table is compiled
+// into a codec (the ParamDecoder seam) so requests can be decoded straight
+// from the streaming token reader on the fast path.
 func (d *Def) Build() (*core.Service, error) {
 	svc := core.NewService(d.Interface())
 	if d.Path != "" {
 		svc.Path = d.Path
 	}
+	codecs := &streamCodecs{byOp: make(map[string]*opCodec, len(d.Ops))}
 	for i := range d.Ops {
 		op := d.Ops[i]
 		if op.Handle == nil {
 			return nil, fmt.Errorf("rpc: %s.%s has no handler", d.Name, op.Name)
 		}
-		svc.Handle(op.Name, kernelHandler(d.Name, op))
+		c := compileCodec(d.Name, op)
+		codecs.byOp[op.Name] = c
+		svc.Handle(op.Name, kernelHandler(c, op))
 	}
+	svc.Stream = codecs
 	return svc, nil
 }
 
@@ -89,113 +95,264 @@ func (d *Def) MustBuild() *core.Service {
 }
 
 // kernelHandler adapts one typed operation into the core handler shape.
-func kernelHandler(service string, op Op) core.HandlerFunc {
+// Arguments normally decode from the raw tree-parsed values; when the
+// request came in through the streaming fast path the provider has already
+// run the codec over the wire tokens and the typed Args ride in on
+// ctx.Decoded, so the tree decode is skipped entirely.
+func kernelHandler(c *opCodec, op Op) core.HandlerFunc {
 	return func(ctx *core.Context, raw soap.Args) ([]soap.Value, error) {
-		in, err := decodeArgs(service, op.In, raw)
-		if err != nil {
-			return nil, err
+		in, ok := ctx.Decoded.(Args)
+		if !ok || in.op != c {
+			var err error
+			in, err = c.decodeTree(raw)
+			if err != nil {
+				return nil, err
+			}
 		}
 		outs, err := op.Handle(ctx, in)
 		if err != nil {
 			return nil, err
 		}
-		return encodeReturns(service, op.Name, op.Out, outs)
+		return encodeReturns(c.service, op.Name, op.Out, outs)
 	}
+}
+
+// opCodec is one operation's compiled parameter codec — the ParamDecoder
+// seam. Build derives it from the Op's wsdl.Param table once, and both
+// decode paths (streaming tokens and raw tree values) run through it, so
+// their validation semantics cannot drift.
+type opCodec struct {
+	service string
+	params  []wsdl.Param
+	// streamable is false when any declared In parameter is xml-typed:
+	// literal XML payloads need the element tree, so the whole operation
+	// always takes the tree path.
+	streamable bool
+}
+
+func compileCodec(service string, op Op) *opCodec {
+	c := &opCodec{service: service, params: op.In, streamable: true}
+	for _, p := range op.In {
+		if p.Type == "xml" {
+			c.streamable = false
+		}
+	}
+	return c
+}
+
+// index returns the declared position of a parameter name, or -1.
+func (c *opCodec) index(name string) int {
+	for i := range c.params {
+		if c.params[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// argSlot is one decoded parameter: only the field matching the declared
+// type is ever populated, so the Args accessors read their field
+// unconditionally and absent or differently-typed parameters fall out as
+// zero values, exactly as the old map-of-interface representation did.
+type argSlot struct {
+	// seen marks that a wire value already claimed this slot: the first
+	// occurrence of a name wins, matching soap.Args.Get.
+	seen bool
+	str  string
+	num  int
+	fl   float64
+	b    bool
+	strs []string
+	xml  *xmlutil.Element
 }
 
 // Args carries the decoded, type-checked input parameters of one call.
 // Missing optional parameters read as zero values; malformed values were
 // already rejected by the kernel before the handler ran.
 type Args struct {
-	vals map[string]interface{}
+	op    *opCodec
+	slots []argSlot
+}
+
+func (a Args) slot(name string) *argSlot {
+	if a.op == nil {
+		return nil
+	}
+	if i := a.op.index(name); i >= 0 {
+		return &a.slots[i]
+	}
+	return nil
 }
 
 // Str returns the named string parameter or "".
 func (a Args) Str(name string) string {
-	v, _ := a.vals[name].(string)
-	return v
+	if s := a.slot(name); s != nil {
+		return s.str
+	}
+	return ""
 }
 
 // Int returns the named int parameter or 0.
 func (a Args) Int(name string) int {
-	v, _ := a.vals[name].(int)
-	return v
+	if s := a.slot(name); s != nil {
+		return s.num
+	}
+	return 0
 }
 
 // Bool returns the named boolean parameter or false.
 func (a Args) Bool(name string) bool {
-	v, _ := a.vals[name].(bool)
-	return v
+	if s := a.slot(name); s != nil {
+		return s.b
+	}
+	return false
 }
 
 // Float returns the named double parameter or 0.
 func (a Args) Float(name string) float64 {
-	v, _ := a.vals[name].(float64)
-	return v
+	if s := a.slot(name); s != nil {
+		return s.fl
+	}
+	return 0
 }
 
 // Strings returns the named string-array parameter or nil.
 func (a Args) Strings(name string) []string {
-	v, _ := a.vals[name].([]string)
-	return v
+	if s := a.slot(name); s != nil {
+		return s.strs
+	}
+	return nil
 }
 
 // XML returns the named literal XML parameter or nil.
 func (a Args) XML(name string) *xmlutil.Element {
-	v, _ := a.vals[name].(*xmlutil.Element)
-	return v
+	if s := a.slot(name); s != nil {
+		return s.xml
+	}
+	return nil
 }
 
-// decodeArgs turns raw wire parameters into typed values, validating each
-// present scalar against its declared XSD type through databind. A
-// malformed value is a caller error and surfaces as a BadRequest portal
-// error; an absent parameter decodes to the zero value, matching the
-// tolerant behaviour of the paper's Python services.
-func decodeArgs(service string, in []wsdl.Param, raw soap.Args) (Args, error) {
-	vals := make(map[string]interface{}, len(in))
-	badParam := func(name string, err error) error {
-		return soap.NewPortalError(service, soap.ErrCodeBadRequest, "parameter %q: %v", name, err)
-	}
-	for _, p := range in {
+// decodeTree turns raw tree-parsed wire parameters into typed values,
+// validating each present scalar against its declared XSD type through
+// databind. A malformed value is a caller error and surfaces as a
+// BadRequest portal error; an absent parameter decodes to the zero value,
+// matching the tolerant behaviour of the paper's Python services.
+func (c *opCodec) decodeTree(raw soap.Args) (Args, error) {
+	slots := make([]argSlot, len(c.params))
+	for i, p := range c.params {
 		v, ok := raw.Get(p.Name)
 		if !ok {
 			continue
 		}
-		switch p.Type {
-		case "int", "boolean", "double":
-			text := strings.TrimSpace(v.Text)
-			if text == "" {
-				continue
-			}
-			if err := databind.ValidateValue(p.Type, text); err != nil {
-				return Args{}, badParam(p.Name, err)
-			}
-			switch p.Type {
-			case "int":
-				n, _ := strconv.Atoi(text)
-				vals[p.Name] = n
-			case "boolean":
-				b, _ := strconv.ParseBool(text)
-				vals[p.Name] = b
-			default:
-				f, _ := strconv.ParseFloat(text, 64)
-				vals[p.Name] = f
-			}
-		case "stringArray":
-			items := make([]string, 0, len(v.Items))
-			for _, item := range v.Items {
-				items = append(items, item.Text)
-			}
-			vals[p.Name] = items
-		case "xml":
-			if v.XML != nil {
-				vals[p.Name] = v.XML
-			}
-		default: // "string" and any future scalar alias
-			vals[p.Name] = v.Text
+		if err := decodeParam(p.Type, &v, &slots[i]); err != nil {
+			return Args{}, soap.NewPortalError(c.service, soap.ErrCodeBadRequest,
+				"parameter %q: %v", p.Name, err)
 		}
 	}
-	return Args{vals: vals}, nil
+	return Args{op: c, slots: slots}, nil
+}
+
+// decodeStream runs the codec over the streaming token reader, producing
+// both the typed Args and the raw wire values the middleware chain sees
+// (identical to what the tree path's ParseCall would produce, so caching
+// and stats middleware behave the same on both paths). ok=false — a wire
+// shape outside the streaming subset or a value failing validation —
+// means the caller must fall back; the tree path then reproduces the
+// exact historic fault.
+func (c *opCodec) decodeStream(r *soap.BodyReader) (Args, []soap.Value, bool) {
+	if !c.streamable {
+		return Args{}, nil, false
+	}
+	slots := make([]argSlot, len(c.params))
+	// One spare slot beyond the declared arity: the end-of-entry probe
+	// decodes into a slot before discovering it is the end tag, and the
+	// spare keeps that probe from growing the slice on exact-arity calls.
+	raw := make([]soap.Value, 0, len(c.params)+1)
+	for {
+		// Decode into the raw slice in place: the Value never travels
+		// through a return-and-append copy chain.
+		if len(raw) == cap(raw) {
+			raw = append(raw, soap.Value{})
+		} else {
+			raw = raw[:len(raw)+1]
+		}
+		v := &raw[len(raw)-1]
+		done, ok := r.ReadValueInto(v)
+		if !ok {
+			return Args{}, nil, false
+		}
+		if done {
+			raw = raw[:len(raw)-1]
+			break
+		}
+		idx := c.index(v.Name)
+		if idx < 0 {
+			continue // undeclared parameters are carried raw but not typed
+		}
+		s := &slots[idx]
+		if s.seen {
+			continue // first wire occurrence wins, as soap.Args.Get does
+		}
+		if err := decodeParam(c.params[idx].Type, v, s); err != nil {
+			return Args{}, nil, false
+		}
+	}
+	return Args{op: c, slots: slots}, raw, true
+}
+
+// decodeParam decodes one wire value into its slot per the declared type.
+// Both decode paths funnel through here.
+func decodeParam(declaredType string, v *soap.Value, s *argSlot) error {
+	s.seen = true
+	switch declaredType {
+	case "int", "boolean", "double":
+		text := strings.TrimSpace(v.Text)
+		if text == "" {
+			return nil
+		}
+		if err := databind.ValidateValue(declaredType, text); err != nil {
+			return err
+		}
+		switch declaredType {
+		case "int":
+			s.num, _ = strconv.Atoi(text)
+		case "boolean":
+			s.b, _ = strconv.ParseBool(text)
+		default:
+			s.fl, _ = strconv.ParseFloat(text, 64)
+		}
+	case "stringArray":
+		items := make([]string, 0, len(v.Items))
+		for _, item := range v.Items {
+			items = append(items, item.Text)
+		}
+		s.strs = items
+	case "xml":
+		if v.XML != nil {
+			s.xml = v.XML
+		}
+	default: // "string" and any future scalar alias
+		s.str = v.Text
+	}
+	return nil
+}
+
+// streamCodecs implements core.StreamDecoder over one service's compiled
+// operation codecs.
+type streamCodecs struct {
+	byOp map[string]*opCodec
+}
+
+func (sc *streamCodecs) DecodeCallStream(op string, r *soap.BodyReader) (interface{}, []soap.Value, bool) {
+	c := sc.byOp[op]
+	if c == nil {
+		return nil, nil, false
+	}
+	in, raw, ok := c.decodeStream(r)
+	if !ok {
+		return nil, nil, false
+	}
+	return in, raw, true
 }
 
 // encodeReturns binds the handler's ordered return values to the declared

@@ -243,6 +243,11 @@ func TestStatsAndHealthz(t *testing.T) {
 	if op := snap["urn:test:typedecho#boom"]; op.Count != 1 || op.Errors != 1 {
 		t.Errorf("boom stats = %+v", op)
 	}
+	// describe carries an xml-typed parameter, so it is tree-only; boom
+	// has no parameters and decodes on the streaming fast path.
+	if dec := srv.Stats().DecodeSnapshot(); dec.FastPath != 1 || dec.TreePath != 1 {
+		t.Errorf("decode split = %+v, want FastPath:1 TreePath:1", dec)
+	}
 
 	resp, err := hs.Client().Get(hs.URL + "/healthz")
 	if err != nil {
@@ -250,7 +255,11 @@ func TestStatsAndHealthz(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var doc struct {
-		Status     string `json:"status"`
+		Status string `json:"status"`
+		Decode struct {
+			FastPath uint64 `json:"fastPath"`
+			TreePath uint64 `json:"treePath"`
+		} `json:"decode"`
 		Operations []struct {
 			Operation string `json:"operation"`
 			Count     uint64 `json:"count"`
@@ -261,6 +270,9 @@ func TestStatsAndHealthz(t *testing.T) {
 	}
 	if doc.Status != "ok" || len(doc.Operations) != 2 {
 		t.Errorf("healthz = %+v", doc)
+	}
+	if doc.Decode.FastPath != 1 || doc.Decode.TreePath != 1 {
+		t.Errorf("healthz decode = %+v, want fastPath:1 treePath:1", doc.Decode)
 	}
 }
 

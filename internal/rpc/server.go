@@ -234,8 +234,7 @@ func (t *serverTransport) RoundTrip(endpoint, action string, req *soap.Envelope)
 	if err != nil {
 		return nil, err
 	}
-	lb := soap.LoopbackTransport{Handler: best.Dispatch}
-	return lb.RoundTrip(endpoint, action, req)
+	return best.Loopback().RoundTrip(endpoint, action, req)
 }
 
 // RoundTripRaw implements soap.RawTransport, so clients over a server
@@ -246,6 +245,5 @@ func (t *serverTransport) RoundTripRaw(endpoint, action string, req *soap.Envelo
 	if err != nil {
 		return err
 	}
-	lb := soap.LoopbackTransport{Handler: best.Dispatch}
-	return lb.RoundTripRaw(endpoint, action, req, resp)
+	return best.Loopback().RoundTripRaw(endpoint, action, req, resp)
 }

@@ -73,11 +73,19 @@ type Envelope struct {
 	// starts nil on such envelopes (entries appended later with AddBody
 	// are serialised after the streamed entry); consumers that need the
 	// full tree re-parse the serialised form, as every transport already
-	// does for wire fidelity.
-	stream func(w *xmlutil.Writer)
+	// does for wire fidelity. An interface rather than a closure so
+	// assigning the Call/Response itself costs nothing.
+	stream bodyStreamer
 	// streamFault marks a streamed envelope whose body is a Fault, since
 	// the usual Body[0] inspection is unavailable.
 	streamFault bool
+}
+
+// bodyStreamer emits the primary body entry of a streamed envelope
+// through the Writer. *Call and *Response implement it, so WireEnvelope
+// stores the message itself instead of allocating a closure over it.
+type bodyStreamer interface {
+	streamBody(w *xmlutil.Writer)
 }
 
 // NewEnvelope returns an empty envelope.
@@ -158,7 +166,7 @@ func (e *Envelope) AppendTo(b *bytes.Buffer) {
 		w.End()
 	}
 	w.Start(EnvelopeNS, "Body")
-	e.stream(w)
+	e.stream.streamBody(w)
 	// Entries added with AddBody after WireEnvelope construction (e.g. by
 	// a client interceptor) ride along after the streamed entry, so the
 	// mutation contract of interceptors keeps holding on the hot path.
@@ -517,16 +525,25 @@ func (c *Call) Envelope() *Envelope {
 // are read at serialisation time, so interceptors that run before the
 // transport see (and may still amend) the call.
 func (c *Call) WireEnvelope() *Envelope {
-	env := NewEnvelope()
-	env.stream = func(w *xmlutil.Writer) {
-		w.Start(c.ServiceNS, c.Method)
-		w.Attr(EnvelopeNS, "encodingStyle", EncodingNS)
-		for _, p := range c.Params {
-			p.write(w)
-		}
-		w.End()
+	return &Envelope{stream: c}
+}
+
+// WireEnvelopeInto is WireEnvelope initialising a caller-provided
+// Envelope in place — the allocation-free form for clients that embed
+// the call and its envelope in one request-scoped allocation.
+func (c *Call) WireEnvelopeInto(env *Envelope) {
+	*env = Envelope{stream: c}
+}
+
+// streamBody emits the call element and parameters; it reads the Call at
+// serialisation time, implementing bodyStreamer for WireEnvelope.
+func (c *Call) streamBody(w *xmlutil.Writer) {
+	w.Start(c.ServiceNS, c.Method)
+	w.Attr(EnvelopeNS, "encodingStyle", EncodingNS)
+	for _, p := range c.Params {
+		p.write(w)
 	}
-	return env
+	w.End()
 }
 
 // ParseCall extracts the RPC call from a request envelope.
@@ -573,20 +590,30 @@ func (r *Response) Envelope() *Envelope {
 // between. Byte-identical to Envelope(); this is the server-side encode
 // hot path the rpc kernel responds through.
 func (r *Response) WireEnvelope() *Envelope {
-	env := NewEnvelope()
-	if r.Fault != nil {
-		env.stream = r.Fault.write
-		env.streamFault = true
-		return env
-	}
-	env.stream = func(w *xmlutil.Writer) {
-		w.Start(r.ServiceNS, r.Method+"Response")
-		for _, v := range r.Returns {
-			v.write(w)
-		}
-		w.End()
-	}
+	env := &Envelope{}
+	r.WireEnvelopeInto(env)
 	return env
+}
+
+// WireEnvelopeInto is WireEnvelope initialising a caller-provided
+// Envelope in place — the allocation-free form for dispatch paths that
+// embed the response and its envelope in one request-scoped allocation.
+func (r *Response) WireEnvelopeInto(env *Envelope) {
+	*env = Envelope{stream: r, streamFault: r.Fault != nil}
+}
+
+// streamBody emits the response wrapper and return values (or the fault),
+// implementing bodyStreamer for WireEnvelope.
+func (r *Response) streamBody(w *xmlutil.Writer) {
+	if r.Fault != nil {
+		r.Fault.write(w)
+		return
+	}
+	w.StartSuffix(r.ServiceNS, r.Method, "Response")
+	for _, v := range r.Returns {
+		v.write(w)
+	}
+	w.End()
 }
 
 // ParseResponse extracts an RPC response from an envelope. A Fault body

@@ -112,9 +112,26 @@ func (t *HTTPTransport) RoundTripRaw(endpoint, action string, req *Envelope, res
 // fault; any other error becomes a generic Server fault.
 type EnvelopeHandler func(req *Envelope, httpReq *http.Request) (*Envelope, error)
 
+// RawEnvelopeHandler processes a request straight from its serialised
+// bytes — the streaming decode fast path (core.Provider.DispatchRaw).
+// handled=false means the request is outside the streaming subset and the
+// caller must re-dispatch through the tree-parsing EnvelopeHandler; once
+// handled is true the request has been executed (side effects included)
+// and the envelope/error pair is final, with errors converted to fault
+// envelopes exactly as for an EnvelopeHandler. The handler must not
+// retain body past the call.
+type RawEnvelopeHandler func(body []byte, httpReq *http.Request) (resp *Envelope, handled bool, err error)
+
 // Handler adapts an EnvelopeHandler into an http.Handler implementing the
 // SOAP 1.1 HTTP binding (faults are sent with status 500).
 func Handler(h EnvelopeHandler) http.Handler {
+	return HandlerWithRaw(h, nil)
+}
+
+// HandlerWithRaw is Handler with an optional streaming fast path: when raw
+// is non-nil every request body is offered to it first, and only requests
+// it does not handle are parsed into the pooled element tree for h.
+func HandlerWithRaw(h EnvelopeHandler, raw RawEnvelopeHandler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "soap endpoint: POST required", http.StatusMethodNotAllowed)
@@ -125,6 +142,15 @@ func Handler(h EnvelopeHandler) http.Handler {
 		if _, err := io.Copy(body, io.LimitReader(r.Body, maxMessageBytes)); err != nil {
 			http.Error(w, "soap endpoint: read error", http.StatusBadRequest)
 			return
+		}
+		if raw != nil {
+			if respEnv, handled, herr := raw(body.Bytes(), r); handled {
+				if herr != nil {
+					respEnv = faultEnvelope(herr, FaultServer)
+				}
+				writeEnvelope(w, respEnv)
+				return
+			}
 		}
 		// The request envelope lives in a pooled element arena: it is only
 		// needed until the response has been rendered, after which the whole
@@ -155,6 +181,21 @@ func Handler(h EnvelopeHandler) http.Handler {
 		w.WriteHeader(status)
 		_, _ = w.Write(out.Bytes())
 	})
+}
+
+// writeEnvelope serialises one response envelope with the SOAP 1.1 HTTP
+// status convention.
+func writeEnvelope(w http.ResponseWriter, respEnv *Envelope) {
+	status := http.StatusOK
+	if isFaultEnvelope(respEnv) {
+		status = http.StatusInternalServerError
+	}
+	out := xmlutil.GetBuffer()
+	defer xmlutil.PutBuffer(out)
+	respEnv.AppendTo(out)
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(status)
+	_, _ = w.Write(out.Bytes())
 }
 
 // faultEnvelope converts any error into a fault response envelope with a
@@ -188,6 +229,10 @@ func isFaultEnvelope(env *Envelope) bool {
 type LoopbackTransport struct {
 	// Handler receives every request regardless of endpoint.
 	Handler EnvelopeHandler
+	// Raw, when non-nil, is offered the serialised request bytes before
+	// Handler, mirroring the HTTP handler's streaming fast path; requests
+	// it does not handle fall through to the tree-parsing Handler.
+	Raw RawEnvelopeHandler
 	// Endpoints optionally routes per-endpoint when Handler is nil.
 	Endpoints map[string]EnvelopeHandler
 }
@@ -218,13 +263,24 @@ func (t *LoopbackTransport) RoundTripRaw(endpoint, action string, req *Envelope,
 	// Serialise and reparse to keep byte-level fidelity with HTTP. The
 	// request-side tree is arena-pooled exactly as in the HTTP handler.
 	req.AppendTo(buf)
+	// Handlers receive a nil *http.Request in-process: Context.HTTPRequest
+	// is documented as HTTP-only, and synthesising one per call (URL parse,
+	// header map) would dominate the loopback overhead the benchmarks are
+	// built to isolate.
+	if t.Raw != nil && t.Handler != nil {
+		if out, handled, herr := t.Raw(buf.Bytes(), nil); handled {
+			if herr != nil {
+				out = faultEnvelope(herr, FaultServer)
+			}
+			out.AppendTo(respBuf)
+			return nil
+		}
+	}
 	wire, doc, err := ParseEnvelopeBytesPooled(buf.Bytes())
 	if err != nil {
 		return err
 	}
-	httpReq, _ := http.NewRequest(http.MethodPost, endpoint, nil)
-	httpReq.Header.Set("SOAPAction", `"`+action+`"`)
-	out, herr := h(wire, httpReq)
+	out, herr := h(wire, nil)
 	if herr != nil {
 		out = faultEnvelope(herr, FaultServer)
 	}

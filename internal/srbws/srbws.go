@@ -425,7 +425,7 @@ func (cl *Client) Use(i core.ClientInterceptor) *Client {
 
 // Ls lists a collection.
 func (cl *Client) Ls(collection string) ([]srb.Entry, error) {
-	doc, err := cl.c.CallXML("ls", soap.Str("collection", collection))
+	doc, err := cl.c.CallXMLCopy("ls", soap.Str("collection", collection))
 	if err != nil {
 		return nil, err
 	}
@@ -451,7 +451,7 @@ func (cl *Client) Put(path, data, resource string) error {
 
 // XMLCall executes multiple commands in one connection.
 func (cl *Client) XMLCall(cmds []Command) ([]CommandResult, error) {
-	doc, err := cl.c.CallXML("xmlCall", soap.XMLDoc("request", BuildRequest(cmds)))
+	doc, err := cl.c.CallXMLCopy("xmlCall", soap.XMLDoc("request", BuildRequest(cmds)))
 	if err != nil {
 		return nil, err
 	}

@@ -262,7 +262,7 @@ func (cl *Client) DeleteService(serviceKey string) error {
 
 // FindService lists services by business and name pattern.
 func (cl *Client) FindService(businessKey, name string) ([]*BusinessService, error) {
-	doc, err := cl.c.CallXML("findService", soap.Str("businessKey", businessKey), soap.Str("name", name))
+	doc, err := cl.c.CallXMLCopy("findService", soap.Str("businessKey", businessKey), soap.Str("name", name))
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +271,7 @@ func (cl *Client) FindService(businessKey, name string) ([]*BusinessService, err
 
 // FindServiceByTModel lists services implementing an interface tModel.
 func (cl *Client) FindServiceByTModel(tModelKey string) ([]*BusinessService, error) {
-	doc, err := cl.c.CallXML("findServiceByTModel", soap.Str("tModelKey", tModelKey))
+	doc, err := cl.c.CallXMLCopy("findServiceByTModel", soap.Str("tModelKey", tModelKey))
 	if err != nil {
 		return nil, err
 	}
@@ -280,7 +280,7 @@ func (cl *Client) FindServiceByTModel(tModelKey string) ([]*BusinessService, err
 
 // FindByDescription performs the string-convention capability search.
 func (cl *Client) FindByDescription(pattern string) ([]*BusinessService, error) {
-	doc, err := cl.c.CallXML("findByDescription", soap.Str("pattern", pattern))
+	doc, err := cl.c.CallXMLCopy("findByDescription", soap.Str("pattern", pattern))
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +289,7 @@ func (cl *Client) FindByDescription(pattern string) ([]*BusinessService, error) 
 
 // GetServiceDetail fetches one service by key.
 func (cl *Client) GetServiceDetail(serviceKey string) (*BusinessService, error) {
-	doc, err := cl.c.CallXML("getServiceDetail", soap.Str("serviceKey", serviceKey))
+	doc, err := cl.c.CallXMLCopy("getServiceDetail", soap.Str("serviceKey", serviceKey))
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +298,7 @@ func (cl *Client) GetServiceDetail(serviceKey string) (*BusinessService, error) 
 
 // GetTModel fetches one tModel by key.
 func (cl *Client) GetTModel(tModelKey string) (*TModel, error) {
-	doc, err := cl.c.CallXML("getTModel", soap.Str("tModelKey", tModelKey))
+	doc, err := cl.c.CallXMLCopy("getTModel", soap.Str("tModelKey", tModelKey))
 	if err != nil {
 		return nil, err
 	}

@@ -522,7 +522,7 @@ func (cl *Client) Put(path, typ string, props []Property) error {
 
 // Get fetches a container subtree.
 func (cl *Client) Get(path string) (*Container, error) {
-	doc, err := cl.c.CallXML("get", soap.Str("path", path))
+	doc, err := cl.c.CallXMLCopy("get", soap.Str("path", path))
 	if err != nil {
 		return nil, err
 	}
@@ -537,7 +537,7 @@ func (cl *Client) Delete(path string) error {
 
 // Find runs a structured query remotely.
 func (cl *Client) Find(q Query) ([]Match, error) {
-	doc, err := cl.c.CallXML("find", soap.XMLDoc("query", queryElement(q)))
+	doc, err := cl.c.CallXMLCopy("find", soap.XMLDoc("query", queryElement(q)))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,270 @@
+package xmlutil
+
+import (
+	"strings"
+	"testing"
+)
+
+// walkCursor drains a cursor into a flat token trace, comparing every
+// element and text against the tree parse of the same document — the
+// cursor's correctness contract is token-for-tree parity on everything it
+// accepts.
+func walkCursor(t *testing.T, doc string) []string {
+	t.Helper()
+	c := AcquireCursor([]byte(doc))
+	defer c.Release()
+	var trace []string
+	for {
+		tok, err := c.Next()
+		if err != nil {
+			t.Fatalf("Next: %v (trace so far %v)", err, trace)
+		}
+		switch tok {
+		case TokStart:
+			trace = append(trace, "<"+c.Space()+"|"+c.Name())
+		case TokEnd:
+			trace = append(trace, ">")
+		case TokText:
+			s, err := c.Text()
+			if err != nil {
+				t.Fatalf("Text: %v", err)
+			}
+			trace = append(trace, "t:"+s)
+		case TokEOF:
+			return trace
+		}
+	}
+}
+
+func TestCursorTokenWalk(t *testing.T) {
+	doc := `<?xml version="1.0" encoding="UTF-8"?>` + "\n" +
+		`<a:root xmlns:a="urn:a"><a:kid attr="v">text &amp; more</a:kid><plain/></a:root>`
+	got := strings.Join(walkCursor(t, doc), " ")
+	// The newline after the XML declaration surfaces as a text token;
+	// stream consumers discard character data outside the root.
+	want := "t:\n <urn:a|root <urn:a|kid t:text & more > <|plain > >"
+	if got != want {
+		t.Errorf("trace = %q, want %q", got, want)
+	}
+}
+
+// TestCursorTreeParity re-parses documents with the tree parser and checks
+// the cursor reports the same element names, namespaces, attribute values,
+// and leaf text.
+func TestCursorTreeParity(t *testing.T) {
+	docs := []string{
+		`<r><v t="xsd:string">hi</v><v t="xsd:string">hi</v></r>`, // memo reuse across identical tags
+		`<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"><e:Body>` +
+			`<m:op xmlns:m="urn:svc"><p x:type="xsd:int" xmlns:x="urn:x">41</p></m:op></e:Body></e:Envelope>`,
+		`<r a="1" b="two &quot;quoted&quot;" c="">mixed <i>in</i> tail</r>`,
+		`<r xmlns="urn:default"><child attr="&#65;BC"/></r>`,
+	}
+	for _, doc := range docs {
+		root, err := ParseString(doc)
+		if err != nil {
+			t.Fatalf("tree parse %q: %v", doc, err)
+		}
+		c := AcquireCursor([]byte(doc))
+		var check func(el *Element)
+		check = func(el *Element) {
+			for {
+				tok, err := c.Next()
+				if err != nil {
+					t.Fatalf("cursor error inside %q: %v", doc, err)
+				}
+				if tok == TokText {
+					continue // trimming rules for mixed content live in the tree parser
+				}
+				if tok != TokStart {
+					t.Fatalf("expected start of <%s> in %q, got token %d", el.Name, doc, tok)
+				}
+				break
+			}
+			if c.Space() != el.Space || c.Name() != el.Name {
+				t.Errorf("%q: cursor at %s|%s, tree at %s|%s", doc, c.Space(), c.Name(), el.Space, el.Name)
+			}
+			for _, a := range el.Attrs {
+				got, ok := c.Attr(a.Name)
+				if !ok || got != a.Value {
+					t.Errorf("%q: attr %s = %q/%v, tree has %q", doc, a.Name, got, ok, a.Value)
+				}
+			}
+			for _, kid := range el.Children {
+				check(kid)
+			}
+			for {
+				tok, err := c.Next()
+				if err != nil {
+					t.Fatalf("cursor error closing %s in %q: %v", el.Name, doc, err)
+				}
+				if tok == TokText {
+					continue
+				}
+				if tok != TokEnd {
+					t.Fatalf("expected end of %s in %q, got token %d", el.Name, doc, tok)
+				}
+				break
+			}
+		}
+		check(root)
+		c.Release()
+	}
+}
+
+func TestCursorRejectsMalformed(t *testing.T) {
+	bad := []string{
+		`<a>`,
+		`<a></b>`,
+		`<a attr=oops></a>`,
+		`<a>]]></a>`,
+		`<a>&bogus;</a>`, // entity validation is deferred to Text()
+		`<a><b></a></b>`,
+		"<a>\x01</a>",
+	}
+	for _, doc := range bad {
+		c := AcquireCursor([]byte(doc))
+		ok := true
+		for ok {
+			tok, err := c.Next()
+			if err != nil {
+				ok = false
+			}
+			if err == nil && tok == TokText {
+				if _, terr := c.Text(); terr != nil {
+					ok = false
+				}
+			}
+			if ok && tok == TokEOF {
+				t.Errorf("cursor accepted malformed %q", doc)
+				break
+			}
+		}
+		c.Release()
+	}
+}
+
+// TestCursorUnsupportedConstructs verifies subset boundaries report an
+// error (so stream callers fall back) rather than misparse.
+func TestCursorUnsupportedConstructs(t *testing.T) {
+	for _, doc := range []string{
+		`<a><!-- comment --></a>`,
+		`<a><![CDATA[x]]></a>`,
+		`<!DOCTYPE a><a/>`,
+	} {
+		c := AcquireCursor([]byte(doc))
+		var err error
+		for err == nil {
+			var tok Tok
+			tok, err = c.Next()
+			if err == nil && tok == TokEOF {
+				t.Errorf("cursor accepted unsupported construct %q", doc)
+				break
+			}
+		}
+		c.Release()
+	}
+}
+
+// TestSkipPrologue pins the memcmp fast path: a seed-matching document
+// resumes mid-stream with bindings and open elements installed, and a
+// non-matching one is untouched for the general scan.
+func TestSkipPrologue(t *testing.T) {
+	seed := PrologueSeed{
+		Text:       []byte(`<a:r xmlns:a="urn:a"><a:b>`),
+		Prefixes:   [][]byte{[]byte("a")},
+		URIs:       []string{"urn:a"},
+		OpenSpaces: []string{"urn:a", "urn:a"},
+		OpenNames:  []string{"r", "b"},
+	}
+	c := AcquireCursor([]byte(`<a:r xmlns:a="urn:a"><a:b><a:leaf>x</a:leaf></a:b></a:r>`))
+	if !c.SkipPrologue(&seed) {
+		t.Fatal("SkipPrologue did not match its own prologue")
+	}
+	if c.Depth() != 2 {
+		t.Fatalf("depth after skip = %d, want 2", c.Depth())
+	}
+	tok, err := c.Next()
+	if err != nil || tok != TokStart || c.Space() != "urn:a" || c.Name() != "leaf" {
+		t.Fatalf("after skip: tok=%d err=%v %s|%s", tok, err, c.Space(), c.Name())
+	}
+	// The installed bindings must satisfy end-tag matching all the way out.
+	for {
+		tok, err = c.Next()
+		if err != nil {
+			t.Fatalf("walking remainder: %v", err)
+		}
+		if tok == TokEOF {
+			break
+		}
+	}
+	c.Release()
+
+	c = AcquireCursor([]byte(`<other/>`))
+	if c.SkipPrologue(&seed) {
+		t.Fatal("SkipPrologue matched a foreign document")
+	}
+	if tok, err := c.Next(); err != nil || tok != TokStart || c.Name() != "other" {
+		t.Fatalf("general scan after failed skip: tok=%d err=%v name=%s", tok, err, c.Name())
+	}
+	c.Release()
+}
+
+// TestCursorAttrValueMemo drives the raw-span attribute fast path: the
+// same attribute value repeated across elements must come back correct,
+// and an entity-escaped value must never be confused with a clean memo
+// entry that happens to share its raw bytes' unescaped form.
+func TestCursorAttrValueMemo(t *testing.T) {
+	doc := `<r><p t="urn:long-enough-to-memo">1</p><p t="urn:long-enough-to-memo">2</p>` +
+		`<p t="urn:long-enough-to&#45;memo">3</p></r>`
+	c := AcquireCursor([]byte(doc))
+	defer c.Release()
+	want := []string{"urn:long-enough-to-memo", "urn:long-enough-to-memo", "urn:long-enough-to-memo"}
+	i := 0
+	for {
+		tok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok == TokEOF {
+			break
+		}
+		if tok == TokStart && c.Name() == "p" {
+			got, ok := c.Attr("t")
+			if !ok || got != want[i] {
+				t.Errorf("p[%d] attr = %q/%v, want %q", i, got, ok, want[i])
+			}
+			i++
+		}
+	}
+	if i != len(want) {
+		t.Errorf("saw %d p elements, want %d", i, len(want))
+	}
+}
+
+// TestCursorPoolReuse exercises acquire/release cycles: state from one
+// document must never bleed into the next, including the memo staying
+// value-correct (it may hit, but hits are full-compare guarded).
+func TestCursorPoolReuse(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		doc := `<r a="v"><kid>text</kid></r>`
+		if i%2 == 1 {
+			doc = `<other b="w"/>`
+		}
+		c := AcquireCursor([]byte(doc))
+		for {
+			tok, err := c.Next()
+			if err != nil {
+				t.Fatalf("cycle %d: %v", i, err)
+			}
+			if tok == TokStart && c.Name() == "r" {
+				if v, ok := c.Attr("a"); !ok || v != "v" {
+					t.Fatalf("cycle %d: attr a = %q/%v", i, v, ok)
+				}
+			}
+			if tok == TokEOF {
+				break
+			}
+		}
+		c.Release()
+	}
+}

@@ -20,7 +20,6 @@ package xmlutil
 import (
 	"bytes"
 	"strconv"
-	"strings"
 	"sync"
 )
 
@@ -54,7 +53,10 @@ type writerBinding struct {
 
 // writerFrame is one open element.
 type writerFrame struct {
-	name      string
+	name string
+	// suffix is the second half of a two-part local name (StartSuffix);
+	// empty for ordinary elements.
+	suffix    string
 	prefix    string
 	scopeMark int
 	// open is true while the start tag has not been closed with '>'.
@@ -161,9 +163,16 @@ func (w *Writer) flushPending() {
 
 // Start opens an element with the given namespace URI and local name.
 func (w *Writer) Start(space, name string) {
+	w.StartSuffix(space, name, "")
+}
+
+// StartSuffix opens an element whose local name is the concatenation
+// name+suffix, without materialising the joined string — the hot-path
+// form for derived wire names like <method>Response.
+func (w *Writer) StartSuffix(space, name, suffix string) {
 	w.closeOpenTag()
 	w.pendingMark = len(w.scope)
-	f := writerFrame{name: name, scopeMark: len(w.scope), open: true}
+	f := writerFrame{name: name, suffix: suffix, scopeMark: len(w.scope), open: true}
 	f.prefix = w.need(space)
 	w.buf.WriteByte('<')
 	if f.prefix != "" {
@@ -171,6 +180,7 @@ func (w *Writer) Start(space, name string) {
 		w.buf.WriteByte(':')
 	}
 	w.buf.WriteString(name)
+	w.buf.WriteString(suffix)
 	w.frames = append(w.frames, f)
 }
 
@@ -225,6 +235,7 @@ func (w *Writer) End() {
 			w.buf.WriteByte(':')
 		}
 		w.buf.WriteString(f.name)
+		w.buf.WriteString(f.suffix)
 		w.buf.WriteByte('>')
 	}
 	w.scope = w.scope[:f.scopeMark]
@@ -253,11 +264,24 @@ func (w *Writer) Element(el *Element) {
 // Depth returns the number of currently open elements.
 func (w *Writer) Depth() int { return len(w.frames) }
 
+// escTextByte and escAttrByte mark the bytes whose presence forces the
+// slow escaping path in element content and attribute values respectively.
+var escTextByte, escAttrByte = func() (text, attr [256]bool) {
+	text['&'], text['<'], text['>'] = true, true, true
+	attr['&'], attr['<'], attr['"'] = true, true, true
+	attr['\n'], attr['\t'], attr['\r'] = true, true, true
+	return
+}()
+
 // escapeTextTo writes s escaped for element content. It mirrors EscapeText
 // byte for byte: the clean fast path copies s unchanged, the slow path
 // re-encodes rune by rune.
 func escapeTextTo(b *bytes.Buffer, s string) {
-	if !strings.ContainsAny(s, "&<>") {
+	i := 0
+	for i < len(s) && !escTextByte[s[i]] {
+		i++
+	}
+	if i == len(s) {
 		b.WriteString(s)
 		return
 	}
@@ -278,7 +302,11 @@ func escapeTextTo(b *bytes.Buffer, s string) {
 // escapeAttrTo writes s escaped for a double-quoted attribute value,
 // mirroring EscapeAttr byte for byte.
 func escapeAttrTo(b *bytes.Buffer, s string) {
-	if !strings.ContainsAny(s, "&<\"\n\t\r") {
+	i := 0
+	for i < len(s) && !escAttrByte[s[i]] {
+		i++
+	}
+	if i == len(s) {
 		b.WriteString(s)
 		return
 	}

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -781,5 +782,179 @@ func BenchmarkAblation_SOAPEnvelope(b *testing.B) {
 			}
 			r.Release()
 		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// PARALLEL — multi-core scale-out tier. Every benchmark above drives the
+// stack from one goroutine; these drive it from GOMAXPROCS goroutines via
+// b.RunParallel so cross-request contention becomes visible. Run with
+// -cpu 1,4,8 to trace the scaling curve; the sharded stores, the
+// segmented response cache, and the lock-free stats collector are exactly
+// the layers being contended on. Each sub-benchmark has a loopback variant
+// (in-process dispatch, serialise+reparse for wire fidelity) and an http
+// variant (real TCP through net/http).
+// ---------------------------------------------------------------------------
+
+// parallelServer assembles the full hosting stack (stats middleware,
+// recovery, optional extra middleware) around the given services, exactly
+// as the binaries do, so the parallel tier contends on everything a real
+// deployment would.
+func parallelServer(b *testing.B, svcs ...*core.Service) *rpc.Server {
+	b.Helper()
+	srv := rpc.NewServer("bench-par", "loopback://par")
+	p := srv.Provider("")
+	for _, svc := range svcs {
+		p.MustRegister(svc)
+	}
+	return srv
+}
+
+// parallelHTTP exposes the server over real HTTP and returns a transport
+// whose connection pool is wide enough that scaling measures the server,
+// not the client's idle-connection limit.
+func parallelHTTP(b *testing.B, srv *rpc.Server) (soap.Transport, string, func()) {
+	b.Helper()
+	hs := httptest.NewServer(srv.Handler())
+	srv.SetBaseURL(hs.URL)
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConns: 128, MaxIdleConnsPerHost: 128}}
+	cleanup := func() {
+		hc.CloseIdleConnections()
+		hs.Close()
+	}
+	return &soap.HTTPTransport{Client: hc}, hs.URL, cleanup
+}
+
+func BenchmarkParallel_SOAPInvoke(b *testing.B) {
+	run := func(b *testing.B, tr soap.Transport, endpoint string) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			cl := batchscript.NewClient(tr, endpoint)
+			for pb.Next() {
+				if _, err := cl.GenerateScript(benchRequest); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("loopback", func(b *testing.B) {
+		srv := parallelServer(b, batchscript.NewService(batchscript.NewIUGenerator()))
+		run(b, srv.Transport(), "loopback://par/BatchScriptGenerator")
+	})
+	b.Run("http", func(b *testing.B) {
+		srv := parallelServer(b, batchscript.NewService(batchscript.NewIUGenerator()))
+		tr, base, cleanup := parallelHTTP(b, srv)
+		defer cleanup()
+		run(b, tr, base+"/BatchScriptGenerator")
+	})
+}
+
+func BenchmarkParallel_CachedInquiry(b *testing.B) {
+	// Discovery traffic as uddiserver serves it: the response cache
+	// memoises the repeated findServiceByTModel inquiry, so after one miss
+	// every request is a cache hit — the benchmark measures whether hits
+	// scale or serialise behind the cache's locking.
+	setup := func(b *testing.B) (*core.Service, string) {
+		reg := uddi.NewRegistry()
+		biz := reg.SaveBusiness(uddi.BusinessEntity{Name: "IU"})
+		gen := batchscript.NewIUGenerator()
+		if _, err := batchscript.PublishUDDI(reg, biz.Key, "IU BSG",
+			"loopback://par/BatchScriptGenerator", gen); err != nil {
+			b.Fatal(err)
+		}
+		tm, _ := reg.TModelByName(batchscript.TModelName)
+		svc := uddi.NewService(reg)
+		cache := rpc.NewResponseCache(time.Minute, 4096)
+		svc.Use(cache.Middleware(rpc.OpPrefixes("find", "get")))
+		return svc, tm.Key
+	}
+	run := func(b *testing.B, tr soap.Transport, endpoint, tmKey string) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			cl := uddi.NewClient(tr, endpoint)
+			for pb.Next() {
+				services, err := cl.FindServiceByTModel(tmKey)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(services) != 1 {
+					b.Fatal("discovery failed")
+				}
+			}
+		})
+	}
+	b.Run("loopback", func(b *testing.B) {
+		svc, tmKey := setup(b)
+		srv := parallelServer(b, svc)
+		run(b, srv.Transport(), "loopback://par/UDDIRegistry", tmKey)
+	})
+	b.Run("http", func(b *testing.B) {
+		svc, tmKey := setup(b)
+		srv := parallelServer(b, svc)
+		tr, base, cleanup := parallelHTTP(b, srv)
+		defer cleanup()
+		run(b, tr, base+"/UDDIRegistry", tmKey)
+	})
+}
+
+func BenchmarkParallel_ContextReadWrite(b *testing.B) {
+	// A portal's session-state traffic: each goroutine works its own user
+	// subtree (own shard) with a 3-reads-per-write property mix through the
+	// monolith SOAP interface. The pre-sharding store serialised every one
+	// of these on a single store mutex.
+	const users = 32 // enough for any -cpu value the tier is run at
+	setup := func(b *testing.B) *core.Service {
+		store := contextmgr.NewStore()
+		for u := 0; u < users; u++ {
+			path := []string{fmt.Sprintf("user-%d", u), "cfd", "session1"}
+			for depth := 1; depth <= len(path); depth++ {
+				if err := store.Create(path[:depth]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := store.SetProp(path, "input", "deck-0"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return contextmgr.NewMonolithService(store)
+	}
+	run := func(b *testing.B, tr soap.Transport, endpoint string) {
+		var next atomic.Int32
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			user := fmt.Sprintf("user-%d", int(next.Add(1)-1)%users)
+			cl := core.NewClient(tr, endpoint, contextmgr.MonolithContract())
+			pathArgs := []soap.Value{
+				soap.Str("user", user), soap.Str("problem", "cfd"), soap.Str("session", "session1"),
+			}
+			i := 0
+			for pb.Next() {
+				var err error
+				if i%4 == 0 {
+					_, err = cl.Call("setSessionProperty",
+						append(pathArgs, soap.Str("name", "input"), soap.Str("value", "deck-1"))...)
+				} else {
+					_, err = cl.Call("getSessionProperty",
+						append(pathArgs, soap.Str("name", "input"))...)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	}
+	b.Run("loopback", func(b *testing.B) {
+		srv := parallelServer(b, setup(b))
+		run(b, srv.Transport(), "loopback://par/ContextManager")
+	})
+	b.Run("http", func(b *testing.B) {
+		srv := parallelServer(b, setup(b))
+		tr, base, cleanup := parallelHTTP(b, srv)
+		defer cleanup()
+		run(b, tr, base+"/ContextManager")
 	})
 }

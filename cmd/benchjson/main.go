@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -71,6 +72,20 @@ type DecodePaths struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// ScalingPoint is one -cpu measurement of a parallel benchmark.
+type ScalingPoint struct {
+	// CPU is the GOMAXPROCS value the point ran at (the -cpu suffix; 1
+	// when the framework omitted it).
+	CPU int `json:"cpu"`
+	// NsOp is the per-operation wall time at that parallelism.
+	NsOp float64 `json:"ns_op"`
+	// Speedup is throughput relative to this benchmark's lowest-CPU point:
+	// ns_op(min cpu) / ns_op(this cpu). 1.0 at the base point; values
+	// approaching the CPU ratio mean linear scaling, a flat 1.0 across the
+	// curve means a shared lock is serialising the stack.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
 // Report is the whole converted run.
 type Report struct {
 	Goos       string      `json:"goos,omitempty"`
@@ -83,6 +98,10 @@ type Report struct {
 	// DecodeFastVsFallback is present when the ablation ran with the
 	// streaming decode sub-benchmark.
 	DecodeFastVsFallback *DecodePaths `json:"decode_fast_vs_fallback,omitempty"`
+	// ParallelScaling groups every BenchmarkParallel_* result into its
+	// scaling curve across -cpu values, keyed by benchmark name with the
+	// cpu suffix stripped. Present when the parallel tier ran.
+	ParallelScaling map[string][]ScalingPoint `json:"parallel_scaling,omitempty"`
 }
 
 func main() {
@@ -133,7 +152,65 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 	}
 	r.EncodeVsDecode = breakdown(r.Benchmarks)
 	r.DecodeFastVsFallback = decodePaths(r.Benchmarks)
+	r.ParallelScaling = parallelScaling(r.Benchmarks)
 	return r, sc.Err()
+}
+
+// cpuSuffix splits a full benchmark name into its base (the -cpu suffix
+// stripped) and the GOMAXPROCS value it ran at. The framework omits the
+// suffix when GOMAXPROCS is 1, so a name with no numeric suffix is a
+// 1-CPU point.
+func cpuSuffix(name string) (string, int) {
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i], n
+		}
+	}
+	return name, 1
+}
+
+// parallelScaling collects every BenchmarkParallel_* result into per-
+// benchmark scaling curves ordered by CPU count, with speedups relative
+// to each curve's lowest-CPU point. Nil when the parallel tier was not in
+// the run.
+func parallelScaling(benchmarks []Benchmark) map[string][]ScalingPoint {
+	curves := map[string][]ScalingPoint{}
+	for i := range benchmarks {
+		if !strings.HasPrefix(benchmarks[i].Name, "BenchmarkParallel_") {
+			continue
+		}
+		base, cpu := cpuSuffix(benchmarks[i].Name)
+		pt := ScalingPoint{CPU: cpu, NsOp: benchmarks[i].Metrics["ns/op"]}
+		// One point per CPU count, later measurement wins: when a run
+		// concatenates a general bench pass with a dedicated -cpu sweep,
+		// the sweep owns the curve.
+		replaced := false
+		for j, prev := range curves[base] {
+			if prev.CPU == cpu {
+				curves[base][j] = pt
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			curves[base] = append(curves[base], pt)
+		}
+	}
+	if len(curves) == 0 {
+		return nil
+	}
+	for name, pts := range curves {
+		sort.Slice(pts, func(a, b int) bool { return pts[a].CPU < pts[b].CPU })
+		if base := pts[0].NsOp; base > 0 {
+			for j := range pts {
+				if pts[j].NsOp > 0 {
+					pts[j].Speedup = base / pts[j].NsOp
+				}
+			}
+		}
+		curves[name] = pts
+	}
+	return curves
 }
 
 // subBenchName extracts the sub-benchmark segment of a full name,

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// TestParallelScaling pins the scaling-curve derivation: -cpu suffixes
+// group into one curve per benchmark, points sort by CPU, and speedups
+// are relative to the lowest-CPU point (which the framework emits with no
+// suffix at all).
+func TestParallelScaling(t *testing.T) {
+	out := `
+goos: linux
+pkg: repro
+BenchmarkParallel_SOAPInvoke/loopback         	  100000	     12000 ns/op	    3200 B/op	      31 allocs/op
+BenchmarkParallel_SOAPInvoke/loopback-4       	  100000	      4000 ns/op	    3200 B/op	      31 allocs/op
+BenchmarkParallel_SOAPInvoke/loopback-8       	  100000	      2000 ns/op	    3200 B/op	      31 allocs/op
+BenchmarkFigure1_SOAPInvoke                   	  100000	     11000 ns/op	    2500 B/op	      28 allocs/op
+BenchmarkParallel_SOAPInvoke/loopback-4       	  100000	      3000 ns/op	    3200 B/op	      31 allocs/op
+`
+	r, err := parse(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(r.Benchmarks))
+	}
+	if len(r.ParallelScaling) != 1 {
+		t.Fatalf("parallel_scaling has %d curves, want 1: %+v", len(r.ParallelScaling), r.ParallelScaling)
+	}
+	curve := r.ParallelScaling["BenchmarkParallel_SOAPInvoke/loopback"]
+	if len(curve) != 3 {
+		t.Fatalf("curve = %+v, want 3 points", curve)
+	}
+	// The later 3000 ns/op measurement at cpu=4 replaces the earlier
+	// 4000 ns/op one: a dedicated -cpu sweep overrides a general pass.
+	wantCPU := []int{1, 4, 8}
+	wantSpeedup := []float64{1, 4, 6}
+	for i, p := range curve {
+		if p.CPU != wantCPU[i] || p.Speedup != wantSpeedup[i] {
+			t.Fatalf("point %d = %+v, want cpu=%d speedup=%g", i, p, wantCPU[i], wantSpeedup[i])
+		}
+	}
+}
+
+// TestParallelScalingAbsent keeps the section out of serial-only reports.
+func TestParallelScalingAbsent(t *testing.T) {
+	out := "BenchmarkFigure1_SOAPInvoke \t 100000 \t 11000 ns/op\n"
+	r, err := parse(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ParallelScaling != nil {
+		t.Fatalf("parallel_scaling = %+v, want nil", r.ParallelScaling)
+	}
+}

@@ -110,14 +110,18 @@ func main() {
 	// Inquiry ops are memoised: repeated discovery traffic (find*/get*)
 	// short-circuits the codec and handler entirely; publishes flush.
 	uddiSvc := uddi.NewService(registry)
-	uddiSvc.Use(rpc.NewResponseCache(30*time.Second, 4096).Middleware(rpc.OpPrefixes("find", "get")))
+	uddiCache := rpc.NewResponseCache(30*time.Second, 4096)
+	uddiSvc.Use(uddiCache.Middleware(rpc.OpPrefixes("find", "get")))
+	srv.Stats().RegisterCache("uddi", uddiCache)
 	srv.Provider("/uddi").MustRegister(uddiSvc)
 
 	// XML container-hierarchy registry (Section 3.4's typed discovery),
 	// with the same inquiry caching on its read surface.
 	xreg := xmlregistry.NewRegistry()
 	xregSvc := xmlregistry.NewService(xreg)
-	xregSvc.Use(rpc.NewResponseCache(30*time.Second, 4096).Middleware(rpc.OpPrefixes("find", "get")))
+	xregCache := rpc.NewResponseCache(30*time.Second, 4096)
+	xregSvc.Use(xregCache.Middleware(rpc.OpPrefixes("find", "get")))
+	srv.Stats().RegisterCache("xmlregistry", xregCache)
 	srv.Provider("/registry").MustRegister(xregSvc)
 
 	// Authentication Service.

@@ -25,6 +25,7 @@ func main() {
 		// memoise them (publishes flush the cache automatically).
 		cache := rpc.NewResponseCache(*cacheTTL, 4096)
 		svc.Use(cache.Middleware(rpc.OpPrefixes("find", "get")))
+		srv.Stats().RegisterCache("uddi", cache)
 	}
 	srv.Provider("", rpc.Logging(nil)).MustRegister(svc)
 	log.Printf("UDDI registry listening on %s (endpoint /UDDIRegistry, WSDL at /UDDIRegistry?wsdl, health at /healthz)", *addr)

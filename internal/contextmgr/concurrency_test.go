@@ -1,0 +1,109 @@
+package contextmgr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestStoreConcurrentMixedWorkload exercises the sharded context tree and
+// archive map from many goroutines: each worker owns a user subtree
+// (create/props/archive/restore/rename) while cross-user sweeps (List,
+// CountContexts, ExportDirectory) run concurrently. Run under -race this
+// pins the per-shard locking including the ordered two-shard rename; the
+// functional assertions are that each worker's subtree survives intact
+// and the archive counters balance.
+func TestStoreConcurrentMixedWorkload(t *testing.T) {
+	s := NewStore()
+	const workers = 8
+	const iters = 80
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			user := fmt.Sprintf("user-%d", g)
+			if err := s.Create([]string{user}); err != nil {
+				errs <- err
+				return
+			}
+			if err := s.Create([]string{user, "p"}); err != nil {
+				errs <- err
+				return
+			}
+			archived := 0
+			for i := 0; i < iters; i++ {
+				sess := []string{user, "p", fmt.Sprintf("s%d", i%8)}
+				switch i % 5 {
+				case 0:
+					if !s.Exists(sess) {
+						if err := s.Create(sess); err != nil {
+							errs <- err
+							return
+						}
+					}
+					if err := s.SetProp(sess, "input", fmt.Sprintf("deck-%d", i)); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if s.Exists(sess) {
+						id, err := s.ArchiveSession(user, "p", sess[2])
+						if err != nil {
+							errs <- err
+							return
+						}
+						archived++
+						if err := s.RestoreSession(id); err != nil {
+							errs <- err
+							return
+						}
+					}
+				case 2:
+					// Cross-user sweeps race the writers; they must not
+					// error or tear.
+					if _, err := s.List(nil); err != nil {
+						errs <- err
+						return
+					}
+					s.CountContexts()
+				case 3:
+					// Rename the user subtree away and back: exercises the
+					// two-shard lock-pair path under contention.
+					tmp := user + "-tmp"
+					if err := s.Rename([]string{user}, tmp); err != nil {
+						errs <- err
+						return
+					}
+					if err := s.Rename([]string{tmp}, user); err != nil {
+						errs <- err
+						return
+					}
+				default:
+					_ = s.ExportDirectory()
+				}
+			}
+			if got := len(s.ListArchives(user)); got != archived {
+				errs <- fmt.Errorf("%s: %d archives listed, want %d", user, got, archived)
+				return
+			}
+			// The subtree must have survived every rename round-trip.
+			if !s.Exists([]string{user, "p"}) {
+				errs <- fmt.Errorf("%s: problem context lost", user)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	users, err := s.List(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != workers {
+		t.Fatalf("users = %v, want %d entries", users, workers)
+	}
+}

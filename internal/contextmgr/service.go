@@ -229,21 +229,18 @@ func NewMonolithService(s *Store) *core.Service {
 
 // allArchives snapshots all archives (for getArchiveInfo).
 func (s *Store) allArchives() []Archive {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []Archive
-	for _, a := range s.archives {
+	s.archives.Range(func(_ string, a *Archive) bool {
 		cp := *a
 		cp.snapshot = nil
 		out = append(out, cp)
-	}
+		return true
+	})
 	return out
 }
 
 func (s *Store) nowString() string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.now().UTC().Format(time.RFC3339)
+	return s.clock().UTC().Format(time.RFC3339)
 }
 
 // --- Decomposed services ------------------------------------------------------

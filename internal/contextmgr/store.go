@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/shardmap"
 )
 
 // Level names the four context tiers.
@@ -88,28 +90,39 @@ type Archive struct {
 }
 
 // Store is the context tree with archival, safe for concurrent use.
+//
+// The tree is partitioned by user: each user's whole subtree lives in the
+// shard owning the user name and every path operation locks only that
+// shard, so sessions of different users never contend. Archives live in
+// their own sharded map keyed by archive ID. Cross-user operations (List
+// of users, CountContexts, ExportDirectory) visit shards one at a time and
+// are weakly consistent under concurrent writers: each user subtree is
+// internally consistent, but subtrees mutated mid-walk may reflect
+// different instants.
 type Store struct {
-	mu       sync.RWMutex
-	root     *node
-	archives map[string]*Archive
-	seq      int
-	now      func() time.Time
+	users    *shardmap.Map[*node]
+	archives *shardmap.Map[*Archive]
+	seq      atomic.Int64
+	now      atomic.Value // func() time.Time
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{
-		root:     newNode("", time.Time{}),
-		archives: map[string]*Archive{},
-		now:      time.Now,
+	s := &Store{
+		users:    shardmap.New[*node](0),
+		archives: shardmap.New[*Archive](0),
 	}
+	s.now.Store(time.Now)
+	return s
 }
 
 // SetTimeSource overrides the clock.
 func (s *Store) SetTimeSource(now func() time.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.now = now
+	s.now.Store(now)
+}
+
+func (s *Store) clock() time.Time {
+	return s.now.Load().(func() time.Time)()
 }
 
 func validatePath(path []string) error {
@@ -124,13 +137,25 @@ func validatePath(path []string) error {
 	return nil
 }
 
-func (s *Store) lookup(path []string) (*node, error) {
-	cur := s.root
-	for i, seg := range path {
+func noContextErr(path []string, depth int) error {
+	level := "context"
+	if depth-1 < len(Levels) {
+		level = strings.ToLower(string(Levels[depth-1]))
+	}
+	return fmt.Errorf("contextmgr: no %s context at %q", level, strings.Join(path[:depth], "/"))
+}
+
+// lookupLocked resolves a non-empty path inside its user's shard. The
+// caller holds the shard's lock (read or write).
+func lookupLocked(sh *shardmap.Shard[*node], path []string) (*node, error) {
+	cur, ok := sh.Get(path[0])
+	if !ok {
+		return nil, noContextErr(path, 1)
+	}
+	for i, seg := range path[1:] {
 		next, ok := cur.children[seg]
 		if !ok {
-			return nil, fmt.Errorf("contextmgr: no %s context at %q",
-				strings.ToLower(string(Levels[i])), strings.Join(path[:i+1], "/"))
+			return nil, noContextErr(path, i+2)
 		}
 		cur = next
 	}
@@ -142,9 +167,17 @@ func (s *Store) Create(path []string) error {
 	if err := validatePath(path); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	parent, err := s.lookup(path[:len(path)-1])
+	sh := s.users.ShardFor(path[0])
+	sh.Lock()
+	defer sh.Unlock()
+	if len(path) == 1 {
+		if _, exists := sh.Get(path[0]); exists {
+			return fmt.Errorf("contextmgr: context %q already exists", path[0])
+		}
+		sh.Put(path[0], newNode(path[0], s.clock()))
+		return nil
+	}
+	parent, err := lookupLocked(sh, path[:len(path)-1])
 	if err != nil {
 		return err
 	}
@@ -152,15 +185,19 @@ func (s *Store) Create(path []string) error {
 	if _, exists := parent.children[leaf]; exists {
 		return fmt.Errorf("contextmgr: context %q already exists", strings.Join(path, "/"))
 	}
-	parent.children[leaf] = newNode(leaf, s.now())
+	parent.children[leaf] = newNode(leaf, s.clock())
 	return nil
 }
 
 // Exists reports whether a context exists.
 func (s *Store) Exists(path []string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, err := s.lookup(path)
+	if len(path) == 0 {
+		return true
+	}
+	sh := s.users.ShardFor(path[0])
+	sh.RLock()
+	defer sh.RUnlock()
+	_, err := lookupLocked(sh, path)
 	return err == nil
 }
 
@@ -169,9 +206,16 @@ func (s *Store) Remove(path []string) error {
 	if err := validatePath(path); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	parent, err := s.lookup(path[:len(path)-1])
+	sh := s.users.ShardFor(path[0])
+	sh.Lock()
+	defer sh.Unlock()
+	if len(path) == 1 {
+		if !sh.Delete(path[0]) {
+			return fmt.Errorf("contextmgr: no context at %q", path[0])
+		}
+		return nil
+	}
+	parent, err := lookupLocked(sh, path[:len(path)-1])
 	if err != nil {
 		return err
 	}
@@ -185,9 +229,19 @@ func (s *Store) Remove(path []string) error {
 
 // List returns the sorted child names under path ([] lists users).
 func (s *Store) List(path []string) ([]string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n, err := s.lookup(path)
+	if len(path) == 0 {
+		var out []string
+		s.users.Range(func(name string, _ *node) bool {
+			out = append(out, name)
+			return true
+		})
+		sort.Strings(out)
+		return out, nil
+	}
+	sh := s.users.ShardFor(path[0])
+	sh.RLock()
+	defer sh.RUnlock()
+	n, err := lookupLocked(sh, path)
 	if err != nil {
 		return nil, err
 	}
@@ -199,14 +253,32 @@ func (s *Store) List(path []string) ([]string, error) {
 	return out, nil
 }
 
-// Rename changes a context's leaf name.
+// Rename changes a context's leaf name. Renaming a user context moves the
+// subtree between top-level keys, which may live in different shards; both
+// are locked in index order.
 func (s *Store) Rename(path []string, newName string) error {
 	if err := validatePath(append(path[:len(path)-1:len(path)-1], newName)); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	parent, err := s.lookup(path[:len(path)-1])
+	if len(path) == 1 {
+		src, dst, unlock := s.users.LockPair(path[0], newName)
+		defer unlock()
+		n, exists := src.Get(path[0])
+		if !exists {
+			return fmt.Errorf("contextmgr: no context at %q", path[0])
+		}
+		if _, dup := dst.Get(newName); dup {
+			return fmt.Errorf("contextmgr: context %q already exists", newName)
+		}
+		src.Delete(path[0])
+		n.name = newName
+		dst.Put(newName, n)
+		return nil
+	}
+	sh := s.users.ShardFor(path[0])
+	sh.Lock()
+	defer sh.Unlock()
+	parent, err := lookupLocked(sh, path[:len(path)-1])
 	if err != nil {
 		return err
 	}
@@ -224,14 +296,32 @@ func (s *Store) Rename(path []string, newName string) error {
 	return nil
 }
 
-// Copy duplicates a context subtree under the same parent.
+// Copy duplicates a context subtree under the same parent. Copying a user
+// context clones between top-level keys, locking both shards in index
+// order.
 func (s *Store) Copy(path []string, copyName string) error {
 	if err := validatePath(append(path[:len(path)-1:len(path)-1], copyName)); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	parent, err := s.lookup(path[:len(path)-1])
+	if len(path) == 1 {
+		src, dst, unlock := s.users.LockPair(path[0], copyName)
+		defer unlock()
+		n, exists := src.Get(path[0])
+		if !exists {
+			return fmt.Errorf("contextmgr: no context at %q", path[0])
+		}
+		if _, dup := dst.Get(copyName); dup {
+			return fmt.Errorf("contextmgr: context %q already exists", copyName)
+		}
+		cp := n.clone()
+		cp.name = copyName
+		dst.Put(copyName, cp)
+		return nil
+	}
+	sh := s.users.ShardFor(path[0])
+	sh.Lock()
+	defer sh.Unlock()
+	parent, err := lookupLocked(sh, path[:len(path)-1])
 	if err != nil {
 		return err
 	}
@@ -248,91 +338,107 @@ func (s *Store) Copy(path []string, copyName string) error {
 	return nil
 }
 
-// SetProp sets a property on a context.
-func (s *Store) SetProp(path []string, name, value string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.lookup(path)
+// withNode runs fn on the context at path under its shard's write lock.
+func (s *Store) withNode(path []string, fn func(n *node) error) error {
+	if len(path) == 0 {
+		return fmt.Errorf("contextmgr: path depth 0 out of range 1..%d", len(Levels))
+	}
+	sh := s.users.ShardFor(path[0])
+	sh.Lock()
+	defer sh.Unlock()
+	n, err := lookupLocked(sh, path)
 	if err != nil {
 		return err
 	}
-	n.props[name] = value
-	return nil
+	return fn(n)
+}
+
+// readNode runs fn on the context at path under its shard's read lock.
+func (s *Store) readNode(path []string, fn func(n *node) error) error {
+	if len(path) == 0 {
+		return fmt.Errorf("contextmgr: path depth 0 out of range 1..%d", len(Levels))
+	}
+	sh := s.users.ShardFor(path[0])
+	sh.RLock()
+	defer sh.RUnlock()
+	n, err := lookupLocked(sh, path)
+	if err != nil {
+		return err
+	}
+	return fn(n)
+}
+
+// SetProp sets a property on a context.
+func (s *Store) SetProp(path []string, name, value string) error {
+	return s.withNode(path, func(n *node) error {
+		n.props[name] = value
+		return nil
+	})
 }
 
 // GetProp reads a property.
 func (s *Store) GetProp(path []string, name string) (string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n, err := s.lookup(path)
-	if err != nil {
-		return "", err
-	}
-	v, ok := n.props[name]
-	if !ok {
-		return "", fmt.Errorf("contextmgr: context %q has no property %q", strings.Join(path, "/"), name)
-	}
-	return v, nil
+	var v string
+	err := s.readNode(path, func(n *node) error {
+		val, ok := n.props[name]
+		if !ok {
+			return fmt.Errorf("contextmgr: context %q has no property %q", strings.Join(path, "/"), name)
+		}
+		v = val
+		return nil
+	})
+	return v, err
 }
 
 // RemoveProp deletes a property.
 func (s *Store) RemoveProp(path []string, name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.lookup(path)
-	if err != nil {
-		return err
-	}
-	if _, ok := n.props[name]; !ok {
-		return fmt.Errorf("contextmgr: context %q has no property %q", strings.Join(path, "/"), name)
-	}
-	delete(n.props, name)
-	return nil
+	return s.withNode(path, func(n *node) error {
+		if _, ok := n.props[name]; !ok {
+			return fmt.Errorf("contextmgr: context %q has no property %q", strings.Join(path, "/"), name)
+		}
+		delete(n.props, name)
+		return nil
+	})
 }
 
 // ListProps returns the sorted property names of a context.
 func (s *Store) ListProps(path []string) ([]string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n, err := s.lookup(path)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]string, 0, len(n.props))
-	for name := range n.props {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out, nil
+	var out []string
+	err := s.readNode(path, func(n *node) error {
+		out = make([]string, 0, len(n.props))
+		for name := range n.props {
+			out = append(out, name)
+		}
+		sort.Strings(out)
+		return nil
+	})
+	return out, err
 }
 
 // ClearProps removes every property of a context.
 func (s *Store) ClearProps(path []string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.lookup(path)
-	if err != nil {
-		return err
-	}
-	n.props = map[string]string{}
-	return nil
+	return s.withNode(path, func(n *node) error {
+		n.props = map[string]string{}
+		return nil
+	})
 }
 
 // CountChildren returns the number of direct children.
 func (s *Store) CountChildren(path []string) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n, err := s.lookup(path)
-	if err != nil {
-		return 0, err
+	if len(path) == 0 {
+		return s.users.Len(), nil
 	}
-	return len(n.children), nil
+	count := 0
+	err := s.readNode(path, func(n *node) error {
+		count = len(n.children)
+		return nil
+	})
+	return count, err
 }
 
-// CountContexts returns the total number of contexts in the store.
+// CountContexts returns the total number of contexts in the store
+// (weakly consistent: shards are counted one at a time).
 func (s *Store) CountContexts() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	count := 0
 	var walk func(n *node)
 	walk = func(n *node) {
@@ -341,19 +447,22 @@ func (s *Store) CountContexts() int {
 			walk(c)
 		}
 	}
-	walk(s.root)
+	s.users.Range(func(_ string, n *node) bool {
+		count++
+		walk(n)
+		return true
+	})
 	return count
 }
 
 // Created returns a context's creation time.
 func (s *Store) Created(path []string) (time.Time, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	n, err := s.lookup(path)
-	if err != nil {
-		return time.Time{}, err
-	}
-	return n.created, nil
+	var t time.Time
+	err := s.readNode(path, func(n *node) error {
+		t = n.created
+		return nil
+	})
+	return t, err
 }
 
 // CreatePlaceholder makes an artificial user/problem/session chain for a
@@ -363,16 +472,24 @@ func (s *Store) Created(path []string) (time.Time, error) {
 // to create artificial contexts (sessions) for HotPage users." Existing
 // segments are reused.
 func (s *Store) CreatePlaceholder(user, problem, session string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur := s.root
 	for _, seg := range []string{user, problem, session} {
 		if seg == "" || strings.ContainsAny(seg, "/\n") {
 			return fmt.Errorf("contextmgr: invalid placeholder segment %q", seg)
 		}
+	}
+	sh := s.users.ShardFor(user)
+	sh.Lock()
+	defer sh.Unlock()
+	cur, ok := sh.Get(user)
+	if !ok {
+		cur = newNode(user, s.clock())
+		cur.props["placeholder"] = "true"
+		sh.Put(user, cur)
+	}
+	for _, seg := range []string{problem, session} {
 		next, ok := cur.children[seg]
 		if !ok {
-			next = newNode(seg, s.now())
+			next = newNode(seg, s.clock())
 			next.props["placeholder"] = "true"
 			cur.children[seg] = next
 		}
@@ -384,31 +501,36 @@ func (s *Store) CreatePlaceholder(user, problem, session string) error {
 // ArchiveSession snapshots a session context into the archive and returns
 // the archive ID.
 func (s *Store) ArchiveSession(user, problem, session string) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.lookup([]string{user, problem, session})
+	var snap *node
+	sh := s.users.ShardFor(user)
+	sh.RLock()
+	n, err := lookupLocked(sh, []string{user, problem, session})
+	if err == nil {
+		snap = n.clone()
+	}
+	sh.RUnlock()
 	if err != nil {
 		return "", err
 	}
-	s.seq++
-	id := fmt.Sprintf("arch-%d", s.seq)
-	s.archives[id] = &Archive{
+	id := fmt.Sprintf("arch-%d", s.seq.Add(1))
+	s.archives.Store(id, &Archive{
 		ID: id, User: user, Problem: problem, Session: session,
-		When: s.now(), snapshot: n.clone(),
-	}
+		When: s.clock(), snapshot: snap,
+	})
 	return id, nil
 }
 
 // RestoreSession replaces (or recreates) a session context from an archive
 // — "the user can recover and edit old sessions later".
 func (s *Store) RestoreSession(id string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	a, ok := s.archives[id]
+	a, ok := s.archives.Load(id)
 	if !ok {
 		return fmt.Errorf("contextmgr: no archive %q", id)
 	}
-	problemNode, err := s.lookup([]string{a.User, a.Problem})
+	sh := s.users.ShardFor(a.User)
+	sh.Lock()
+	defer sh.Unlock()
+	problemNode, err := lookupLocked(sh, []string{a.User, a.Problem})
 	if err != nil {
 		return err
 	}
@@ -418,69 +540,78 @@ func (s *Store) RestoreSession(id string) error {
 
 // ListArchives returns archives for a user sorted by ID.
 func (s *Store) ListArchives(user string) []Archive {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []Archive
-	for _, a := range s.archives {
+	s.archives.Range(func(_ string, a *Archive) bool {
 		if a.User == user {
 			cp := *a
 			cp.snapshot = nil
 			out = append(out, cp)
 		}
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // RemoveArchive deletes an archive.
 func (s *Store) RemoveArchive(id string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.archives[id]; !ok {
+	if !s.archives.Delete(id) {
 		return fmt.Errorf("contextmgr: no archive %q", id)
 	}
-	delete(s.archives, id)
 	return nil
 }
 
 // ExportDirectory renders the tree as the directory-structure mapping the
 // paper describes: one line per context path, properties as path:name=value
-// lines, sorted.
+// lines, sorted. User subtrees are rendered one shard lock at a time, so
+// the export is weakly consistent under concurrent writes.
 func (s *Store) ExportDirectory() string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	var users []string
+	s.users.Range(func(name string, _ *node) bool {
+		users = append(users, name)
+		return true
+	})
+	sort.Strings(users)
 	var lines []string
 	var walk func(n *node, prefix string)
 	walk = func(n *node, prefix string) {
+		var props []string
+		for k := range n.props {
+			props = append(props, k)
+		}
+		sort.Strings(props)
+		for _, k := range props {
+			lines = append(lines, prefix+":"+k+"="+n.props[k])
+		}
 		var names []string
 		for name := range n.children {
 			names = append(names, name)
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			c := n.children[name]
 			p := prefix + "/" + name
 			lines = append(lines, p)
-			var props []string
-			for k := range c.props {
-				props = append(props, k)
-			}
-			sort.Strings(props)
-			for _, k := range props {
-				lines = append(lines, p+":"+k+"="+c.props[k])
-			}
-			walk(c, p)
+			walk(n.children[name], p)
 		}
 	}
-	walk(s.root, "")
+	for _, user := range users {
+		sh := s.users.ShardFor(user)
+		sh.RLock()
+		if n, ok := sh.Get(user); ok {
+			p := "/" + user
+			lines = append(lines, p)
+			walk(n, p)
+		}
+		sh.RUnlock()
+	}
 	return strings.Join(lines, "\n")
 }
 
-// ImportDirectory rebuilds a tree from ExportDirectory output.
+// ImportDirectory rebuilds a tree from ExportDirectory output. The swap is
+// per-user, not globally atomic: a reader racing an Import may see a mix
+// of old and new user subtrees.
 func (s *Store) ImportDirectory(data string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	root := newNode("", s.now())
+	root := newNode("", s.clock())
 	for _, line := range strings.Split(data, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" {
@@ -508,7 +639,7 @@ func (s *Store) ImportDirectory(data string) error {
 			}
 			next, ok := cur.children[seg]
 			if !ok {
-				next = newNode(seg, s.now())
+				next = newNode(seg, s.clock())
 				cur.children[seg] = next
 			}
 			cur = next
@@ -517,6 +648,9 @@ func (s *Store) ImportDirectory(data string) error {
 			cur.props[propName] = propValue
 		}
 	}
-	s.root = root
+	s.users.Clear()
+	for name, n := range root.children {
+		s.users.Store(name, n)
+	}
 	return nil
 }

@@ -110,6 +110,17 @@ type StreamDecoder interface {
 	DecodeCallStream(op string, r *soap.BodyReader) (decoded interface{}, raw []soap.Value, ok bool)
 }
 
+// StreamReleaser is an optional extension of StreamDecoder for decoders
+// that hand out pooled scratch inside decoded/raw. The provider calls
+// ReleaseStream exactly once per successful DecodeCallStream, after the
+// dispatch completes (the handler chain has returned and the response is
+// built from handler-owned values) or when the request is abandoned to
+// the tree fallback — the two points where nothing can still reference
+// the request's decode products under the handler-retention contract.
+type StreamReleaser interface {
+	ReleaseStream(decoded interface{}, raw []soap.Value)
+}
+
 // Service couples a WSDL contract with its operation handlers.
 type Service struct {
 	// Contract is the abstract interface this service implements.
@@ -397,11 +408,21 @@ func (p *Provider) DispatchRaw(body []byte, httpReq *http.Request) (resp *soap.E
 	if !ok {
 		return nil, false, nil
 	}
+	// release recycles the decoder's pooled scratch (when it pools any) at
+	// every exit past this point: the decode products must not outlive the
+	// dispatch, which the handler-retention contract guarantees.
+	release := func() {
+		if rel, ok := svc.Stream.(StreamReleaser); ok {
+			rel.ReleaseStream(decoded, raw)
+		}
+	}
 	if !r.Finish() {
+		release()
 		return nil, false, nil
 	}
 	h := p.handlerFor(svc, method)
 	if h == nil {
+		release()
 		return nil, false, nil // NoSuchMethod fault via the tree path
 	}
 	// The fast path only handles headerless requests, so an empty envelope
@@ -424,10 +445,12 @@ func (p *Provider) DispatchRaw(body []byte, httpReq *http.Request) (resp *soap.E
 	}
 	returns, err := h(&cx.ctx, soap.Args(raw))
 	if err != nil {
+		release()
 		return nil, true, err
 	}
 	cx.out = soap.Response{ServiceNS: ns, Method: method, Returns: returns}
 	cx.out.WireEnvelopeInto(&cx.outEnv)
+	release()
 	return &cx.outEnv, true, nil
 }
 

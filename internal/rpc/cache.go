@@ -5,9 +5,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/shardmap"
 	"repro/internal/soap"
 )
 
@@ -27,24 +29,51 @@ import (
 // and parameters: principal- or time-dependent responses would leak between
 // callers. XML-valued returns are deep-copied at store time so cached trees
 // can never alias a pooled request arena.
+//
+// Internally the cache is split into hash-partitioned segments, each with
+// its own mutex, LRU list, and share of the capacity, so concurrent hits on
+// different keys never serialise behind one lock. Eviction is per-segment
+// (segment-local LRU); hit/miss counters are atomics shared across
+// segments. The segment count scales with capacity — small caches get one
+// segment and therefore exact global LRU order, large caches trade exact
+// global recency for parallelism.
 type ResponseCache struct {
 	ttl time.Duration
-	max int
 
-	// now is the clock, injectable for TTL tests.
+	// now is the clock, injectable for TTL tests. Set it before the cache
+	// sees traffic.
 	now func() time.Time
 
+	shards []cacheShard
+	mask   uint64
+
+	hits, misses atomic.Uint64
+}
+
+// cacheShard is one capacity segment: a mutex, an LRU list, and the keys
+// that hash to it.
+type cacheShard struct {
 	mu      sync.Mutex
+	max     int
 	order   *list.List // front = most recently used
 	entries map[string]*list.Element
-
-	hits, misses uint64
 }
 
 type cacheEntry struct {
 	key     string
 	vals    []soap.Value
 	expires time.Time
+}
+
+// cacheShardCount picks the number of segments for a given capacity: one
+// per 8 entries, capped at 16, so tiny caches keep exact LRU semantics and
+// big ones spread across enough locks to feed every core.
+func cacheShardCount(maxEntries int) int {
+	n := 1
+	for n*2 <= maxEntries/8 && n < 16 {
+		n *= 2
+	}
+	return n
 }
 
 // NewResponseCache creates a cache with the given entry TTL and maximum
@@ -56,13 +85,23 @@ func NewResponseCache(ttl time.Duration, maxEntries int) *ResponseCache {
 	if maxEntries <= 0 {
 		maxEntries = 1024
 	}
-	return &ResponseCache{
-		ttl:     ttl,
-		max:     maxEntries,
-		now:     time.Now,
-		order:   list.New(),
-		entries: make(map[string]*list.Element),
+	n := cacheShardCount(maxEntries)
+	c := &ResponseCache{
+		ttl:    ttl,
+		now:    time.Now,
+		shards: make([]cacheShard, n),
+		mask:   uint64(n - 1),
 	}
+	for i := range c.shards {
+		c.shards[i].max = maxEntries / n
+		c.shards[i].order = list.New()
+		c.shards[i].entries = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *ResponseCache) shardFor(key string) *cacheShard {
+	return &c.shards[shardmap.Hash(key)&c.mask]
 }
 
 // OpPrefixes returns a predicate matching operations whose name starts with
@@ -108,41 +147,55 @@ func (c *ResponseCache) Middleware(cacheable func(op string) bool) core.Middlewa
 	}
 }
 
-// Flush drops every cached entry.
+// Flush drops every cached entry, one segment at a time. A concurrent
+// inquiry may land its entry in an already-flushed segment; staleness of
+// such an entry stays bounded by TTL.
 func (c *ResponseCache) Flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.order.Init()
-	for k := range c.entries {
-		delete(c.entries, k)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.order.Init()
+		for k := range s.entries {
+			delete(s.entries, k)
+		}
+		s.mu.Unlock()
 	}
 }
 
-// Stats reports hit/miss counters and the current entry count.
+// Stats reports hit/miss counters and the current entry count. The entry
+// count sums segments one lock at a time (weakly consistent).
 func (c *ResponseCache) Stats() (hits, misses uint64, entries int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, len(c.entries)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		entries += len(s.entries)
+		s.mu.Unlock()
+	}
+	return c.hits.Load(), c.misses.Load(), entries
 }
 
 func (c *ResponseCache) get(key string) ([]soap.Value, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	le, ok := c.entries[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	le, ok := s.entries[key]
 	if !ok {
-		c.misses++
+		s.mu.Unlock()
+		c.misses.Add(1)
 		return nil, false
 	}
 	e := le.Value.(*cacheEntry)
 	if c.now().After(e.expires) {
-		c.order.Remove(le)
-		delete(c.entries, key)
-		c.misses++
+		s.order.Remove(le)
+		delete(s.entries, key)
+		s.mu.Unlock()
+		c.misses.Add(1)
 		return nil, false
 	}
-	c.order.MoveToFront(le)
-	c.hits++
-	return e.vals, true
+	s.order.MoveToFront(le)
+	vals := e.vals
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return vals, true
 }
 
 func (c *ResponseCache) put(key string, vals []soap.Value) {
@@ -150,22 +203,23 @@ func (c *ResponseCache) put(key string, vals []soap.Value) {
 	for i, v := range vals {
 		stored[i] = detachValue(v)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if le, ok := c.entries[key]; ok {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if le, ok := s.entries[key]; ok {
 		e := le.Value.(*cacheEntry)
 		e.vals = stored
 		e.expires = c.now().Add(c.ttl)
-		c.order.MoveToFront(le)
+		s.order.MoveToFront(le)
 		return
 	}
-	for c.order.Len() >= c.max {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	for s.order.Len() >= s.max {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.entries, oldest.Value.(*cacheEntry).key)
 	}
 	e := &cacheEntry{key: key, vals: stored, expires: c.now().Add(c.ttl)}
-	c.entries[key] = c.order.PushFront(e)
+	s.entries[key] = s.order.PushFront(e)
 }
 
 // detachValue deep-copies any XML payloads so a cached value never aliases

@@ -1,7 +1,9 @@
 package rpc
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"strconv"
 	"sync"
 	"testing"
@@ -221,6 +223,70 @@ func TestResponseCacheEndToEnd(t *testing.T) {
 	hits, _, _ := cache.Stats()
 	if hits != 2 {
 		t.Fatalf("hits = %d, want 2", hits)
+	}
+}
+
+// TestHealthzReportsCacheStats pins the /healthz wire format for
+// registered response caches: hit/miss/entry counters must be reachable
+// over HTTP next to the decode counters.
+func TestHealthzReportsCacheStats(t *testing.T) {
+	calls := 0
+	def := &Def{
+		Name: "Echo", NS: "urn:test:cache:healthz",
+		Ops: []Op{{
+			Name: "getAnswer",
+			In:   StrParams("q"),
+			Out:  []wsdl.Param{Str("answer")},
+			Handle: func(_ *core.Context, in Args) ([]interface{}, error) {
+				calls++
+				return Ret("answer-" + in.Str("q")), nil
+			},
+		}},
+	}
+	svc := def.MustBuild()
+	cache := NewResponseCache(time.Minute, 8)
+	svc.Use(cache.Middleware(OpPrefixes("get")))
+
+	srv := NewServer("test", "placeholder")
+	srv.Stats().RegisterCache("echo", cache)
+	srv.Provider("").MustRegister(svc)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	srv.SetBaseURL(hs.URL)
+
+	cl := core.NewClient(srv.Transport(), hs.URL+"/Echo", def.Interface())
+	for i := 0; i < 3; i++ {
+		if _, err := cl.CallText("getAnswer", soap.Str("q", "42")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("handler ran %d times, want 1", calls)
+	}
+
+	resp, err := hs.Client().Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Status string `json:"status"`
+		Caches []struct {
+			Name    string `json:"name"`
+			Hits    uint64 `json:"hits"`
+			Misses  uint64 `json:"misses"`
+			Entries int    `json:"entries"`
+		} `json:"caches"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "ok" || len(doc.Caches) != 1 {
+		t.Fatalf("healthz = %+v", doc)
+	}
+	c := doc.Caches[0]
+	if c.Name != "echo" || c.Hits != 2 || c.Misses != 1 || c.Entries != 1 {
+		t.Fatalf("healthz cache line = %+v, want echo 2/1/1", c)
 	}
 }
 

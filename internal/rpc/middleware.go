@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -152,18 +153,83 @@ type DecodeStats struct {
 	TreePath uint64 `json:"treePath"`
 }
 
+// opCounters is the lock-free accumulator behind one operation: plain
+// atomics for the monotonic counters and a CAS loop for the latency
+// high-water mark. Recording a request takes no lock at all, so stats
+// collection never serialises concurrent requests.
+type opCounters struct {
+	count   atomic.Uint64
+	errors  atomic.Uint64
+	totalNS atomic.Int64
+	maxNS   atomic.Int64
+}
+
+// snapshot reads the counters individually; under concurrent recording the
+// fields may straddle an in-flight request (count without its totalNS yet),
+// which is consistent enough for a health endpoint.
+func (c *opCounters) snapshot() OpStats {
+	return OpStats{
+		Count:   c.count.Load(),
+		Errors:  c.errors.Load(),
+		TotalNS: c.totalNS.Load(),
+		MaxNS:   c.maxNS.Load(),
+	}
+}
+
 // Stats counts requests and accumulates latency per operation, and serves
-// the snapshot as a /healthz-style JSON endpoint.
+// the snapshot as a /healthz-style JSON endpoint. Recording is lock-free:
+// per-operation accumulators live in a sync.Map (populated once per
+// operation, read thereafter) and all counters are atomics.
 type Stats struct {
-	mu     sync.Mutex
-	start  time.Time
-	ops    map[string]*OpStats
-	decode DecodeStats
+	start time.Time
+	ops   sync.Map // "ns#op" -> *opCounters
+	decodeFast,
+	decodeTree atomic.Uint64
+
+	// cachesMu guards cache registration (startup-time only); reads copy
+	// the slice header under the lock.
+	cachesMu sync.Mutex
+	caches   []namedCache
+}
+
+type namedCache struct {
+	name  string
+	cache *ResponseCache
 }
 
 // NewStats returns an empty stats collector.
 func NewStats() *Stats {
-	return &Stats{start: time.Now(), ops: map[string]*OpStats{}}
+	return &Stats{start: time.Now()}
+}
+
+// RegisterCache exposes a ResponseCache's hit/miss/entry counters in the
+// health document under the given name. Call at wiring time, once per
+// cache.
+func (s *Stats) RegisterCache(name string, c *ResponseCache) {
+	s.cachesMu.Lock()
+	defer s.cachesMu.Unlock()
+	s.caches = append(s.caches, namedCache{name: name, cache: c})
+}
+
+// CacheStats is one registered cache's counters as served by /healthz.
+type CacheStats struct {
+	Name    string `json:"name"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// CacheSnapshot reports the registered caches in registration order.
+func (s *Stats) CacheSnapshot() []CacheStats {
+	s.cachesMu.Lock()
+	caches := s.caches
+	s.cachesMu.Unlock()
+	out := make([]CacheStats, 0, len(caches))
+	for _, nc := range caches {
+		hits, misses, entries := nc.cache.Stats()
+		out = append(out, CacheStats{Name: nc.name, Hits: hits, Misses: misses, Entries: entries})
+	}
+	return out
 }
 
 // Middleware returns the recording middleware. One Stats value may back
@@ -183,45 +249,46 @@ func (s *Stats) Middleware() core.Middleware {
 }
 
 func (s *Stats) record(key string, d time.Duration, err error, fastPath bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	op := s.ops[key]
-	if op == nil {
-		op = &OpStats{}
-		s.ops[key] = op
+	v, ok := s.ops.Load(key)
+	if !ok {
+		// First request for this operation: race to install the accumulator;
+		// losers adopt the winner's.
+		v, _ = s.ops.LoadOrStore(key, &opCounters{})
 	}
-	op.Count++
+	op := v.(*opCounters)
+	op.count.Add(1)
 	if err != nil {
-		op.Errors++
+		op.errors.Add(1)
 	}
 	if fastPath {
-		s.decode.FastPath++
+		s.decodeFast.Add(1)
 	} else {
-		s.decode.TreePath++
+		s.decodeTree.Add(1)
 	}
 	ns := d.Nanoseconds()
-	op.TotalNS += ns
-	if ns > op.MaxNS {
-		op.MaxNS = ns
+	op.totalNS.Add(ns)
+	for {
+		cur := op.maxNS.Load()
+		if ns <= cur || op.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
 	}
 }
 
-// Snapshot returns a copy of the per-operation stats.
+// Snapshot returns a copy of the per-operation stats (weakly consistent
+// under concurrent recording).
 func (s *Stats) Snapshot() map[string]OpStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]OpStats, len(s.ops))
-	for k, v := range s.ops {
-		out[k] = *v
-	}
+	out := map[string]OpStats{}
+	s.ops.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*opCounters).snapshot()
+		return true
+	})
 	return out
 }
 
 // DecodeSnapshot returns the decode-path counters.
 func (s *Stats) DecodeSnapshot() DecodeStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.decode
+	return DecodeStats{FastPath: s.decodeFast.Load(), TreePath: s.decodeTree.Load()}
 }
 
 // ServeHTTP serves the health document: status, uptime, and per-operation
@@ -238,11 +305,12 @@ func (s *Stats) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		OpStats
 	}
 	doc := struct {
-		Status     string      `json:"status"`
-		UptimeSecs float64     `json:"uptimeSeconds"`
-		Decode     DecodeStats `json:"decode"`
-		Operations []opLine    `json:"operations"`
-	}{Status: "ok", UptimeSecs: time.Since(s.start).Seconds(), Decode: s.DecodeSnapshot()}
+		Status     string       `json:"status"`
+		UptimeSecs float64      `json:"uptimeSeconds"`
+		Decode     DecodeStats  `json:"decode"`
+		Caches     []CacheStats `json:"caches,omitempty"`
+		Operations []opLine     `json:"operations"`
+	}{Status: "ok", UptimeSecs: time.Since(s.start).Seconds(), Decode: s.DecodeSnapshot(), Caches: s.CacheSnapshot()}
 	for _, k := range keys {
 		doc.Operations = append(doc.Operations, opLine{Operation: k, OpStats: snap[k]})
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/databind"
@@ -108,6 +109,10 @@ func kernelHandler(c *opCodec, op Op) core.HandlerFunc {
 			if err != nil {
 				return nil, err
 			}
+			// The kernel created this scratch, so the kernel recycles it;
+			// fast-path Args are released by the provider (ReleaseStream)
+			// after the whole dispatch. Handlers must not retain in.
+			defer in.scratch.release()
 		}
 		outs, err := op.Handle(ctx, in)
 		if err != nil {
@@ -166,12 +171,67 @@ type argSlot struct {
 	xml  *xmlutil.Element
 }
 
+// decodeScratch is the pooled per-request decode state: the typed slots
+// both decode paths fill and the raw wire-value slice the streaming path
+// decodes into. Pooling it removes the two per-request slice allocations
+// that parallel load multiplies into GC pressure. The existing
+// handler-retention contract covers it: handlers and middleware must not
+// retain request arguments past their return, so once the dispatch is
+// over the scratch can be zeroed and recycled.
+type decodeScratch struct {
+	slots []argSlot
+	raw   []soap.Value
+}
+
+// maxPooledRawVals bounds the raw capacity a pooled scratch may retain, so
+// one request with an absurd parameter list cannot pin that memory in the
+// pool forever.
+const maxPooledRawVals = 128
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(decodeScratch) }}
+
+func acquireScratch(nparams int) *decodeScratch {
+	sc := scratchPool.Get().(*decodeScratch)
+	if cap(sc.slots) < nparams {
+		sc.slots = make([]argSlot, nparams)
+	}
+	sc.slots = sc.slots[:nparams]
+	if sc.raw == nil {
+		// One spare slot beyond the declared arity: the end-of-entry probe
+		// decodes into a slot before discovering it is the end tag, and the
+		// spare keeps that probe from growing the slice on exact-arity calls.
+		sc.raw = make([]soap.Value, 0, nparams+1)
+	}
+	sc.raw = sc.raw[:0]
+	return sc
+}
+
+// release zeroes every slot and raw value the request decoded into — so
+// the pool never pins request data — and recycles the scratch.
+func (sc *decodeScratch) release() {
+	for i := range sc.slots {
+		sc.slots[i] = argSlot{}
+	}
+	raw := sc.raw[:cap(sc.raw)]
+	for i := range raw {
+		raw[i] = soap.Value{}
+	}
+	if cap(sc.raw) > maxPooledRawVals {
+		sc.raw = nil
+	}
+	scratchPool.Put(sc)
+}
+
 // Args carries the decoded, type-checked input parameters of one call.
 // Missing optional parameters read as zero values; malformed values were
 // already rejected by the kernel before the handler ran.
 type Args struct {
 	op    *opCodec
 	slots []argSlot
+	// scratch, when non-nil, is the pooled backing store of slots (and on
+	// the streaming path the raw values too); whoever created the Args
+	// releases it after the dispatch completes.
+	scratch *decodeScratch
 }
 
 func (a Args) slot(name string) *argSlot {
@@ -238,18 +298,20 @@ func (a Args) XML(name string) *xmlutil.Element {
 // BadRequest portal error; an absent parameter decodes to the zero value,
 // matching the tolerant behaviour of the paper's Python services.
 func (c *opCodec) decodeTree(raw soap.Args) (Args, error) {
-	slots := make([]argSlot, len(c.params))
+	sc := acquireScratch(len(c.params))
+	slots := sc.slots
 	for i, p := range c.params {
 		v, ok := raw.Get(p.Name)
 		if !ok {
 			continue
 		}
 		if err := decodeParam(p.Type, &v, &slots[i]); err != nil {
+			sc.release()
 			return Args{}, soap.NewPortalError(c.service, soap.ErrCodeBadRequest,
 				"parameter %q: %v", p.Name, err)
 		}
 	}
-	return Args{op: c, slots: slots}, nil
+	return Args{op: c, slots: slots, scratch: sc}, nil
 }
 
 // decodeStream runs the codec over the streaming token reader, producing
@@ -263,11 +325,14 @@ func (c *opCodec) decodeStream(r *soap.BodyReader) (Args, []soap.Value, bool) {
 	if !c.streamable {
 		return Args{}, nil, false
 	}
-	slots := make([]argSlot, len(c.params))
-	// One spare slot beyond the declared arity: the end-of-entry probe
-	// decodes into a slot before discovering it is the end tag, and the
-	// spare keeps that probe from growing the slice on exact-arity calls.
-	raw := make([]soap.Value, 0, len(c.params)+1)
+	sc := acquireScratch(len(c.params))
+	slots := sc.slots
+	raw := sc.raw
+	fail := func() (Args, []soap.Value, bool) {
+		sc.raw = raw
+		sc.release()
+		return Args{}, nil, false
+	}
 	for {
 		// Decode into the raw slice in place: the Value never travels
 		// through a return-and-append copy chain.
@@ -279,7 +344,7 @@ func (c *opCodec) decodeStream(r *soap.BodyReader) (Args, []soap.Value, bool) {
 		v := &raw[len(raw)-1]
 		done, ok := r.ReadValueInto(v)
 		if !ok {
-			return Args{}, nil, false
+			return fail()
 		}
 		if done {
 			raw = raw[:len(raw)-1]
@@ -294,10 +359,11 @@ func (c *opCodec) decodeStream(r *soap.BodyReader) (Args, []soap.Value, bool) {
 			continue // first wire occurrence wins, as soap.Args.Get does
 		}
 		if err := decodeParam(c.params[idx].Type, v, s); err != nil {
-			return Args{}, nil, false
+			return fail()
 		}
 	}
-	return Args{op: c, slots: slots}, raw, true
+	sc.raw = raw
+	return Args{op: c, slots: slots, scratch: sc}, raw, true
 }
 
 // decodeParam decodes one wire value into its slot per the declared type.
@@ -353,6 +419,15 @@ func (sc *streamCodecs) DecodeCallStream(op string, r *soap.BodyReader) (interfa
 		return nil, nil, false
 	}
 	return in, raw, true
+}
+
+// ReleaseStream implements core.StreamReleaser: the provider hands back
+// the decode products once the dispatch is over (or abandoned for the
+// tree fallback) and the pooled scratch behind them is recycled.
+func (sc *streamCodecs) ReleaseStream(decoded interface{}, _ []soap.Value) {
+	if in, ok := decoded.(Args); ok && in.scratch != nil {
+		in.scratch.release()
+	}
 }
 
 // encodeReturns binds the handler's ordered return values to the declared

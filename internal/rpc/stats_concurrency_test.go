@@ -1,0 +1,90 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/soap"
+)
+
+// TestStatsConcurrentRecording hammers one Stats collector from many
+// goroutines through its middleware, polling snapshots concurrently. Run
+// under -race this pins the lock-free recording (atomic counters, CAS
+// max, sync.Map op registry); the functional assertion is that not one
+// request is lost: counts, errors, and the decode split all balance
+// exactly once the workers quiesce.
+func TestStatsConcurrentRecording(t *testing.T) {
+	s := NewStats()
+	boom := errors.New("boom")
+	handler := func(ctx *core.Context, _ soap.Args) ([]soap.Value, error) {
+		if ctx.Operation == "fail" {
+			return nil, boom
+		}
+		return []soap.Value{soap.Str("out", "x")}, nil
+	}
+	h := s.Middleware()(handler)
+
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ctx := &core.Context{ServiceNS: "urn:test:stats", Operation: "work"}
+				if i%5 == 0 {
+					ctx.Operation = "fail"
+				}
+				if i%3 == 0 {
+					// Mark as fast-path: ctx.Decoded is the marker the
+					// middleware keys the decode split on.
+					ctx.Decoded = struct{}{}
+				}
+				_, _ = h(ctx, nil)
+				if i%50 == g {
+					// Concurrent snapshots must not disturb recording.
+					s.Snapshot()
+					s.DecodeSnapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var failPer, fastPer int
+	for i := 0; i < iters; i++ {
+		if i%5 == 0 {
+			failPer++
+		}
+		if i%3 == 0 {
+			fastPer++
+		}
+	}
+	snap := s.Snapshot()
+	work := snap["urn:test:stats#work"]
+	fail := snap["urn:test:stats#fail"]
+	if total := work.Count + fail.Count; total != workers*iters {
+		t.Fatalf("recorded %d requests, want %d", total, workers*iters)
+	}
+	if want := uint64(workers * failPer); fail.Count != want || fail.Errors != want {
+		t.Fatalf("fail op = %+v, want count=errors=%d", fail, want)
+	}
+	if work.Errors != 0 {
+		t.Fatalf("work op recorded %d errors, want 0", work.Errors)
+	}
+	dec := s.DecodeSnapshot()
+	if dec.FastPath != uint64(workers*fastPer) {
+		t.Fatalf("fastPath = %d, want %d", dec.FastPath, workers*fastPer)
+	}
+	if dec.FastPath+dec.TreePath != workers*iters {
+		t.Fatalf("decode split %d+%d != %d", dec.FastPath, dec.TreePath, workers*iters)
+	}
+	for op, st := range snap {
+		if st.MaxNS > st.TotalNS {
+			t.Fatalf("%s: MaxNS %d exceeds TotalNS %d", op, st.MaxNS, st.TotalNS)
+		}
+	}
+}

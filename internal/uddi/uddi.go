@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
+
+	"repro/internal/shardmap"
 )
 
 // TModel is a technical model: in portal usage, a pointer to the WSDL
@@ -75,93 +77,93 @@ type BusinessEntity struct {
 	Description string
 }
 
-// Registry is an in-memory UDDI registry safe for concurrent use.
+// Registry is an in-memory UDDI registry safe for concurrent use. Each
+// entity kind lives in its own sharded map, so publishes and inquiries
+// touching different keys never contend on a common lock; published records
+// are immutable once stored (Save* stores a fresh copy, readers copy out),
+// which is what makes the per-key locking sufficient. Find* iterate the
+// shards one at a time and therefore observe a weakly consistent view: a
+// concurrently published service may or may not appear, but no result is
+// ever torn.
 type Registry struct {
-	mu         sync.RWMutex
-	businesses map[string]*BusinessEntity
-	services   map[string]*BusinessService
-	tmodels    map[string]*TModel
-	seq        int
+	businesses *shardmap.Map[*BusinessEntity]
+	services   *shardmap.Map[*BusinessService]
+	tmodels    *shardmap.Map[*TModel]
+	seq        atomic.Int64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		businesses: map[string]*BusinessEntity{},
-		services:   map[string]*BusinessService{},
-		tmodels:    map[string]*TModel{},
+		businesses: shardmap.New[*BusinessEntity](0),
+		services:   shardmap.New[*BusinessService](0),
+		tmodels:    shardmap.New[*TModel](0),
 	}
 }
 
 // newKey derives a deterministic uuid-like key from a sequence number and
-// name; deterministic keys keep tests and recorded experiments stable.
+// name; deterministic keys keep tests and recorded experiments stable (for
+// concurrent publishers the interleaving, and hence the keys, are of course
+// scheduling-dependent).
 func (r *Registry) newKey(kind, name string) string {
-	r.seq++
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%s/%d/%s", kind, r.seq, name)))
+	seq := r.seq.Add(1)
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s/%d/%s", kind, seq, name)))
 	h := hex.EncodeToString(sum[:16])
 	return fmt.Sprintf("uuid:%s-%s-%s-%s-%s", h[0:8], h[8:12], h[12:16], h[16:20], h[20:32])
 }
 
 // SaveBusiness publishes a business entity, assigning its key.
 func (r *Registry) SaveBusiness(b BusinessEntity) *BusinessEntity {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	b.Key = r.newKey("business", b.Name)
 	stored := b
-	r.businesses[b.Key] = &stored
+	r.businesses.Store(b.Key, &stored)
 	return &stored
 }
 
 // SaveTModel publishes a tModel, assigning its key.
 func (r *Registry) SaveTModel(t TModel) *TModel {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	t.Key = r.newKey("tmodel", t.Name)
 	stored := t
-	r.tmodels[t.Key] = &stored
+	r.tmodels.Store(t.Key, &stored)
 	return &stored
 }
 
 // SaveService publishes a service under an existing business, assigning the
-// service and binding keys.
+// service and binding keys. The referenced business and tModels are
+// validated against the current registry state; businesses are never
+// deleted, so the check cannot be invalidated concurrently.
 func (r *Registry) SaveService(s BusinessService) (*BusinessService, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.businesses[s.BusinessKey]; !ok {
+	if !r.businesses.Contains(s.BusinessKey) {
 		return nil, fmt.Errorf("uddi: unknown businessKey %q", s.BusinessKey)
 	}
 	for _, b := range s.Bindings {
 		for _, tk := range b.TModelKeys {
-			if _, ok := r.tmodels[tk]; !ok {
+			if !r.tmodels.Contains(tk) {
 				return nil, fmt.Errorf("uddi: binding references unknown tModel %q", tk)
 			}
 		}
 	}
 	s.Key = r.newKey("service", s.Name)
+	s.Bindings = append([]BindingTemplate(nil), s.Bindings...)
 	for i := range s.Bindings {
 		s.Bindings[i].Key = r.newKey("binding", s.Name+"/"+s.Bindings[i].AccessPoint)
 	}
 	stored := s
-	r.services[s.Key] = &stored
+	r.services.Store(s.Key, &stored)
 	return &stored, nil
 }
 
 // DeleteService removes a published service.
 func (r *Registry) DeleteService(key string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.services[key]; !ok {
+	if !r.services.Delete(key) {
 		return fmt.Errorf("uddi: unknown serviceKey %q", key)
 	}
-	delete(r.services, key)
 	return nil
 }
 
 // GetBusiness returns a business entity by key.
 func (r *Registry) GetBusiness(key string) (*BusinessEntity, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	b, ok := r.businesses[key]
+	b, ok := r.businesses.Load(key)
 	if !ok {
 		return nil, fmt.Errorf("uddi: unknown businessKey %q", key)
 	}
@@ -171,22 +173,16 @@ func (r *Registry) GetBusiness(key string) (*BusinessEntity, error) {
 
 // GetServiceDetail returns a service by key.
 func (r *Registry) GetServiceDetail(key string) (*BusinessService, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	s, ok := r.services[key]
+	s, ok := r.services.Load(key)
 	if !ok {
 		return nil, fmt.Errorf("uddi: unknown serviceKey %q", key)
 	}
-	cp := *s
-	cp.Bindings = append([]BindingTemplate(nil), s.Bindings...)
-	return &cp, nil
+	return copyService(s), nil
 }
 
 // GetTModel returns a tModel by key.
 func (r *Registry) GetTModel(key string) (*TModel, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	t, ok := r.tmodels[key]
+	t, ok := r.tmodels.Load(key)
 	if !ok {
 		return nil, fmt.Errorf("uddi: unknown tModelKey %q", key)
 	}
@@ -194,18 +190,26 @@ func (r *Registry) GetTModel(key string) (*TModel, error) {
 	return &cp, nil
 }
 
+// copyService detaches a stored record for a caller: stored services are
+// immutable, so a shallow copy plus a fresh bindings slice is a full
+// defensive copy.
+func copyService(s *BusinessService) *BusinessService {
+	cp := *s
+	cp.Bindings = append([]BindingTemplate(nil), s.Bindings...)
+	return &cp
+}
+
 // FindBusiness returns businesses whose names contain the pattern
 // (case-insensitive), sorted by name. A UDDI find_business analog.
 func (r *Registry) FindBusiness(namePattern string) []*BusinessEntity {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	var out []*BusinessEntity
-	for _, b := range r.businesses {
+	r.businesses.Range(func(_ string, b *BusinessEntity) bool {
 		if containsFold(b.Name, namePattern) {
 			cp := *b
 			out = append(out, &cp)
 		}
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -214,20 +218,17 @@ func (r *Registry) FindBusiness(namePattern string) []*BusinessEntity {
 // case-insensitive; empty matches all), optionally restricted to one
 // business. A UDDI find_service analog.
 func (r *Registry) FindService(businessKey, namePattern string) []*BusinessService {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	var out []*BusinessService
-	for _, s := range r.services {
+	r.services.Range(func(_ string, s *BusinessService) bool {
 		if businessKey != "" && s.BusinessKey != businessKey {
-			continue
+			return true
 		}
 		if namePattern != "" && !containsFold(s.Name, namePattern) {
-			continue
+			return true
 		}
-		cp := *s
-		cp.Bindings = append([]BindingTemplate(nil), s.Bindings...)
-		out = append(out, &cp)
-	}
+		out = append(out, copyService(s))
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -236,41 +237,37 @@ func (r *Registry) FindService(businessKey, namePattern string) []*BusinessServi
 // given tModel (interface) key — how a portal client finds every provider
 // of the agreed BatchScriptGenerator interface.
 func (r *Registry) FindServiceByTModel(tModelKey string) []*BusinessService {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	var out []*BusinessService
-	for _, s := range r.services {
+	r.services.Range(func(_ string, s *BusinessService) bool {
 		for _, b := range s.Bindings {
 			if containsKey(b.TModelKeys, tModelKey) {
-				cp := *s
-				cp.Bindings = append([]BindingTemplate(nil), s.Bindings...)
-				out = append(out, &cp)
+				out = append(out, copyService(s))
 				break
 			}
 		}
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // TModelByName finds a tModel by exact name.
 func (r *Registry) TModelByName(name string) (*TModel, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	for _, t := range r.tmodels {
+	var found *TModel
+	r.tmodels.Range(func(_ string, t *TModel) bool {
 		if t.Name == name {
 			cp := *t
-			return &cp, true
+			found = &cp
+			return false
 		}
-	}
-	return nil, false
+		return true
+	})
+	return found, found != nil
 }
 
 // Counts returns the number of published businesses, services, and tModels.
 func (r *Registry) Counts() (businesses, services, tmodels int) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.businesses), len(r.services), len(r.tmodels)
+	return r.businesses.Len(), r.services.Len(), r.tmodels.Len()
 }
 
 func containsFold(haystack, needle string) bool {
@@ -333,16 +330,13 @@ func ParseCapabilities(description string) []string {
 // positives (e.g. "NQS" matching a description that says "migrating away
 // from NQS") an inherent risk the discovery experiment quantifies.
 func (r *Registry) FindByConvention(scheduler string) []*BusinessService {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	var out []*BusinessService
-	for _, s := range r.services {
+	r.services.Range(func(_ string, s *BusinessService) bool {
 		if containsFold(s.Description, scheduler) {
-			cp := *s
-			cp.Bindings = append([]BindingTemplate(nil), s.Bindings...)
-			out = append(out, &cp)
+			out = append(out, copyService(s))
 		}
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -353,19 +347,16 @@ func (r *Registry) FindByConvention(scheduler string) []*BusinessService {
 // which FindByConvention tolerates; the two together bracket the UDDI
 // approach in the discovery experiment.
 func (r *Registry) FindByParsedConvention(scheduler string) []*BusinessService {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	var out []*BusinessService
-	for _, s := range r.services {
+	r.services.Range(func(_ string, s *BusinessService) bool {
 		for _, cap := range ParseCapabilities(s.Description) {
 			if strings.EqualFold(cap, scheduler) {
-				cp := *s
-				cp.Bindings = append([]BindingTemplate(nil), s.Bindings...)
-				out = append(out, &cp)
+				out = append(out, copyService(s))
 				break
 			}
 		}
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

@@ -1,0 +1,98 @@
+package xmlregistry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentMixedWorkload drives puts, gets, deletes,
+// structured queries, and exports against one registry at once, with each
+// worker owning a top-level container (its own shard) while queries and
+// exports sweep across all of them. Run under -race this pins the
+// per-shard locking; the functional assertions are that reads are never
+// torn and each worker's final subtree matches what it last wrote.
+func TestRegistryConcurrentMixedWorkload(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 120
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			top := fmt.Sprintf("group-%d", g)
+			for i := 0; i < iters; i++ {
+				path := fmt.Sprintf("%s/svc-%d", top, i%10)
+				switch i % 5 {
+				case 0, 1:
+					props := []Property{
+						{Name: "supportedScheduler", Value: "PBS"},
+						{Name: "rev", Value: fmt.Sprintf("%d", i)},
+					}
+					if err := r.Put(path, "service", props); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					c, err := r.Get(path)
+					if err != nil {
+						continue // not created yet or deleted — fine
+					}
+					// A visible container must carry both properties of one
+					// Put generation, never a mix-in-progress.
+					if _, ok := c.Prop("supportedScheduler"); !ok || len(c.Properties) != 2 {
+						errs <- fmt.Errorf("torn read at %s: %+v", path, c.Properties)
+						return
+					}
+				case 3:
+					matches, err := r.Find(Query{Type: "service", PropEquals: []Property{{Name: "supportedScheduler", Value: "PBS"}}})
+					if err != nil {
+						errs <- err
+						return
+					}
+					for _, m := range matches {
+						if m.Container == nil || m.Path == "" {
+							errs <- fmt.Errorf("torn match: %+v", m)
+							return
+						}
+					}
+				default:
+					if i%3 == 0 {
+						_ = r.Delete(path) // may or may not exist
+					} else {
+						_ = r.Export()
+					}
+				}
+			}
+			// Settle this worker's subtree into a known state for the final
+			// cross-worker check.
+			if err := r.Put(top+"/final", "service", []Property{{Name: "done", Value: "yes"}}); err != nil {
+				errs <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for g := 0; g < workers; g++ {
+		c, err := r.Get(fmt.Sprintf("group-%d/final", g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, _ := c.Prop("done"); v != "yes" {
+			t.Fatalf("group-%d final container = %+v", g, c.Properties)
+		}
+	}
+	// Every worker's containers must appear in a quiesced Find sweep.
+	matches, err := r.Find(Query{HasProp: "done"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != workers {
+		t.Fatalf("final sweep found %d containers, want %d", len(matches), workers)
+	}
+}

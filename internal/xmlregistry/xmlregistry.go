@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rpc"
+	"repro/internal/shardmap"
 	"repro/internal/soap"
 	"repro/internal/wsdl"
 	"repro/internal/xmlutil"
@@ -130,64 +131,141 @@ func containerFromElement(el *xmlutil.Element) (*Container, error) {
 }
 
 // Registry is the container hierarchy with concurrency-safe access.
+//
+// The hierarchy is partitioned by top-level container name: everything
+// under one top-level container lives in that name's shard and every path
+// operation runs under that single shard's lock, so requests against
+// different top-level containers (different service groups, different
+// deployments) proceed in parallel. The insertion order of top-level
+// containers — which only Export renders — is kept separately under a
+// small mutex touched only on top-level create/delete/import.
 type Registry struct {
-	mu   sync.RWMutex
-	root *Container
+	top *shardmap.Map[*Container]
+
+	ordMu sync.Mutex
+	order []string
 }
 
-// NewRegistry returns a registry with an empty root container.
+// NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{root: newContainer("", "root")}
+	return &Registry{top: shardmap.New[*Container](0)}
 }
 
-// Create makes (or returns) the container at the slash-separated path,
-// setting its type. Intermediate containers are created with type
-// "container". Returns an error when the path exists with a conflicting
-// type.
-func (r *Registry) Create(path, typ string) (*Container, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	segs, err := splitPath(path)
-	if err != nil {
-		return nil, err
+// addOrder records a newly created top-level name. Idempotent, so an
+// Import racing a Create cannot leave a duplicate behind.
+func (r *Registry) addOrder(name string) {
+	r.ordMu.Lock()
+	defer r.ordMu.Unlock()
+	for _, n := range r.order {
+		if n == name {
+			return
+		}
 	}
-	cur := r.root
-	for i, seg := range segs {
+	r.order = append(r.order, name)
+}
+
+func (r *Registry) removeOrder(name string) {
+	r.ordMu.Lock()
+	defer r.ordMu.Unlock()
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			return
+		}
+	}
+}
+
+func (r *Registry) topOrder() []string {
+	r.ordMu.Lock()
+	defer r.ordMu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// createLocked makes (or finds) the container at segs, creating
+// intermediates of type "container" and the leaf with typ. The caller
+// holds the write lock of the shard owning segs[0].
+func (r *Registry) createLocked(s *shardmap.Shard[*Container], segs []string, typ string) (*Container, error) {
+	leafIdx := len(segs) - 1
+	cur, ok := s.Get(segs[0])
+	if !ok {
+		t := "container"
+		if leafIdx == 0 {
+			t = typ
+		}
+		cur = newContainer(segs[0], t)
+		s.Put(segs[0], cur)
+		r.addOrder(segs[0])
+	} else if leafIdx == 0 && cur.Type != typ {
+		return nil, fmt.Errorf("xmlregistry: %s exists with type %q, requested %q", segs[0], cur.Type, typ)
+	}
+	for i := 1; i < len(segs); i++ {
+		seg := segs[i]
 		next := cur.children[seg]
 		if next == nil {
 			t := "container"
-			if i == len(segs)-1 {
+			if i == leafIdx {
 				t = typ
 			}
 			next = newContainer(seg, t)
 			cur.children[seg] = next
 			cur.order = append(cur.order, seg)
-		} else if i == len(segs)-1 && next.Type != typ {
-			return nil, fmt.Errorf("xmlregistry: %s exists with type %q, requested %q", path, next.Type, typ)
+		} else if i == leafIdx && next.Type != typ {
+			return nil, fmt.Errorf("xmlregistry: %s exists with type %q, requested %q", strings.Join(segs, "/"), next.Type, typ)
 		}
 		cur = next
 	}
 	return cur, nil
 }
 
+// Create makes (or returns a deep copy of) the container at the
+// slash-separated path, setting its type. Intermediate containers are
+// created with type "container". Returns an error when the path exists
+// with a conflicting type.
+func (r *Registry) Create(path, typ string) (*Container, error) {
+	segs, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	s := r.top.ShardFor(segs[0])
+	s.Lock()
+	defer s.Unlock()
+	c, err := r.createLocked(s, segs, typ)
+	if err != nil {
+		return nil, err
+	}
+	return copyContainer(c), nil
+}
+
 // Put replaces the properties of the container at path, creating it (with
-// the given type) if needed.
+// the given type) if needed. Create-and-set runs under one shard lock, so
+// a concurrent Get sees either the old properties or the new, never a
+// half-written container.
 func (r *Registry) Put(path, typ string, props []Property) error {
-	c, err := r.Create(path, typ)
+	segs, err := splitPath(path)
 	if err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	s := r.top.ShardFor(segs[0])
+	s.Lock()
+	defer s.Unlock()
+	c, err := r.createLocked(s, segs, typ)
+	if err != nil {
+		return err
+	}
 	c.Properties = append([]Property(nil), props...)
 	return nil
 }
 
 // Get returns a deep copy of the container at path.
 func (r *Registry) Get(path string) (*Container, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	c, err := r.lookup(path)
+	segs, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	s := r.top.ShardFor(segs[0])
+	s.RLock()
+	defer s.RUnlock()
+	c, err := lookupLocked(s, segs, path)
 	if err != nil {
 		return nil, err
 	}
@@ -196,40 +274,47 @@ func (r *Registry) Get(path string) (*Container, error) {
 
 // Delete removes the container at path and its subtree.
 func (r *Registry) Delete(path string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	segs, err := splitPath(path)
 	if err != nil {
 		return err
 	}
-	parentSegs, leaf := segs[:len(segs)-1], segs[len(segs)-1]
-	cur := r.root
-	for _, seg := range parentSegs {
-		cur = cur.children[seg]
-		if cur == nil {
+	s := r.top.ShardFor(segs[0])
+	s.Lock()
+	defer s.Unlock()
+	if len(segs) == 1 {
+		if !s.Delete(segs[0]) {
 			return fmt.Errorf("xmlregistry: no container at %q", path)
 		}
+		r.removeOrder(segs[0])
+		return nil
 	}
-	if _, ok := cur.children[leaf]; !ok {
+	parent, err := lookupLocked(s, segs[:len(segs)-1], path)
+	if err != nil {
+		return err
+	}
+	leaf := segs[len(segs)-1]
+	if _, ok := parent.children[leaf]; !ok {
 		return fmt.Errorf("xmlregistry: no container at %q", path)
 	}
-	delete(cur.children, leaf)
-	for i, n := range cur.order {
+	delete(parent.children, leaf)
+	for i, n := range parent.order {
 		if n == leaf {
-			cur.order = append(cur.order[:i], cur.order[i+1:]...)
+			parent.order = append(parent.order[:i], parent.order[i+1:]...)
 			break
 		}
 	}
 	return nil
 }
 
-func (r *Registry) lookup(path string) (*Container, error) {
-	segs, err := splitPath(path)
-	if err != nil {
-		return nil, err
+// lookupLocked resolves segs within the shard. The caller holds the
+// shard's lock (read or write); path is the original request path for
+// error messages.
+func lookupLocked(s *shardmap.Shard[*Container], segs []string, path string) (*Container, error) {
+	cur, ok := s.Get(segs[0])
+	if !ok {
+		return nil, fmt.Errorf("xmlregistry: no container at %q", path)
 	}
-	cur := r.root
-	for _, seg := range segs {
+	for _, seg := range segs[1:] {
 		cur = cur.children[seg]
 		if cur == nil {
 			return nil, fmt.Errorf("xmlregistry: no container at %q", path)
@@ -285,24 +370,17 @@ type Match struct {
 	Container *Container
 }
 
-// Find runs a structured query and returns matches sorted by path.
+// Find runs a structured query and returns matches sorted by path. A
+// query restricted by Under runs entirely under that subtree's shard
+// lock; an unrestricted query visits the top-level shards one at a time
+// and is therefore weakly consistent with concurrent writers — each
+// subtree is internally consistent, but subtrees mutated mid-query may
+// reflect different instants.
 func (r *Registry) Find(q Query) ([]Match, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	start := r.root
-	prefix := ""
-	if q.Under != "" {
-		c, err := r.lookup(q.Under)
-		if err != nil {
-			return nil, err
-		}
-		start = c
-		prefix = strings.Trim(q.Under, "/")
-	}
 	var out []Match
 	var walk func(c *Container, path string)
 	walk = func(c *Container, path string) {
-		if matches(c, q) && c != r.root {
+		if matches(c, q) {
 			out = append(out, Match{Path: path, Container: copyContainer(c)})
 		}
 		for _, name := range c.order {
@@ -314,7 +392,26 @@ func (r *Registry) Find(q Query) ([]Match, error) {
 			walk(child, childPath)
 		}
 	}
-	walk(start, prefix)
+	if q.Under != "" {
+		segs, err := splitPath(q.Under)
+		if err != nil {
+			return nil, err
+		}
+		s := r.top.ShardFor(segs[0])
+		s.RLock()
+		start, err := lookupLocked(s, segs, q.Under)
+		if err != nil {
+			s.RUnlock()
+			return nil, err
+		}
+		walk(start, strings.Trim(q.Under, "/"))
+		s.RUnlock()
+	} else {
+		r.top.Range(func(name string, c *Container) bool {
+			walk(c, name)
+			return true
+		})
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
 }
@@ -344,13 +441,24 @@ func matches(c *Container, q Query) bool {
 }
 
 // Export renders the whole hierarchy as one self-describing XML document.
+// Top-level subtrees are rendered one shard lock at a time, in insertion
+// order, so the document is weakly consistent under concurrent writes.
 func (r *Registry) Export() string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.root.Element().Render()
+	el := xmlutil.New("container").SetAttr("name", "").SetAttr("type", "root")
+	for _, name := range r.topOrder() {
+		s := r.top.ShardFor(name)
+		s.RLock()
+		if c, ok := s.Get(name); ok {
+			el.Add(c.Element())
+		}
+		s.RUnlock()
+	}
+	return el.Render()
 }
 
-// Import replaces the hierarchy from an exported document.
+// Import replaces the hierarchy from an exported document. The swap is
+// per-top-level-container, not globally atomic: a reader racing an Import
+// may see a mix of old and new subtrees.
 func (r *Registry) Import(doc string) error {
 	el, err := xmlutil.ParseString(doc)
 	if err != nil {
@@ -360,9 +468,14 @@ func (r *Registry) Import(doc string) error {
 	if err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.root = root
+	r.top.Clear()
+	r.ordMu.Lock()
+	r.order = nil
+	r.ordMu.Unlock()
+	for _, name := range root.order {
+		r.top.Store(name, root.children[name])
+		r.addOrder(name)
+	}
 	return nil
 }
 

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"unicode/utf8"
 )
 
@@ -69,15 +70,28 @@ const (
 // once full, lookups still hit for the warm vocabulary and misses simply
 // allocate per parse, so an attacker streaming unique names cannot grow it
 // without bound.
+//
+// The table is read-mostly to an extreme degree — after the first few
+// requests every parse is all hits — so it is published as a copy-on-write
+// snapshot behind an atomic pointer: steady-state lookups take no lock at
+// all (and every parse on every core proceeds without touching a shared
+// cache line). A miss copies the current snapshot, adds the entry, and
+// publishes the copy under a mutex that serialises writers only. Total
+// copying work is bounded by the entry cap and paid once during warm-up.
 const (
 	maxInternLen     = 64
 	maxInternEntries = 8192
 )
 
 var (
-	internMu  sync.RWMutex
-	internTab = make(map[string]string, 512)
+	internTab atomic.Pointer[map[string]string]
+	internWMu sync.Mutex
 )
+
+func init() {
+	tab := make(map[string]string)
+	internTab.Store(&tab)
+}
 
 func intern(b []byte) string {
 	if len(b) == 0 {
@@ -86,18 +100,27 @@ func intern(b []byte) string {
 	if len(b) > maxInternLen {
 		return string(b)
 	}
-	internMu.RLock()
-	s, ok := internTab[string(b)] // no alloc: compiler-recognised map lookup
-	internMu.RUnlock()
-	if ok {
+	tab := *internTab.Load()
+	if s, ok := tab[string(b)]; ok { // no alloc: compiler-recognised map lookup
 		return s
 	}
-	s = string(b)
-	internMu.Lock()
-	if len(internTab) < maxInternEntries {
-		internTab[s] = s
+	s := string(b)
+	internWMu.Lock()
+	cur := *internTab.Load()
+	if dup, ok := cur[s]; ok {
+		// Another writer published it while we waited.
+		internWMu.Unlock()
+		return dup
 	}
-	internMu.Unlock()
+	if len(cur) < maxInternEntries {
+		next := make(map[string]string, len(cur)+1)
+		for k, v := range cur {
+			next[k] = v
+		}
+		next[s] = s
+		internTab.Store(&next)
+	}
+	internWMu.Unlock()
 	return s
 }
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/jobsub"
 	"repro/internal/portal"
 	"repro/internal/portlet"
+	"repro/internal/resilience"
 	"repro/internal/rpc"
 	"repro/internal/schemawizard"
 	"repro/internal/soap"
@@ -786,6 +787,63 @@ func BenchmarkAblation_SOAPEnvelope(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// RESILIENCE — overhead of the end-to-end resilience layer. The serial
+// variant is BenchmarkFigure1_SOAPInvoke with every production guard
+// switched on: Deadline + LoadShed middleware on the provider, Retry +
+// circuit breakers on the client. On the happy path nothing fires — the
+// number here is the pure bookkeeping tax (context plumbing, admission
+// accounting, breaker reads), and the acceptance bar is <=5% over the
+// unguarded serial figure.
+// ---------------------------------------------------------------------------
+
+var benchGenerateParams = []soap.Value{
+	soap.Str("scheduler", "PBS"), soap.Str("jobName", "bench"),
+	soap.Str("executable", "/bin/date"), soap.StrArray("arguments", nil),
+	soap.Str("stdin", ""), soap.Str("queue", "batch"),
+	soap.Int("nodes", 4), soap.Int("wallTimeSeconds", 3600),
+}
+
+// resilientClient wraps the endpoint with the full client-side guard set.
+// The policies are shared when callers pass the same pointers, matching how
+// a portal binary configures one policy per downstream service.
+func resilientClient(tr soap.Transport, endpoint string,
+	retry *resilience.RetryPolicy, breakers *resilience.BreakerSet) *core.Client {
+	cl := core.NewClient(tr, endpoint, batchscript.Contract())
+	cl.Retry = retry
+	cl.Breakers = breakers
+	return cl
+}
+
+func benchRetryPolicy() *resilience.RetryPolicy {
+	return &resilience.RetryPolicy{
+		MaxAttempts: 3,
+		Backoff:     resilience.Backoff{Base: time.Millisecond, Max: 8 * time.Millisecond},
+		Seed:        1,
+	}
+}
+
+func benchBreakerSet() *resilience.BreakerSet {
+	return &resilience.BreakerSet{Config: resilience.BreakerConfig{
+		FailureThreshold: 5, OpenFor: 50 * time.Millisecond,
+	}}
+}
+
+func BenchmarkFigure1_SOAPInvoke_Resilient(b *testing.B) {
+	ssp := core.NewProvider("iu-ssp", "loopback://iu")
+	ssp.Use(rpc.Deadline(time.Second))
+	ssp.Use(rpc.LoadShed(64, 128))
+	ssp.MustRegister(batchscript.NewService(batchscript.NewIUGenerator()))
+	cl := resilientClient(ssp.Loopback(), "loopback://iu/BatchScriptGenerator",
+		benchRetryPolicy(), benchBreakerSet())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.CallText("generateScript", benchGenerateParams...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
 // PARALLEL — multi-core scale-out tier. Every benchmark above drives the
 // stack from one goroutine; these drive it from GOMAXPROCS goroutines via
 // b.RunParallel so cross-request contention becomes visible. Run with
@@ -847,6 +905,27 @@ func BenchmarkParallel_SOAPInvoke(b *testing.B) {
 		tr, base, cleanup := parallelHTTP(b, srv)
 		defer cleanup()
 		run(b, tr, base+"/BatchScriptGenerator")
+	})
+	// Full guard set under contention: Deadline + LoadShed admission on the
+	// server, one shared RetryPolicy + BreakerSet across all client
+	// goroutines — the shedder's admission counter and the breaker's shared
+	// state are exactly the cross-request words being hammered.
+	b.Run("loopback-resilient", func(b *testing.B) {
+		srv := rpc.NewServer("bench-par", "loopback://par")
+		p := srv.Provider("", rpc.Deadline(time.Second), rpc.LoadShed(256, 512))
+		p.MustRegister(batchscript.NewService(batchscript.NewIUGenerator()))
+		retry, breakers := benchRetryPolicy(), benchBreakerSet()
+		tr := srv.Transport()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			cl := resilientClient(tr, "loopback://par/BatchScriptGenerator", retry, breakers)
+			for pb.Next() {
+				if _, err := cl.CallText("generateScript", benchGenerateParams...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"log"
 	"strings"
+	"time"
 
 	"repro/internal/authsvc"
 	"repro/internal/gss"
@@ -27,6 +28,7 @@ func (p *principalList) Set(v string) error {
 
 func main() {
 	addr := flag.String("addr", ":8082", "listen address")
+	drain := flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 	realm := flag.String("realm", "GRID.IU.EDU", "Kerberos realm")
 	servicePrincipal := flag.String("service", "authsvc/localhost", "service principal")
 	serviceKey := flag.String("servicekey", "keytab-secret", "service principal password")
@@ -51,5 +53,7 @@ func main() {
 	srv := rpc.NewServer("auth", "http://localhost"+*addr)
 	srv.Provider("", rpc.Logging(nil)).MustRegister(authsvc.NewSOAPService(authsvc.NewService(keytab)))
 	log.Printf("Authentication Service (%s) listening on %s", *servicePrincipal, *addr)
-	log.Fatal(srv.ListenAndServe(*addr))
+	if err := srv.ListenAndServeGraceful(*addr, *drain); err != nil {
+		log.Fatal(err)
+	}
 }

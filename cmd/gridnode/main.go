@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"log"
+	"time"
 
 	"repro/internal/grid"
 	"repro/internal/jobsub"
@@ -16,6 +17,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8083", "listen address")
+	drain := flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 	hostName := flag.String("host", "modi4.ncsa.uiuc.edu", "simulated host DNS name")
 	scheduler := flag.String("scheduler", "PBS", "queuing system: PBS, LSF, NQS, or GRD")
 	cpus := flag.Int("cpus", 32, "processor count")
@@ -34,5 +36,7 @@ func main() {
 	srv := rpc.NewServer("gridnode", "http://localhost"+*addr)
 	srv.Provider("", rpc.Logging(nil)).MustRegister(jobsub.NewGlobusrunService(g, *principal))
 	log.Printf("grid node %s (%s, %d cpus) listening on %s", *hostName, *scheduler, *cpus, *addr)
-	log.Fatal(srv.ListenAndServe(*addr))
+	if err := srv.ListenAndServeGraceful(*addr, *drain); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -58,6 +58,7 @@ const gaussianSchema = `<?xml version="1.0"?>
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	drain := flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 	user := flag.String("user", "guest", "default portal principal")
 	baseURL := flag.String("base", "", "externally visible base URL (default http://localhost<addr>)")
 	flag.Parse()
@@ -164,5 +165,7 @@ func main() {
 	})
 
 	log.Printf("portal server listening on %s (base %s)", *addr, base)
-	log.Fatal(srv.ListenAndServe(*addr))
+	if err := srv.ListenAndServeGraceful(*addr, *drain); err != nil {
+		log.Fatal(err)
+	}
 }

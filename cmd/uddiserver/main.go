@@ -15,6 +15,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8081", "listen address")
+	drain := flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 	cacheTTL := flag.Duration("cache-ttl", 30*time.Second, "response cache TTL for find*/get* inquiries (0 disables)")
 	flag.Parse()
 	registry := uddi.NewRegistry()
@@ -29,5 +30,7 @@ func main() {
 	}
 	srv.Provider("", rpc.Logging(nil)).MustRegister(svc)
 	log.Printf("UDDI registry listening on %s (endpoint /UDDIRegistry, WSDL at /UDDIRegistry?wsdl, health at /healthz)", *addr)
-	log.Fatal(srv.ListenAndServe(*addr))
+	if err := srv.ListenAndServeGraceful(*addr, *drain); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -382,16 +382,18 @@ func def(m *Manager) *rpc.Def {
 		Doc:  "Application Web Services: descriptors, lifecycle, and archival.",
 		Ops: []rpc.Op{
 			{
-				Name: "listApplications",
-				Out:  []wsdl.Param{rpc.Strs("names")},
+				Name:       "listApplications",
+				Idempotent: true,
+				Out:        []wsdl.Param{rpc.Strs("names")},
 				Handle: func(_ *core.Context, _ rpc.Args) ([]interface{}, error) {
 					return rpc.Ret(m.Applications()), nil
 				},
 			},
 			{
-				Name: "describeApplication",
-				In:   []wsdl.Param{rpc.Str("name")},
-				Out:  []wsdl.Param{rpc.XML("descriptor")},
+				Name:       "describeApplication",
+				Idempotent: true,
+				In:         []wsdl.Param{rpc.Str("name")},
+				Out:        []wsdl.Param{rpc.XML("descriptor")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					d, err := m.Describe(in.Str("name"))
 					if err != nil {
@@ -430,9 +432,10 @@ func def(m *Manager) *rpc.Def {
 				},
 			},
 			{
-				Name: "poll",
-				In:   []wsdl.Param{rpc.Str("instanceID")},
-				Out:  []wsdl.Param{rpc.Str("state")},
+				Name:       "poll",
+				Idempotent: true,
+				In:         []wsdl.Param{rpc.Str("instanceID")},
+				Out:        []wsdl.Param{rpc.Str("state")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					state, err := m.Poll(in.Str("instanceID"))
 					if err != nil {
@@ -467,9 +470,10 @@ func def(m *Manager) *rpc.Def {
 				},
 			},
 			{
-				Name: "getInstance",
-				In:   []wsdl.Param{rpc.Str("instanceID")},
-				Out:  []wsdl.Param{rpc.XML("instance")},
+				Name:       "getInstance",
+				Idempotent: true,
+				In:         []wsdl.Param{rpc.Str("instanceID")},
+				Out:        []wsdl.Param{rpc.XML("instance")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					inst, err := m.Instance(in.Str("instanceID"))
 					if err != nil {
@@ -479,8 +483,9 @@ func def(m *Manager) *rpc.Def {
 				},
 			},
 			{
-				Name: "listInstances",
-				Out:  []wsdl.Param{rpc.Strs("instanceIDs")},
+				Name:       "listInstances",
+				Idempotent: true,
+				Out:        []wsdl.Param{rpc.Strs("instanceIDs")},
 				Handle: func(_ *core.Context, _ rpc.Args) ([]interface{}, error) {
 					return rpc.Ret(m.Instances()), nil
 				},

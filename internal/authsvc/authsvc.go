@@ -63,10 +63,11 @@ func soapDef(s *Service) *rpc.Def {
 				},
 			},
 			{
-				Name: "verifyAssertion",
-				Doc:  "Verifies a signed SAML assertion against the named session.",
-				In:   []wsdl.Param{rpc.XML("assertion")},
-				Out:  []wsdl.Param{rpc.Bool("valid"), rpc.Str("principal")},
+				Name:       "verifyAssertion",
+				Idempotent: true,
+				Doc:        "Verifies a signed SAML assertion against the named session.",
+				In:         []wsdl.Param{rpc.XML("assertion")},
+				Out:        []wsdl.Param{rpc.Bool("valid"), rpc.Str("principal")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					el := in.XML("assertion")
 					if el == nil {

@@ -75,26 +75,29 @@ func def(g *Generator) *rpc.Def {
 		Doc:  "Generates batch queuing-system scripts (the GCE common interface).",
 		Ops: []rpc.Op{
 			{
-				Name: "listSchedulers",
-				Doc:  "Lists the queuing systems this implementation supports.",
-				Out:  []wsdl.Param{rpc.Strs("schedulers")},
+				Name:       "listSchedulers",
+				Idempotent: true,
+				Doc:        "Lists the queuing systems this implementation supports.",
+				Out:        []wsdl.Param{rpc.Strs("schedulers")},
 				Handle: func(_ *core.Context, _ rpc.Args) ([]interface{}, error) {
 					return rpc.Ret(g.SchedulerNames()), nil
 				},
 			},
 			{
-				Name: "supportsScheduler",
-				In:   []wsdl.Param{rpc.Str("scheduler")},
-				Out:  []wsdl.Param{rpc.Bool("supported")},
+				Name:       "supportsScheduler",
+				Idempotent: true,
+				In:         []wsdl.Param{rpc.Str("scheduler")},
+				Out:        []wsdl.Param{rpc.Bool("supported")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return rpc.Ret(g.Supports(grid.SchedulerKind(strings.ToUpper(in.Str("scheduler"))))), nil
 				},
 			},
 			{
-				Name: "generateScript",
-				Doc:  "Generates a batch script for the given scheduler.",
-				In:   generateParams(),
-				Out:  []wsdl.Param{rpc.Str("script")},
+				Name:       "generateScript",
+				Idempotent: true,
+				Doc:        "Generates a batch script for the given scheduler.",
+				In:         generateParams(),
+				Out:        []wsdl.Param{rpc.Str("script")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					script, err := g.Generate(requestFromArgs(in))
 					if err != nil {

@@ -84,7 +84,7 @@ func monolithDef(s *Store) *rpc.Def {
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return okRet(s.Create(pathOf(in, names)))
 				}},
-			rpc.Op{Name: "exists" + l + "Context", In: path, Out: []wsdl.Param{rpc.Bool("exists")},
+			rpc.Op{Name: "exists" + l + "Context", In: path, Out: []wsdl.Param{rpc.Bool("exists")}, Idempotent: true,
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return rpc.Ret(s.Exists(pathOf(in, names))), nil
 				}},
@@ -92,7 +92,7 @@ func monolithDef(s *Store) *rpc.Def {
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return okRet(s.Remove(pathOf(in, names)))
 				}},
-			rpc.Op{Name: "list" + l + "Contexts", In: parent, Out: []wsdl.Param{rpc.Strs("names")},
+			rpc.Op{Name: "list" + l + "Contexts", In: parent, Out: []wsdl.Param{rpc.Strs("names")}, Idempotent: true,
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					kids, err := s.List(pathOf(in, parentNames))
 					if err != nil {
@@ -108,11 +108,11 @@ func monolithDef(s *Store) *rpc.Def {
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return okRet(s.Copy(pathOf(in, names), in.Str("copyName")))
 				}},
-			rpc.Op{Name: "set" + l + "Property", In: withExtra(rpc.Str("name"), rpc.Str("value")), Out: bools,
+			rpc.Op{Name: "set" + l + "Property", In: withExtra(rpc.Str("name"), rpc.Str("value")), Out: bools, Idempotent: true,
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return okRet(s.SetProp(pathOf(in, names), in.Str("name"), in.Str("value")))
 				}},
-			rpc.Op{Name: "get" + l + "Property", In: withExtra(rpc.Str("name")), Out: []wsdl.Param{rpc.Str("value")},
+			rpc.Op{Name: "get" + l + "Property", In: withExtra(rpc.Str("name")), Out: []wsdl.Param{rpc.Str("value")}, Idempotent: true,
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					v, err := s.GetProp(pathOf(in, names), in.Str("name"))
 					if err != nil {
@@ -124,7 +124,7 @@ func monolithDef(s *Store) *rpc.Def {
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return okRet(s.RemoveProp(pathOf(in, names), in.Str("name")))
 				}},
-			rpc.Op{Name: "list" + l + "Properties", In: path, Out: []wsdl.Param{rpc.Strs("names")},
+			rpc.Op{Name: "list" + l + "Properties", In: path, Out: []wsdl.Param{rpc.Strs("names")}, Idempotent: true,
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					props, err := s.ListProps(pathOf(in, names))
 					if err != nil {
@@ -132,11 +132,11 @@ func monolithDef(s *Store) *rpc.Def {
 					}
 					return rpc.Ret(props), nil
 				}},
-			rpc.Op{Name: "clear" + l + "Properties", In: path, Out: bools,
+			rpc.Op{Name: "clear" + l + "Properties", In: path, Out: bools, Idempotent: true,
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return okRet(s.ClearProps(pathOf(in, names)))
 				}},
-			rpc.Op{Name: "count" + l + "Children", In: path, Out: []wsdl.Param{rpc.Int("count")},
+			rpc.Op{Name: "count" + l + "Children", In: path, Out: []wsdl.Param{rpc.Int("count")}, Idempotent: true,
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					n, err := s.CountChildren(pathOf(in, names))
 					if err != nil {
@@ -144,7 +144,7 @@ func monolithDef(s *Store) *rpc.Def {
 					}
 					return rpc.Ret(n), nil
 				}},
-			rpc.Op{Name: "get" + l + "CreationTime", In: path, Out: []wsdl.Param{rpc.Str("time")},
+			rpc.Op{Name: "get" + l + "CreationTime", In: path, Out: []wsdl.Param{rpc.Str("time")}, Idempotent: true,
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					ts, err := s.Created(pathOf(in, names))
 					if err != nil {
@@ -262,7 +262,7 @@ func contextStoreDef(s *Store) *rpc.Def {
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return okRet(s.Create(in.Strings("path")))
 				}},
-			{Name: "exists", In: []wsdl.Param{path}, Out: []wsdl.Param{rpc.Bool("exists")},
+			{Name: "exists", In: []wsdl.Param{path}, Out: []wsdl.Param{rpc.Bool("exists")}, Idempotent: true,
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return rpc.Ret(s.Exists(in.Strings("path"))), nil
 				}},
@@ -270,7 +270,7 @@ func contextStoreDef(s *Store) *rpc.Def {
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return okRet(s.Remove(in.Strings("path")))
 				}},
-			{Name: "list", In: []wsdl.Param{path}, Out: []wsdl.Param{rpc.Strs("names")},
+			{Name: "list", In: []wsdl.Param{path}, Out: []wsdl.Param{rpc.Strs("names")}, Idempotent: true,
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					kids, err := s.List(in.Strings("path"))
 					if err != nil {
@@ -278,11 +278,11 @@ func contextStoreDef(s *Store) *rpc.Def {
 					}
 					return rpc.Ret(kids), nil
 				}},
-			{Name: "setProperty", In: []wsdl.Param{path, rpc.Str("name"), rpc.Str("value")}, Out: bools,
+			{Name: "setProperty", In: []wsdl.Param{path, rpc.Str("name"), rpc.Str("value")}, Out: bools, Idempotent: true,
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return okRet(s.SetProp(in.Strings("path"), in.Str("name"), in.Str("value")))
 				}},
-			{Name: "getProperty", In: []wsdl.Param{path, rpc.Str("name")}, Out: []wsdl.Param{rpc.Str("value")},
+			{Name: "getProperty", In: []wsdl.Param{path, rpc.Str("name")}, Out: []wsdl.Param{rpc.Str("value")}, Idempotent: true,
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					v, err := s.GetProp(in.Strings("path"), in.Str("name"))
 					if err != nil {
@@ -294,7 +294,7 @@ func contextStoreDef(s *Store) *rpc.Def {
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return okRet(s.RemoveProp(in.Strings("path"), in.Str("name")))
 				}},
-			{Name: "listProperties", In: []wsdl.Param{path}, Out: []wsdl.Param{rpc.Strs("names")},
+			{Name: "listProperties", In: []wsdl.Param{path}, Out: []wsdl.Param{rpc.Strs("names")}, Idempotent: true,
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					props, err := s.ListProps(in.Strings("path"))
 					if err != nil {
@@ -340,7 +340,7 @@ func sessionArchiveDef(s *Store) *rpc.Def {
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return okRet(s.RestoreSession(in.Str("archiveID")))
 				}},
-			{Name: "list", In: rpc.StrParams("user"), Out: []wsdl.Param{rpc.XML("archives")},
+			{Name: "list", In: rpc.StrParams("user"), Out: []wsdl.Param{rpc.XML("archives")}, Idempotent: true,
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					list := xmlutil.New("archives")
 					for _, a := range s.ListArchives(in.Str("user")) {

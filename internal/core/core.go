@@ -23,6 +23,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -30,7 +32,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/resilience"
 	"repro/internal/soap"
 	"repro/internal/wsdl"
 	"repro/internal/xmlutil"
@@ -58,8 +62,18 @@ type Context struct {
 	// on the tree path. Middleware may read it as a fast-path marker but
 	// should treat its dynamic type as the kernel's business.
 	Decoded interface{}
+	// Ctx is the request's lifetime: cancelled when the client goes away,
+	// the deadline middleware's budget expires, or the server drains.
+	// Handlers doing slow work should watch it. Use Context() for a
+	// nil-safe read.
+	Ctx context.Context
 	// values holds interceptor-provided request-scoped data.
 	values map[string]interface{}
+	// abandoned is set (atomically; the dispatch goroutine and the
+	// deadline middleware race on it by design) when the handler chain was
+	// given up on mid-flight, so dispatch must not recycle pooled request
+	// storage the runaway handler may still read.
+	abandoned uint32
 }
 
 // Set stores a request-scoped value for downstream interceptors/handlers.
@@ -73,6 +87,54 @@ func (c *Context) Set(key string, v interface{}) {
 // Value retrieves a request-scoped value, or nil.
 func (c *Context) Value(key string) interface{} {
 	return c.values[key]
+}
+
+// Context returns the request's context.Context, never nil.
+func (c *Context) Context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// Abandon marks the request's handler chain as given up on: a middleware
+// that stops waiting for the chain (deadline expiry) must call it before
+// returning, so dispatch leaks the request's pooled storage to the garbage
+// collector instead of recycling it under the still-running goroutine.
+func (c *Context) Abandon() { atomic.StoreUint32(&c.abandoned, 1) }
+
+// Abandoned reports whether Abandon was called.
+func (c *Context) Abandoned() bool { return atomic.LoadUint32(&c.abandoned) != 0 }
+
+// Detach returns a shallow copy of the context for running the inner
+// handler chain on a goroutine that may outlive the request: the copy gets
+// its own values map, so a runaway handler mutating it cannot race with
+// outer middleware reading the original. ctx becomes the copy's lifetime.
+func (c *Context) Detach(ctx context.Context) *Context {
+	d := &Context{
+		Operation:   c.Operation,
+		ServiceNS:   c.ServiceNS,
+		Envelope:    c.Envelope,
+		HTTPRequest: c.HTTPRequest,
+		Principal:   c.Principal,
+		Decoded:     c.Decoded,
+		Ctx:         ctx,
+	}
+	if c.values != nil {
+		d.values = make(map[string]interface{}, len(c.values))
+		for k, v := range c.values {
+			d.values[k] = v
+		}
+	}
+	return d
+}
+
+// Adopt copies the mutable outcomes of a detached run back onto the
+// original context. Only call it after the detached chain has returned in
+// time (never after Abandon).
+func (c *Context) Adopt(d *Context) {
+	c.Principal = d.Principal
+	c.values = d.values
 }
 
 // HandlerFunc implements one operation: it receives the decoded arguments
@@ -321,8 +383,13 @@ func (p *Provider) wsdlBytesFor(s *Service) []byte {
 // Dispatch processes one request envelope addressed to any hosted service.
 // It is the EnvelopeHandler for the whole provider: routing is by the call
 // element's namespace, so one SSP port can front every service, exactly as
-// the paper's Apache SOAP rpcrouter did.
-func (p *Provider) Dispatch(env *soap.Envelope, httpReq *http.Request) (*soap.Envelope, error) {
+// the paper's Apache SOAP rpcrouter did. ctx scopes the request (HTTP
+// request context on the wire path, caller's context in-process) and is
+// surfaced to handlers as Context.Ctx. When the handler chain was
+// abandoned mid-flight (deadline middleware), the returned error is marked
+// with soap.Hold so transports leak the pooled request tree instead of
+// recycling it under the runaway goroutine.
+func (p *Provider) Dispatch(ctx context.Context, env *soap.Envelope, httpReq *http.Request) (*soap.Envelope, error) {
 	call, err := soap.ParseCall(env)
 	if err != nil {
 		return nil, err
@@ -339,14 +406,18 @@ func (p *Provider) Dispatch(env *soap.Envelope, httpReq *http.Request) (*soap.En
 		return nil, soap.NewPortalError(svc.Contract.Name, soap.ErrCodeNoSuchMethod,
 			"operation %q not implemented", call.Method)
 	}
-	ctx := &Context{
+	c := &Context{
 		Operation:   call.Method,
 		ServiceNS:   call.ServiceNS,
 		Envelope:    env,
 		HTTPRequest: httpReq,
+		Ctx:         ctx,
 	}
-	returns, err := h(ctx, soap.Args(call.Params))
+	returns, err := h(c, soap.Args(call.Params))
 	if err != nil {
+		if c.Abandoned() {
+			err = soap.Hold(err)
+		}
 		return nil, err
 	}
 	resp := &soap.Response{ServiceNS: call.ServiceNS, Method: call.Method, Returns: returns}
@@ -391,9 +462,14 @@ func (p *Provider) handlerFor(svc *Service, method string) HandlerFunc {
 // semantic authority for every such case. The decision is made before the
 // handler runs: once handled is true the operation has executed and the
 // result is final, errors converting to faults exactly as for Dispatch.
-func (p *Provider) DispatchRaw(body []byte, httpReq *http.Request) (resp *soap.Envelope, handled bool, err error) {
+func (p *Provider) DispatchRaw(ctx context.Context, body []byte, httpReq *http.Request) (resp *soap.Envelope, handled bool, err error) {
 	r := soap.AcquireBodyReader(body)
-	defer r.Release()
+	cursorHeld := true
+	defer func() {
+		if cursorHeld {
+			r.Release()
+		}
+	}()
 	ns, method, ok := r.Begin()
 	if !ok {
 		return nil, false, nil
@@ -425,6 +501,11 @@ func (p *Provider) DispatchRaw(body []byte, httpReq *http.Request) (resp *soap.E
 		release()
 		return nil, false, nil // NoSuchMethod fault via the tree path
 	}
+	// Decode is complete and its products are copies: the cursor and
+	// scanner go back to their pools now, before the handler runs, so a
+	// slow or cancelled handler never pins them.
+	cursorHeld = false
+	r.Release()
 	// The fast path only handles headerless requests, so an empty envelope
 	// is a faithful view for middleware that inspects ctx.Envelope (e.g.
 	// SAML header checks see the same absence either way). Context, the
@@ -442,10 +523,15 @@ func (p *Provider) DispatchRaw(body []byte, httpReq *http.Request) (resp *soap.E
 		Envelope:    &cx.env,
 		HTTPRequest: httpReq,
 		Decoded:     decoded,
+		Ctx:         ctx,
 	}
 	returns, err := h(&cx.ctx, soap.Args(raw))
 	if err != nil {
-		release()
+		// An abandoned handler may still read the decoded args, so their
+		// pooled scratch must leak to the garbage collector, not recycle.
+		if !cx.ctx.Abandoned() {
+			release()
+		}
 		return nil, true, err
 	}
 	cx.out = soap.Response{ServiceNS: ns, Method: method, Returns: returns}
@@ -514,6 +600,17 @@ type Client struct {
 	// Strict disables contract validation when false-positive flexibility
 	// is needed (defaults to strict).
 	Strict bool
+	// Retry, when non-nil, retries failed calls with backoff. Only
+	// failures that cannot have executed server-side (ServerBusy and
+	// ServiceUnavailable rejections) are retried unconditionally;
+	// transport failures and timeouts are retried only for operations the
+	// contract declares Idempotent. The caller's context bounds the whole
+	// retry loop.
+	Retry *resilience.RetryPolicy
+	// Breakers, when non-nil, applies a per-endpoint circuit breaker: a
+	// dead backend opens the circuit and subsequent calls fail fast with
+	// resilience.ErrOpen instead of waiting out another timeout.
+	Breakers *resilience.BreakerSet
 
 	interceptors []ClientInterceptor
 }
@@ -589,20 +686,106 @@ func (c *Client) prepare(operation string, params []soap.Value) (*soap.Envelope,
 	return &m.env, nil
 }
 
+// idempotent reports the contract's idempotency declaration for operation.
+func (c *Client) idempotent(operation string) bool {
+	op := c.Contract.Operation(operation)
+	return op != nil && op.Idempotent
+}
+
+// retryable reports whether err may be retried given the operation's
+// idempotency. ServerBusy and ServiceUnavailable are pre-execution
+// rejections (load shedding, drain) and always retryable; timeouts and
+// transport failures are ambiguous — the request may have executed — so
+// only idempotent operations retry them. Faults and context expiry are
+// definitive.
+func retryable(err error, idempotent bool) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if pe := soap.AsPortalError(err); pe != nil {
+		switch pe.Code {
+		case soap.ErrCodeServerBusy, soap.ErrCodeUnavailable:
+			return true
+		case soap.ErrCodeTimeout:
+			return idempotent
+		default:
+			return false
+		}
+	}
+	if soap.AsFault(err) != nil {
+		return false // a definitive answer, just not the wanted one
+	}
+	return idempotent // transport-level failure: execution is ambiguous
+}
+
+// endpointFailure classifies an attempt outcome for the circuit breaker:
+// any response from the endpoint — success or fault — proves it alive;
+// transport-level failures (including timeouts) count against it.
+func endpointFailure(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) {
+		return false
+	}
+	return soap.AsFault(err) == nil && soap.AsPortalError(err) == nil
+}
+
+// withResilience runs one logical call as one or more attempts under the
+// client's breaker and retry policy. attempt must be safely re-runnable.
+func (c *Client) withResilience(ctx context.Context, operation string, attempt func(ctx context.Context) error) error {
+	if c.Retry == nil && c.Breakers == nil {
+		return attempt(ctx)
+	}
+	var br *resilience.Breaker
+	if c.Breakers != nil {
+		br = c.Breakers.For(c.Endpoint)
+	}
+	idem := c.idempotent(operation)
+	attempts := c.Retry.Attempts()
+	for n := 0; ; n++ {
+		if br != nil {
+			if err := br.Allow(); err != nil {
+				return fmt.Errorf("core: %s %s: %w", c.Endpoint, operation, err)
+			}
+		}
+		err := attempt(ctx)
+		if br != nil {
+			br.Record(endpointFailure(err))
+		}
+		if err == nil || n+1 >= attempts || !retryable(err, idem) {
+			return err
+		}
+		if werr := c.Retry.Wait(ctx, n); werr != nil {
+			return err // context expired mid-backoff: surface the last real failure
+		}
+	}
+}
+
 // Call invokes a contract operation with ordered parameters. The response
 // tree is retained and owned by the caller forever; request-scoped callers
 // that only extract strings should prefer CallPooled (or the CallText /
 // CallStrings helpers, which pool internally).
 func (c *Client) Call(operation string, params ...soap.Value) (*soap.Response, error) {
+	return c.CallCtx(context.Background(), operation, params...)
+}
+
+// CallCtx is Call scoped to a context: the deadline bounds the transport
+// round trip and the whole retry loop.
+func (c *Client) CallCtx(ctx context.Context, operation string, params ...soap.Value) (*soap.Response, error) {
 	env, err := c.prepare(operation, params)
 	if err != nil {
 		return nil, err
 	}
-	respEnv, err := c.Transport.RoundTrip(c.Endpoint, c.Contract.TargetNS+"#"+operation, env)
-	if err != nil {
-		return nil, err
-	}
-	return soap.ParseResponse(respEnv)
+	action := c.Contract.TargetNS + "#" + operation
+	var resp *soap.Response
+	err = c.withResilience(ctx, operation, func(ctx context.Context) error {
+		resp = nil
+		respEnv, rerr := soap.RoundTripContext(ctx, c.Transport, c.Endpoint, action, env)
+		if rerr != nil {
+			return rerr
+		}
+		resp, rerr = soap.ParseResponse(respEnv)
+		return rerr
+	})
+	return resp, err
 }
 
 // CallPooled invokes a contract operation and parses the response envelope
@@ -618,48 +801,62 @@ func (c *Client) Call(operation string, params ...soap.Value) (*soap.Response, e
 // Transports that cannot return raw bytes (non-RawTransport
 // implementations) fall back to the retained parse of Call.
 func (c *Client) CallPooled(operation string, params ...soap.Value) (*soap.Response, func(), error) {
+	return c.CallPooledCtx(context.Background(), operation, params...)
+}
+
+// CallPooledCtx is CallPooled scoped to a context; see CallCtx.
+func (c *Client) CallPooledCtx(ctx context.Context, operation string, params ...soap.Value) (*soap.Response, func(), error) {
 	noop := func() {}
 	rt, ok := c.Transport.(soap.RawTransport)
 	if !ok {
-		resp, err := c.Call(operation, params...)
+		resp, err := c.CallCtx(ctx, operation, params...)
 		return resp, noop, err
 	}
 	env, err := c.prepare(operation, params)
 	if err != nil {
 		return nil, noop, err
 	}
+	action := c.Contract.TargetNS + "#" + operation
 	buf := xmlutil.GetBuffer()
-	if err := rt.RoundTripRaw(c.Endpoint, c.Contract.TargetNS+"#"+operation, env, buf); err != nil {
-		xmlutil.PutBuffer(buf)
-		return nil, noop, err
-	}
-	// Streaming fast path: scalar/array responses decode straight from the
-	// wire tokens with nothing to release. Faults, XML-valued returns, and
-	// anything unusual fall back to the pooled tree parse below.
-	if resp, ok := soap.ParseResponseStream(buf.Bytes()); ok {
-		xmlutil.PutBuffer(buf)
-		return resp, noop, nil
-	}
-	respEnv, doc, err := soap.ParseEnvelopeBytesPooled(buf.Bytes())
-	xmlutil.PutBuffer(buf)
-	if err != nil {
-		return nil, noop, err
-	}
-	resp, rerr := soap.ParseResponse(respEnv)
-	if rerr != nil {
-		// The error (usually a *soap.Fault) outlives the arena: detach any
-		// detail trees before recycling the envelope storage.
-		if resp != nil && resp.Fault != nil {
-			detail := make([]*xmlutil.Element, len(resp.Fault.Detail))
-			for i, d := range resp.Fault.Detail {
-				detail[i] = d.Clone()
-			}
-			resp.Fault.Detail = detail
+	defer xmlutil.PutBuffer(buf)
+	var resp *soap.Response
+	release := noop
+	err = c.withResilience(ctx, operation, func(ctx context.Context) error {
+		buf.Reset()
+		resp, release = nil, noop
+		if rerr := soap.RoundTripRawContext(ctx, rt, c.Endpoint, action, env, buf); rerr != nil {
+			return rerr
 		}
-		doc.Release()
-		return resp, noop, rerr
-	}
-	return resp, doc.Release, nil
+		// Streaming fast path: scalar/array responses decode straight from
+		// the wire tokens with nothing to release. Faults, XML-valued
+		// returns, and anything unusual fall back to the pooled tree parse.
+		if r, ok := soap.ParseResponseStream(buf.Bytes()); ok {
+			resp = r
+			return nil
+		}
+		respEnv, doc, perr := soap.ParseEnvelopeBytesPooled(buf.Bytes())
+		if perr != nil {
+			return perr
+		}
+		r, rerr := soap.ParseResponse(respEnv)
+		if rerr != nil {
+			// The error (usually a *soap.Fault) outlives the arena: detach
+			// any detail trees before recycling the envelope storage.
+			if r != nil && r.Fault != nil {
+				detail := make([]*xmlutil.Element, len(r.Fault.Detail))
+				for i, d := range r.Fault.Detail {
+					detail[i] = d.Clone()
+				}
+				r.Fault.Detail = detail
+			}
+			doc.Release()
+			resp = r
+			return rerr
+		}
+		resp, release = r, doc.Release
+		return nil
+	})
+	return resp, release, err
 }
 
 // validate checks the call against the contract.
@@ -706,7 +903,12 @@ func wireType(v soap.Value) string {
 // services expose. The response is parsed into a pooled arena and released
 // before returning — the extracted string is always safe to keep.
 func (c *Client) CallText(operation string, params ...soap.Value) (string, error) {
-	resp, release, err := c.CallPooled(operation, params...)
+	return c.CallTextCtx(context.Background(), operation, params...)
+}
+
+// CallTextCtx is CallText scoped to a context; see CallCtx.
+func (c *Client) CallTextCtx(ctx context.Context, operation string, params ...soap.Value) (string, error) {
+	resp, release, err := c.CallPooledCtx(ctx, operation, params...)
 	if err != nil {
 		return "", err
 	}

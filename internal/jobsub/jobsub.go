@@ -144,9 +144,10 @@ func globusrunDef(g *grid.Grid, defaultPrincipal string) *rpc.Def {
 				},
 			},
 			{
-				Name: "status",
-				In:   []wsdl.Param{rpc.Str("host"), rpc.Str("contact")},
-				Out:  []wsdl.Param{rpc.Str("state")},
+				Name:       "status",
+				Idempotent: true,
+				In:         []wsdl.Param{rpc.Str("host"), rpc.Str("contact")},
+				Out:        []wsdl.Param{rpc.Str("state")},
 				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
 					if _, err := requirePrincipal(ctx); err != nil {
 						return nil, err

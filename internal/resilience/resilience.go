@@ -1,0 +1,350 @@
+// Package resilience provides the failure-handling primitives shared by
+// the portal stack: exponential backoff with jitter, retry budgets, and
+// per-endpoint circuit breakers. The paper's portal federates long-running
+// grid services across organisations where partial failure is the norm;
+// these primitives let clients fail fast against dead backends and retry
+// transient rejections without hammering a struggling server.
+//
+// The package is deliberately stdlib-only so every layer (soap transports,
+// core clients, rpc middleware, the webflow ORB) can depend on it without
+// cycles.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Backoff describes an exponential backoff schedule with proportional
+// jitter. The zero value is usable and means 50ms base, 2s cap, factor 2,
+// 50% jitter.
+type Backoff struct {
+	// Base is the nominal first delay.
+	Base time.Duration
+	// Max caps the grown delay.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier.
+	Factor float64
+	// Jitter is the fraction of the delay that is randomised: the actual
+	// delay is uniform in [d*(1-Jitter), d]. 0 disables jitter, values
+	// above 1 are clamped.
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	} else if b.Jitter > 1 {
+		b.Jitter = 1
+	}
+	return b
+}
+
+// Delay returns the delay before retry number attempt (0-based), jittered
+// by rng when non-nil. Deterministic for a given (schedule, rng state).
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base) * math.Pow(b.Factor, float64(attempt))
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if rng != nil && b.Jitter > 0 {
+		d *= 1 - b.Jitter + b.Jitter*rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Sleep waits for d, returning early with ctx.Err() if the context is
+// cancelled first. A non-positive d only polls the context.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Timeout returns the time budget for one call under ctx: the remaining
+// time until ctx's deadline, capped at fallback when fallback is positive.
+// Without a deadline it returns fallback; 0 therefore means "unbounded".
+func Timeout(ctx context.Context, fallback time.Duration) time.Duration {
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem < 0 {
+			rem = 0
+		}
+		if fallback <= 0 || rem < fallback {
+			return rem
+		}
+	}
+	return fallback
+}
+
+// RetryPolicy is a reusable retry budget: how many total attempts a call
+// may make and how long to back off between them. One policy may serve
+// many concurrent calls; the jitter source is seeded once (deterministic
+// when Seed is non-zero, for reproducible chaos runs) and guarded by a
+// mutex.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// values below 2 disable retries.
+	MaxAttempts int
+	// Backoff is the delay schedule between attempts.
+	Backoff Backoff
+	// Seed seeds the jitter source; 0 seeds from the clock.
+	Seed int64
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	retries atomic.Uint64
+}
+
+// Attempts returns the attempt budget (at least 1); nil-safe.
+func (p *RetryPolicy) Attempts() int {
+	if p == nil || p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Wait records one retry and sleeps the backoff delay for the given
+// 0-based retry index, honouring ctx.
+func (p *RetryPolicy) Wait(ctx context.Context, attempt int) error {
+	p.retries.Add(1)
+	p.mu.Lock()
+	if p.rng == nil {
+		seed := p.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		p.rng = rand.New(rand.NewSource(seed))
+	}
+	d := p.Backoff.Delay(attempt, p.rng)
+	p.mu.Unlock()
+	return Sleep(ctx, d)
+}
+
+// Retries reports how many retries (attempts beyond the first) this
+// policy has granted; nil-safe.
+func (p *RetryPolicy) Retries() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.retries.Load()
+}
+
+// ErrOpen is returned by Breaker.Allow when the circuit is open and the
+// call should fail fast without touching the endpoint.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// BreakerState enumerates the classic circuit states.
+type BreakerState int32
+
+const (
+	// StateClosed: requests flow normally.
+	StateClosed BreakerState = iota
+	// StateOpen: requests fail fast until the open window elapses.
+	StateOpen
+	// StateHalfOpen: a bounded number of probes test the endpoint.
+	StateHalfOpen
+)
+
+// String names the state for logs and the health document.
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a circuit breaker. The zero value means 5
+// consecutive failures to open, a 5s open window, and 1 half-open probe.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures open the circuit.
+	FailureThreshold int
+	// OpenFor is how long the circuit stays open before probing.
+	OpenFor time.Duration
+	// HalfOpenProbes bounds concurrent probes while half-open.
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// Breaker is a closed→open→half-open circuit breaker. Callers bracket
+// each attempt with Allow (admission) and Record (outcome); consecutive
+// failures open the circuit, the open window rejects instantly, and after
+// it elapses a bounded number of probes decide between closing (success)
+// and re-opening (failure).
+type Breaker struct {
+	name string
+	cfg  BreakerConfig
+	now  func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probes   int
+	opens    uint64
+	rejected uint64
+}
+
+// NewBreaker creates a breaker named for its endpoint.
+func NewBreaker(name string, cfg BreakerConfig) *Breaker {
+	return &Breaker{name: name, cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// Allow admits or rejects one attempt. A rejection (ErrOpen) must not be
+// Recorded; an admission must be followed by exactly one Record.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen {
+		if b.now().Sub(b.openedAt) < b.cfg.OpenFor {
+			b.rejected++
+			return ErrOpen
+		}
+		b.state = StateHalfOpen
+		b.probes = 0
+	}
+	if b.state == StateHalfOpen {
+		if b.probes >= b.cfg.HalfOpenProbes {
+			b.rejected++
+			return ErrOpen
+		}
+		b.probes++
+	}
+	return nil
+}
+
+// Record reports the outcome of an admitted attempt. A half-open probe
+// failure re-opens immediately; a probe success closes the circuit.
+func (b *Breaker) Record(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateHalfOpen && b.probes > 0 {
+		b.probes--
+	}
+	if failure {
+		b.fails++
+		if b.state == StateHalfOpen || (b.state == StateClosed && b.fails >= b.cfg.FailureThreshold) {
+			b.state = StateOpen
+			b.openedAt = b.now()
+			b.opens++
+		}
+		return
+	}
+	b.fails = 0
+	if b.state == StateHalfOpen {
+		b.state = StateClosed
+	}
+}
+
+// State reports the current circuit state (open circuits past their
+// window still report open until the next Allow probes them).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerStats is one breaker's counters as surfaced at /healthz.
+type BreakerStats struct {
+	Name string `json:"name"`
+	// State is the current circuit state name.
+	State string `json:"state"`
+	// Opens counts closed/half-open → open transitions.
+	Opens uint64 `json:"opens"`
+	// Rejected counts attempts refused while open.
+	Rejected uint64 `json:"rejected"`
+	// ConsecutiveFails is the current failure streak.
+	ConsecutiveFails int `json:"consecutiveFails"`
+}
+
+// Snapshot returns the breaker's counters (weakly consistent).
+func (b *Breaker) Snapshot() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		Name:             b.name,
+		State:            b.state.String(),
+		Opens:            b.opens,
+		Rejected:         b.rejected,
+		ConsecutiveFails: b.fails,
+	}
+}
+
+// BreakerSet lazily maintains one breaker per endpoint, so a client
+// calling several backends isolates their health from each other.
+type BreakerSet struct {
+	// Config is applied to breakers as they are created.
+	Config BreakerConfig
+
+	m sync.Map // endpoint -> *Breaker
+}
+
+// For returns the breaker for endpoint, creating it on first use.
+func (s *BreakerSet) For(endpoint string) *Breaker {
+	if v, ok := s.m.Load(endpoint); ok {
+		return v.(*Breaker)
+	}
+	v, _ := s.m.LoadOrStore(endpoint, NewBreaker(endpoint, s.Config))
+	return v.(*Breaker)
+}
+
+// Snapshot reports every breaker in the set, ordered by endpoint;
+// nil-safe (a nil set reports nothing).
+func (s *BreakerSet) Snapshot() []BreakerStats {
+	if s == nil {
+		return nil
+	}
+	var out []BreakerStats
+	s.m.Range(func(_, v any) bool {
+		out = append(out, v.(*Breaker).Snapshot())
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,236 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: 0}
+	want := []time.Duration{10, 20, 40, 80, 80}
+	for i, w := range want {
+		if got := b.Delay(i, nil); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5}
+	r1 := rand.New(rand.NewSource(42))
+	r2 := rand.New(rand.NewSource(42))
+	for i := 0; i < 8; i++ {
+		d1, d2 := b.Delay(i, r1), b.Delay(i, r2)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same seed gave %v and %v", i, d1, d2)
+		}
+		nominal := b.Delay(i, nil)
+		if d1 < nominal/2 || d1 > nominal {
+			t.Fatalf("attempt %d: jittered %v outside [%v, %v]", i, d1, nominal/2, nominal)
+		}
+	}
+}
+
+func TestSleepHonoursCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on cancelled ctx = %v, want Canceled", err)
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("zero sleep = %v", err)
+	}
+}
+
+func TestTimeoutBudget(t *testing.T) {
+	if got := Timeout(context.Background(), 3*time.Second); got != 3*time.Second {
+		t.Fatalf("no-deadline budget = %v", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if got := Timeout(ctx, time.Minute); got > time.Second || got <= 0 {
+		t.Fatalf("capped budget = %v, want (0, 1s]", got)
+	}
+	if got := Timeout(ctx, 0); got > time.Second || got <= 0 {
+		t.Fatalf("uncapped budget with deadline = %v, want (0, 1s]", got)
+	}
+}
+
+func TestRetryPolicyAttemptsNilSafe(t *testing.T) {
+	var p *RetryPolicy
+	if p.Attempts() != 1 {
+		t.Fatalf("nil policy attempts = %d", p.Attempts())
+	}
+	if p.Retries() != 0 {
+		t.Fatalf("nil policy retries = %d", p.Retries())
+	}
+	p = &RetryPolicy{MaxAttempts: 4}
+	if p.Attempts() != 4 {
+		t.Fatalf("attempts = %d", p.Attempts())
+	}
+}
+
+func TestRetryWaitCountsAndCancels(t *testing.T) {
+	p := &RetryPolicy{MaxAttempts: 3, Backoff: Backoff{Base: time.Millisecond, Jitter: 0}, Seed: 1}
+	if err := p.Wait(context.Background(), 0); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Wait(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled wait = %v", err)
+	}
+	if p.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2", p.Retries())
+	}
+}
+
+// fakeClock drives breaker windows deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker("ep", BreakerConfig{FailureThreshold: 3, OpenFor: time.Second, HalfOpenProbes: 1})
+	b.now = clk.now
+
+	// Closed: failures below the threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed Allow: %v", err)
+		}
+		b.Record(true)
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state after 2 fails = %v", b.State())
+	}
+	// Third consecutive failure opens.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow: %v", err)
+	}
+	b.Record(true)
+	if b.State() != StateOpen {
+		t.Fatalf("state after threshold = %v", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open Allow = %v, want ErrOpen", err)
+	}
+
+	// Window elapses: exactly one probe is admitted.
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state during probe = %v", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second concurrent probe admitted")
+	}
+	// Probe failure re-opens immediately.
+	b.Record(true)
+	if b.State() != StateOpen {
+		t.Fatalf("state after failed probe = %v", b.State())
+	}
+
+	// Next window: probe success closes.
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	b.Record(false)
+	if b.State() != StateClosed {
+		t.Fatalf("state after successful probe = %v", b.State())
+	}
+	snap := b.Snapshot()
+	if snap.Opens != 2 || snap.Rejected == 0 || snap.Name != "ep" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// TestBreakerConcurrentStress hammers one breaker from many goroutines
+// under -race: every admitted attempt records exactly once, and the
+// breaker's bookkeeping must stay internally consistent (probes never go
+// negative, state is always one of the three).
+func TestBreakerConcurrentStress(t *testing.T) {
+	b := NewBreaker("stress", BreakerConfig{FailureThreshold: 4, OpenFor: time.Millisecond, HalfOpenProbes: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 500; i++ {
+				if err := b.Allow(); err != nil {
+					if !errors.Is(err, ErrOpen) {
+						t.Errorf("unexpected Allow error: %v", err)
+						return
+					}
+					continue
+				}
+				b.Record(rng.Intn(3) == 0)
+				if s := b.State(); s != StateClosed && s != StateOpen && s != StateHalfOpen {
+					t.Errorf("invalid state %d", s)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.mu.Lock()
+	if b.probes < 0 {
+		t.Errorf("probe count went negative: %d", b.probes)
+	}
+	b.mu.Unlock()
+}
+
+func TestBreakerSetPerEndpoint(t *testing.T) {
+	s := &BreakerSet{Config: BreakerConfig{FailureThreshold: 1, OpenFor: time.Hour}}
+	a, b := s.For("http://a"), s.For("http://b")
+	if a == b {
+		t.Fatal("distinct endpoints share a breaker")
+	}
+	if s.For("http://a") != a {
+		t.Fatal("same endpoint returned a new breaker")
+	}
+	if err := a.Allow(); err != nil {
+		t.Fatalf("allow: %v", err)
+	}
+	a.Record(true) // opens a
+	if err := a.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("a should be open")
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("b must be unaffected: %v", err)
+	}
+	b.Record(false)
+	snaps := s.Snapshot()
+	if len(snaps) != 2 || snaps[0].Name != "http://a" || snaps[1].Name != "http://b" {
+		t.Fatalf("snapshot = %+v", snaps)
+	}
+	if snaps[0].State != "open" || snaps[1].State != "closed" {
+		t.Fatalf("states = %s, %s", snaps[0].State, snaps[1].State)
+	}
+	var nilSet *BreakerSet
+	if nilSet.Snapshot() != nil {
+		t.Fatal("nil set snapshot should be nil")
+	}
+}

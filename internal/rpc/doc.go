@@ -79,6 +79,44 @@
 // the fast-path/tree-path split is observable at /healthz under
 // "decode".
 //
+// # Resilience
+//
+// The kernel degrades deterministically instead of hanging or collapsing
+// under failure. Server side, two middlewares bound every request:
+// Deadline(d) runs the inner chain on a pooled watchdog goroutine and
+// answers with the portal-standard Timeout fault when the budget (or a
+// tighter caller deadline — contexts propagate through both transports)
+// expires, abandoning the runaway handler safely; LoadShed(limit, queue)
+// admits limit concurrent requests, queues a bounded overflow, and
+// rejects the rest immediately with a ServerBusy fault carrying
+// Retry-After advice. Client side, core.Client gains a RetryPolicy
+// (pre-execution rejections always retry; ambiguous failures —
+// timeouts, transport errors — retry only ops flagged Idempotent in the
+// Def table) and a per-endpoint circuit BreakerSet that fails fast while
+// an endpoint is down and probes it half-open. Server.Shutdown drains
+// in-flight requests before returning (ListenAndServeGraceful wires this
+// to SIGTERM/SIGINT for the binaries); requests arriving mid-drain get
+// an Unavailable fault.
+//
+//	srv := rpc.NewServer("portal", "http://localhost:8080")
+//	ssp := srv.Provider("/ssp", rpc.Deadline(2*time.Second), rpc.LoadShed(64, 128))
+//	ssp.MustRegister(def.MustBuild())
+//
+//	cl := core.NewClient(tr, endpoint, def.Interface())
+//	cl.Retry = &resilience.RetryPolicy{MaxAttempts: 3,
+//	    Backoff: resilience.Backoff{Base: 50 * time.Millisecond, Max: time.Second}}
+//	cl.Breakers = &resilience.BreakerSet{}
+//	srv.Stats().RegisterBreakers("downstream", cl.Breakers) // state at /healthz
+//
+// Every degradation is a typed fault with a deterministic text (pinned by
+// the golden suite: timeoutfault, serverbusyfault), every counter —
+// timeouts, shed, drained, retries, breaker state transitions — is
+// surfaced at /healthz under "resilience", and the whole layer is
+// exercised by the seeded fault-injection chaos suite in chaos_test.go
+// (FaultInjector middleware + soap.ChaosTransport), which asserts no
+// goroutine leaks, no torn store state, and that retries never duplicate
+// non-idempotent writes.
+//
 // # Response encoding
 //
 // Handler return values are encoded by the kernel through the streaming

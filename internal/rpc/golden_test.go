@@ -34,10 +34,12 @@ import (
 	"repro/internal/grid"
 	"repro/internal/gss"
 	"repro/internal/jobsub"
+	"repro/internal/rpc"
 	"repro/internal/soap"
 	"repro/internal/srb"
 	"repro/internal/srbws"
 	"repro/internal/uddi"
+	"repro/internal/wsdl"
 	"repro/internal/xmlregistry"
 )
 
@@ -164,6 +166,49 @@ func goldenCases() []goldenCase {
 			call: &soap.Call{ServiceNS: appws.ServiceNS, Method: "describeApplication", Params: []soap.Value{
 				soap.Str("name", "Gaussian"),
 			}},
+		},
+		{
+			// The resilience layer's degradation answers are wire contracts
+			// too: a deadline-bounded service must always time out with this
+			// exact Timeout fault shape.
+			name: "timeoutfault",
+			build: func(t *testing.T) *core.Service {
+				svc := resilienceGoldenDef().MustBuild()
+				svc.Use(rpc.Deadline(5 * time.Millisecond))
+				return svc
+			},
+			call: &soap.Call{ServiceNS: "urn:gce:resilience", Method: "hang"},
+		},
+		{
+			// The load-shedding rejection: the ServerBusy fault body (the
+			// Retry-After header rides alongside on the HTTP binding only).
+			name: "serverbusyfault",
+			build: func(t *testing.T) *core.Service {
+				return resilienceGoldenDef().MustBuild()
+			},
+			call: &soap.Call{ServiceNS: "urn:gce:resilience", Method: "reject"},
+		},
+	}
+}
+
+// resilienceGoldenDef probes the two degradation fault shapes: hang never
+// answers (its Deadline middleware does), reject answers with the same
+// ServerBusy fault the LoadShedder emits at capacity.
+func resilienceGoldenDef() *rpc.Def {
+	return &rpc.Def{
+		Name: "ResilienceGolden",
+		NS:   "urn:gce:resilience",
+		Doc:  "resilience fault wire shapes",
+		Ops: []rpc.Op{
+			{Name: "hang", Out: []wsdl.Param{rpc.Str("never")},
+				Handle: func(cx *core.Context, _ rpc.Args) ([]interface{}, error) {
+					<-cx.Context().Done()
+					return nil, cx.Context().Err()
+				}},
+			{Name: "reject", Out: []wsdl.Param{rpc.Str("never")},
+				Handle: func(_ *core.Context, _ rpc.Args) ([]interface{}, error) {
+					return nil, rpc.ServerBusyError("ResilienceGolden", 8, 16, time.Second)
+				}},
 		},
 	}
 }

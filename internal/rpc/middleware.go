@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/resilience"
 	"repro/internal/saml"
 	"repro/internal/soap"
 	"repro/internal/xmlutil"
@@ -186,15 +187,40 @@ type Stats struct {
 	decodeFast,
 	decodeTree atomic.Uint64
 
+	// inFlight gauges requests currently inside the middleware chain;
+	// graceful drain waits on it reaching zero.
+	inFlight atomic.Int64
+	// timeouts counts requests answered with the portal Timeout fault,
+	// shed those rejected ServerBusy, drained those rejected while the
+	// server was draining (ServiceUnavailable).
+	timeouts atomic.Uint64
+	shed     atomic.Uint64
+	drained  atomic.Uint64
+
 	// cachesMu guards cache registration (startup-time only); reads copy
 	// the slice header under the lock.
 	cachesMu sync.Mutex
 	caches   []namedCache
+
+	// resilMu guards breaker/retry registration (wiring-time only).
+	resilMu  sync.Mutex
+	breakers []namedBreakers
+	retries  []namedRetry
 }
 
 type namedCache struct {
 	name  string
 	cache *ResponseCache
+}
+
+type namedBreakers struct {
+	name string
+	set  *resilience.BreakerSet
+}
+
+type namedRetry struct {
+	name   string
+	policy *resilience.RetryPolicy
 }
 
 // NewStats returns an empty stats collector.
@@ -209,6 +235,22 @@ func (s *Stats) RegisterCache(name string, c *ResponseCache) {
 	s.cachesMu.Lock()
 	defer s.cachesMu.Unlock()
 	s.caches = append(s.caches, namedCache{name: name, cache: c})
+}
+
+// RegisterBreakers exposes a client-side breaker set's per-endpoint
+// circuit states in the health document. Call at wiring time.
+func (s *Stats) RegisterBreakers(name string, set *resilience.BreakerSet) {
+	s.resilMu.Lock()
+	defer s.resilMu.Unlock()
+	s.breakers = append(s.breakers, namedBreakers{name: name, set: set})
+}
+
+// RegisterRetry exposes a retry policy's granted-retry counter in the
+// health document. Call at wiring time.
+func (s *Stats) RegisterRetry(name string, p *resilience.RetryPolicy) {
+	s.resilMu.Lock()
+	defer s.resilMu.Unlock()
+	s.retries = append(s.retries, namedRetry{name: name, policy: p})
 }
 
 // CacheStats is one registered cache's counters as served by /healthz.
@@ -238,7 +280,9 @@ func (s *Stats) Middleware() core.Middleware {
 	return func(next core.HandlerFunc) core.HandlerFunc {
 		return func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
 			start := time.Now()
+			s.inFlight.Add(1)
 			vals, err := next(ctx, args)
+			s.inFlight.Add(-1)
 			// ctx.Decoded is only ever set by the streaming fast path
 			// (Provider.DispatchRaw), so its presence identifies the
 			// decode path that produced this request.
@@ -259,6 +303,19 @@ func (s *Stats) record(key string, d time.Duration, err error, fastPath bool) {
 	op.count.Add(1)
 	if err != nil {
 		op.errors.Add(1)
+		// Classify the resilience outcomes so the health document shows
+		// degradation (timeouts, shedding, drain) separately from plain
+		// handler errors.
+		if pe := soap.AsPortalError(err); pe != nil {
+			switch pe.Code {
+			case soap.ErrCodeTimeout:
+				s.timeouts.Add(1)
+			case soap.ErrCodeServerBusy:
+				s.shed.Add(1)
+			case soap.ErrCodeUnavailable:
+				s.drained.Add(1)
+			}
+		}
 	}
 	if fastPath {
 		s.decodeFast.Add(1)
@@ -291,6 +348,77 @@ func (s *Stats) DecodeSnapshot() DecodeStats {
 	return DecodeStats{FastPath: s.decodeFast.Load(), TreePath: s.decodeTree.Load()}
 }
 
+// InFlight reports how many requests are currently inside the middleware
+// chain; graceful drain polls it down to zero.
+func (s *Stats) InFlight() int64 { return s.inFlight.Load() }
+
+// RetryStats is one registered retry policy's counters.
+type RetryStats struct {
+	Name    string `json:"name"`
+	Retries uint64 `json:"retries"`
+}
+
+// ResilienceStats is the degradation section of the health document.
+type ResilienceStats struct {
+	// InFlight is the live request gauge.
+	InFlight int64 `json:"inFlight"`
+	// Timeouts counts requests answered with the Timeout fault.
+	Timeouts uint64 `json:"timeouts"`
+	// Shed counts requests rejected ServerBusy at capacity.
+	Shed uint64 `json:"shed"`
+	// Drained counts requests rejected while the server was draining.
+	Drained uint64 `json:"drained"`
+	// Breakers reports every registered client-side circuit.
+	Breakers []resilience.BreakerStats `json:"breakers,omitempty"`
+	// Retries reports every registered retry policy's granted retries.
+	Retries []RetryStats `json:"retries,omitempty"`
+}
+
+// ResilienceSnapshot reports the degradation counters and every
+// registered breaker and retry policy (weakly consistent).
+func (s *Stats) ResilienceSnapshot() ResilienceStats {
+	out := ResilienceStats{
+		InFlight: s.inFlight.Load(),
+		Timeouts: s.timeouts.Load(),
+		Shed:     s.shed.Load(),
+		Drained:  s.drained.Load(),
+	}
+	s.resilMu.Lock()
+	breakers := s.breakers
+	retries := s.retries
+	s.resilMu.Unlock()
+	for _, nb := range breakers {
+		for _, bs := range nb.set.Snapshot() {
+			bs.Name = nb.name + ":" + bs.Name
+			out.Breakers = append(out.Breakers, bs)
+		}
+	}
+	for _, nr := range retries {
+		out.Retries = append(out.Retries, RetryStats{Name: nr.name, Retries: nr.policy.Retries()})
+	}
+	return out
+}
+
+// Flush writes a final one-line summary of the collector to l — the last
+// act of a graceful drain, so the numbers survive in the logs after the
+// process exits.
+func (s *Stats) Flush(l *log.Logger) {
+	if l == nil {
+		l = log.Default()
+	}
+	var count, errs uint64
+	s.ops.Range(func(_, v any) bool {
+		c := v.(*opCounters)
+		count += c.count.Load()
+		errs += c.errors.Load()
+		return true
+	})
+	d := s.DecodeSnapshot()
+	l.Printf("rpc stats flush: requests=%d errors=%d timeouts=%d shed=%d drained=%d decodeFast=%d decodeTree=%d uptime=%s",
+		count, errs, s.timeouts.Load(), s.shed.Load(), s.drained.Load(),
+		d.FastPath, d.TreePath, time.Since(s.start).Round(time.Millisecond))
+}
+
 // ServeHTTP serves the health document: status, uptime, and per-operation
 // counters, deterministically ordered.
 func (s *Stats) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -305,12 +433,14 @@ func (s *Stats) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		OpStats
 	}
 	doc := struct {
-		Status     string       `json:"status"`
-		UptimeSecs float64      `json:"uptimeSeconds"`
-		Decode     DecodeStats  `json:"decode"`
-		Caches     []CacheStats `json:"caches,omitempty"`
-		Operations []opLine     `json:"operations"`
-	}{Status: "ok", UptimeSecs: time.Since(s.start).Seconds(), Decode: s.DecodeSnapshot(), Caches: s.CacheSnapshot()}
+		Status     string          `json:"status"`
+		UptimeSecs float64         `json:"uptimeSeconds"`
+		Decode     DecodeStats     `json:"decode"`
+		Resilience ResilienceStats `json:"resilience"`
+		Caches     []CacheStats    `json:"caches,omitempty"`
+		Operations []opLine        `json:"operations"`
+	}{Status: "ok", UptimeSecs: time.Since(s.start).Seconds(), Decode: s.DecodeSnapshot(),
+		Resilience: s.ResilienceSnapshot(), Caches: s.CacheSnapshot()}
 	for _, k := range keys {
 		doc.Operations = append(doc.Operations, opLine{Operation: k, OpStats: snap[k]})
 	}

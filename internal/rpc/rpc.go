@@ -32,6 +32,12 @@ type Op struct {
 	In []wsdl.Param
 	// Out declares the output parameters in order.
 	Out []wsdl.Param
+	// Idempotent declares that repeating the operation observes the same
+	// effect as invoking it once (reads, queries, absolute writes), which
+	// permits clients to retry it on ambiguous transport failures. Leave
+	// false for operations with cumulative side effects (submissions,
+	// appends, counters).
+	Idempotent bool
 	// Handle implements the operation.
 	Handle Handler
 }
@@ -56,7 +62,7 @@ type Def struct {
 func (d *Def) Interface() *wsdl.Interface {
 	ops := make([]wsdl.Operation, len(d.Ops))
 	for i, op := range d.Ops {
-		ops[i] = wsdl.Operation{Name: op.Name, Doc: op.Doc, Input: op.In, Output: op.Out}
+		ops[i] = wsdl.Operation{Name: op.Name, Doc: op.Doc, Input: op.In, Output: op.Out, Idempotent: op.Idempotent}
 	}
 	return &wsdl.Interface{Name: d.Name, TargetNS: d.NS, Doc: d.Doc, Operations: ops}
 }

@@ -2,11 +2,18 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/soap"
@@ -26,6 +33,14 @@ type Server struct {
 
 	mux   *http.ServeMux
 	stats *Stats
+
+	// draining gates new requests once Shutdown begins: the HTTP listener
+	// stops on its own, but in-process (loopback) dispatch keeps flowing
+	// and must be refused here.
+	draining atomic.Bool
+	// httpMu guards the live http.Server handle Shutdown needs.
+	httpMu  sync.Mutex
+	httpSrv *http.Server
 
 	mu      sync.Mutex
 	baseURL string
@@ -83,8 +98,9 @@ func (s *Server) Provider(prefix string, mw ...core.Middleware) *core.Provider {
 	}
 	p := core.NewProvider(name, s.baseURL+prefix)
 	// Stats outermost so it also observes panics after Recover turns them
-	// into faults.
+	// into faults, and drain rejections before Recover.
 	p.Use(s.stats.Middleware())
+	p.Use(s.drainGate)
 	p.Use(Recover())
 	for _, m := range mw {
 		p.Use(m)
@@ -142,9 +158,93 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// ListenAndServe serves the handler on addr.
+// DrainingError is the fault new requests are refused with while the
+// server drains: ServiceUnavailable with retry advice, so well-behaved
+// clients fail over or come back after the restart.
+func DrainingError(server string) error {
+	pe := soap.NewPortalError(server, soap.ErrCodeUnavailable, "server %s is draining", server)
+	f := pe.Fault()
+	f.RetryAfter = time.Second
+	return f
+}
+
+// drainGate refuses new requests once Shutdown has begun. It sits between
+// stats (which counts the rejections) and the rest of the chain, so
+// in-flight requests below it finish undisturbed.
+func (s *Server) drainGate(next core.HandlerFunc) core.HandlerFunc {
+	return func(ctx *core.Context, args soap.Args) ([]soap.Value, error) {
+		if s.draining.Load() {
+			return nil, DrainingError(s.Name)
+		}
+		return next(ctx, args)
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ListenAndServe serves the handler on addr until Shutdown.
 func (s *Server) ListenAndServe(addr string) error {
-	return http.ListenAndServe(addr, s.mux)
+	srv := &http.Server{Addr: addr, Handler: s.mux}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	return srv.ListenAndServe()
+}
+
+// Shutdown drains the server gracefully: it stops accepting new requests
+// (both at the HTTP listener and, for in-process transports, at the drain
+// gate), waits for in-flight requests to finish, and flushes the stats
+// collector to the log. ctx bounds the wait; its expiry abandons the
+// drain and returns the context error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	// srv.Shutdown only waits for HTTP connections; in-process dispatches
+	// (loopback transports, server transports) are tracked by the stats
+	// in-flight gauge instead.
+	for s.stats.InFlight() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	s.stats.Flush(nil)
+	return err
+}
+
+// ListenAndServeGraceful serves on addr until SIGTERM or SIGINT, then
+// drains within drainTimeout. It returns nil after a clean drain, making
+// it the one-line main-loop for portal binaries.
+func (s *Server) ListenAndServeGraceful(addr string, drainTimeout time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.ListenAndServe(addr) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills
+		log.Printf("rpc: server %s draining (signal)", s.Name)
+		sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := s.Shutdown(sctx); err != nil {
+			return fmt.Errorf("rpc: drain %s: %w", s.Name, err)
+		}
+		if err := <-errCh; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		log.Printf("rpc: server %s drained cleanly", s.Name)
+		return nil
+	}
 }
 
 // serveWSIL publishes the live WS-Inspection document enumerating every
@@ -230,20 +330,32 @@ func (t *serverTransport) route(endpoint string) (*core.Provider, error) {
 }
 
 func (t *serverTransport) RoundTrip(endpoint, action string, req *soap.Envelope) (*soap.Envelope, error) {
+	return t.RoundTripCtx(context.Background(), endpoint, action, req)
+}
+
+// RoundTripCtx implements soap.ContextTransport: the caller's context
+// reaches the dispatched handler, so client deadlines and cancellation
+// propagate through the in-process transport exactly as they do over HTTP.
+func (t *serverTransport) RoundTripCtx(ctx context.Context, endpoint, action string, req *soap.Envelope) (*soap.Envelope, error) {
 	best, err := t.route(endpoint)
 	if err != nil {
 		return nil, err
 	}
-	return best.Loopback().RoundTrip(endpoint, action, req)
+	return best.Loopback().RoundTripCtx(ctx, endpoint, action, req)
 }
 
 // RoundTripRaw implements soap.RawTransport, so clients over a server
 // transport can use the pooled response-parse path (core.Client.CallPooled
 // and the CallText/CallStrings helpers).
 func (t *serverTransport) RoundTripRaw(endpoint, action string, req *soap.Envelope, resp *bytes.Buffer) error {
+	return t.RoundTripRawCtx(context.Background(), endpoint, action, req, resp)
+}
+
+// RoundTripRawCtx implements soap.ContextRawTransport; see RoundTripCtx.
+func (t *serverTransport) RoundTripRawCtx(ctx context.Context, endpoint, action string, req *soap.Envelope, resp *bytes.Buffer) error {
 	best, err := t.route(endpoint)
 	if err != nil {
 		return err
 	}
-	return best.Loopback().RoundTripRaw(endpoint, action, req, resp)
+	return best.Loopback().RoundTripRawCtx(ctx, endpoint, action, req, resp)
 }

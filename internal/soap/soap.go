@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/xmlutil"
 )
@@ -56,6 +57,7 @@ const (
 	ErrCodeTimeout        = "Timeout"
 	ErrCodeInternal       = "InternalError"
 	ErrCodeUnavailable    = "ServiceUnavailable"
+	ErrCodeServerBusy     = "ServerBusy"
 )
 
 // Envelope is a parsed or under-construction SOAP 1.1 envelope.
@@ -248,11 +250,54 @@ type Fault struct {
 	// Detail carries application detail entries. The portal error relay
 	// lives here as a PortalErrorNS entry.
 	Detail []*xmlutil.Element
+	// RetryAfter, when positive, advises the caller how long to wait
+	// before retrying (load shedding and drain rejections set it). It is
+	// transport metadata, not part of the fault's wire body: the HTTP
+	// binding relays it as a Retry-After header.
+	RetryAfter time.Duration
 }
 
 // Error implements the error interface.
 func (f *Fault) Error() string {
 	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
+}
+
+// AsFault unwraps err into a *Fault if it is one or wraps one; otherwise
+// nil. Dispatch layers use it instead of a direct type assertion so
+// wrapped faults (e.g. ones held against pooled-storage reuse) still
+// render as proper fault envelopes.
+func AsFault(err error) *Fault {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f
+	}
+	return nil
+}
+
+// heldError marks a handler error whose request storage must NOT be
+// recycled: the handler was abandoned (deadline expired) and a detached
+// goroutine may still be reading the pooled request tree. See Hold.
+type heldError struct{ err error }
+
+func (h *heldError) Error() string { return h.err.Error() }
+func (h *heldError) Unwrap() error { return h.err }
+
+// Hold wraps err to signal that pooled request-side storage (the arena
+// document behind the request envelope) is still referenced by an
+// abandoned handler goroutine and must leak to the garbage collector
+// instead of being released back to its pool. Release sites check Held
+// before recycling. Idempotent; nil-safe.
+func Hold(err error) error {
+	if err == nil || Held(err) {
+		return err
+	}
+	return &heldError{err: err}
+}
+
+// Held reports whether err (or anything it wraps) was marked by Hold.
+func Held(err error) bool {
+	var h *heldError
+	return errors.As(err, &h)
 }
 
 // PortalError extracts the portal-standard implementation error from the

@@ -1,6 +1,7 @@
 package soap
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"net/http"
@@ -175,7 +176,7 @@ func TestHeaderEntries(t *testing.T) {
 	}
 }
 
-func echoHandler(req *Envelope, _ *http.Request) (*Envelope, error) {
+func echoHandler(_ context.Context, req *Envelope, _ *http.Request) (*Envelope, error) {
 	call, err := ParseCall(req)
 	if err != nil {
 		return nil, err

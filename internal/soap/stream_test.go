@@ -2,6 +2,7 @@ package soap
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net/http"
 	"strings"
@@ -128,7 +129,7 @@ func TestFaultEnvelopeRelay(t *testing.T) {
 }
 
 func TestRawTransportLoopback(t *testing.T) {
-	lb := &LoopbackTransport{Handler: func(req *Envelope, _ *http.Request) (*Envelope, error) {
+	lb := &LoopbackTransport{Handler: func(_ context.Context, req *Envelope, _ *http.Request) (*Envelope, error) {
 		call, err := ParseCall(req)
 		if err != nil {
 			return nil, err

@@ -2,9 +2,11 @@ package soap
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -35,19 +37,75 @@ type RawTransport interface {
 	RoundTripRaw(endpoint string, action string, req *Envelope, resp *bytes.Buffer) error
 }
 
+// ContextTransport is implemented by transports that can scope one round
+// trip to a context: cancelling it abandons the call. RoundTrip is
+// equivalent to RoundTripCtx with context.Background().
+type ContextTransport interface {
+	Transport
+	RoundTripCtx(ctx context.Context, endpoint, action string, req *Envelope) (*Envelope, error)
+}
+
+// ContextRawTransport is the raw-bytes variant of ContextTransport.
+type ContextRawTransport interface {
+	RawTransport
+	RoundTripRawCtx(ctx context.Context, endpoint, action string, req *Envelope, resp *bytes.Buffer) error
+}
+
+// RoundTripContext performs one round trip under ctx when the transport
+// supports it, falling back to the plain method (which ignores ctx beyond
+// an up-front cancellation check) otherwise.
+func RoundTripContext(ctx context.Context, t Transport, endpoint, action string, req *Envelope) (*Envelope, error) {
+	if ct, ok := t.(ContextTransport); ok {
+		return ct.RoundTripCtx(ctx, endpoint, action, req)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t.RoundTrip(endpoint, action, req)
+}
+
+// RoundTripRawContext is RoundTripContext for the raw-bytes path.
+func RoundTripRawContext(ctx context.Context, t RawTransport, endpoint, action string, req *Envelope, resp *bytes.Buffer) error {
+	if ct, ok := t.(ContextRawTransport); ok {
+		return ct.RoundTripRawCtx(ctx, endpoint, action, req, resp)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return t.RoundTripRaw(endpoint, action, req, resp)
+}
+
 var (
-	defaultClientOnce sync.Once
-	defaultClient     *http.Client
+	defaultClientMu      sync.Mutex
+	defaultClient        *http.Client
+	defaultClientTimeout = 30 * time.Second
 )
 
 // DefaultClient returns the shared HTTP client used when an HTTPTransport
-// has none configured. It is constructed once so TCP connections are
-// pooled and reused across calls instead of being re-dialled per request.
+// has none configured. It is constructed once (per timeout setting) so TCP
+// connections are pooled and reused across calls instead of being
+// re-dialled per request.
 func DefaultClient() *http.Client {
-	defaultClientOnce.Do(func() {
-		defaultClient = &http.Client{Timeout: 30 * time.Second}
-	})
+	defaultClientMu.Lock()
+	defer defaultClientMu.Unlock()
+	if defaultClient == nil {
+		defaultClient = &http.Client{Timeout: defaultClientTimeout}
+	}
 	return defaultClient
+}
+
+// SetDefaultClientTimeout changes the whole-call timeout of the shared
+// default HTTP client (30s initially; 0 disables it, leaving deadlines to
+// request contexts). Transports that need a different budget per call
+// should set HTTPTransport.Timeout or pass a request context instead.
+func SetDefaultClientTimeout(d time.Duration) {
+	defaultClientMu.Lock()
+	defer defaultClientMu.Unlock()
+	if d == defaultClientTimeout && defaultClient != nil {
+		return
+	}
+	defaultClientTimeout = d
+	defaultClient = &http.Client{Timeout: d}
 }
 
 // HTTPTransport sends SOAP messages over HTTP POST with a SOAPAction
@@ -55,13 +113,44 @@ func DefaultClient() *http.Client {
 type HTTPTransport struct {
 	// Client is the underlying HTTP client; DefaultClient() when nil.
 	Client *http.Client
+	// Timeout, when positive and Client is nil, gives this transport its
+	// own pooled client with that whole-call timeout instead of the shared
+	// default's. Request contexts still apply: whichever expires first
+	// cancels the call.
+	Timeout time.Duration
+
+	mu       sync.Mutex
+	owned    *http.Client
+	ownedFor time.Duration
+}
+
+// client resolves the HTTP client for one call.
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	if t.Timeout > 0 {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if t.owned == nil || t.ownedFor != t.Timeout {
+			t.owned = &http.Client{Timeout: t.Timeout}
+			t.ownedFor = t.Timeout
+		}
+		return t.owned
+	}
+	return DefaultClient()
 }
 
 // RoundTrip implements Transport over HTTP.
 func (t *HTTPTransport) RoundTrip(endpoint, action string, req *Envelope) (*Envelope, error) {
+	return t.RoundTripCtx(context.Background(), endpoint, action, req)
+}
+
+// RoundTripCtx implements ContextTransport over HTTP.
+func (t *HTTPTransport) RoundTripCtx(ctx context.Context, endpoint, action string, req *Envelope) (*Envelope, error) {
 	respBuf := xmlutil.GetBuffer()
 	defer xmlutil.PutBuffer(respBuf)
-	if err := t.RoundTripRaw(endpoint, action, req, respBuf); err != nil {
+	if err := t.RoundTripRawCtx(ctx, endpoint, action, req, respBuf); err != nil {
 		return nil, err
 	}
 	return ParseEnvelopeBytes(respBuf.Bytes())
@@ -72,11 +161,14 @@ func (t *HTTPTransport) RoundTrip(endpoint, action string, req *Envelope) (*Enve
 // respBuf is restored to its pre-call length, so callers may reuse one
 // buffer across attempts.
 func (t *HTTPTransport) RoundTripRaw(endpoint, action string, req *Envelope, respBuf *bytes.Buffer) error {
+	return t.RoundTripRawCtx(context.Background(), endpoint, action, req, respBuf)
+}
+
+// RoundTripRawCtx implements ContextRawTransport over HTTP: the request is
+// scoped to ctx, so a caller deadline cancels the post mid-flight.
+func (t *HTTPTransport) RoundTripRawCtx(ctx context.Context, endpoint, action string, req *Envelope, respBuf *bytes.Buffer) error {
 	mark := respBuf.Len()
-	hc := t.Client
-	if hc == nil {
-		hc = DefaultClient()
-	}
+	hc := t.client()
 	reqBuf := xmlutil.GetBuffer()
 	req.AppendTo(reqBuf)
 	// Detach the bytes before handing them to net/http: Do can return
@@ -84,7 +176,7 @@ func (t *HTTPTransport) RoundTripRaw(endpoint, action string, req *Envelope, res
 	// pooled buffer must not be recycled under an aliasing reader.
 	body := bytes.Clone(reqBuf.Bytes())
 	xmlutil.PutBuffer(reqBuf)
-	httpReq, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(body))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, endpoint, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("soap: build request: %w", err)
 	}
@@ -108,9 +200,11 @@ func (t *HTTPTransport) RoundTripRaw(endpoint, action string, req *Envelope, res
 }
 
 // EnvelopeHandler processes one request envelope and produces a response
-// envelope. Returning an error that is (or wraps) a *Fault sends that
-// fault; any other error becomes a generic Server fault.
-type EnvelopeHandler func(req *Envelope, httpReq *http.Request) (*Envelope, error)
+// envelope. ctx is the request's lifetime (the HTTP request context on the
+// wire path, the caller's context in-process); handlers should stop work
+// when it is cancelled. Returning an error that is (or wraps) a *Fault
+// sends that fault; any other error becomes a generic Server fault.
+type EnvelopeHandler func(ctx context.Context, req *Envelope, httpReq *http.Request) (*Envelope, error)
 
 // RawEnvelopeHandler processes a request straight from its serialised
 // bytes — the streaming decode fast path (core.Provider.DispatchRaw).
@@ -120,7 +214,7 @@ type EnvelopeHandler func(req *Envelope, httpReq *http.Request) (*Envelope, erro
 // and the envelope/error pair is final, with errors converted to fault
 // envelopes exactly as for an EnvelopeHandler. The handler must not
 // retain body past the call.
-type RawEnvelopeHandler func(body []byte, httpReq *http.Request) (resp *Envelope, handled bool, err error)
+type RawEnvelopeHandler func(ctx context.Context, body []byte, httpReq *http.Request) (resp *Envelope, handled bool, err error)
 
 // Handler adapts an EnvelopeHandler into an http.Handler implementing the
 // SOAP 1.1 HTTP binding (faults are sent with status 500).
@@ -144,8 +238,9 @@ func HandlerWithRaw(h EnvelopeHandler, raw RawEnvelopeHandler) http.Handler {
 			return
 		}
 		if raw != nil {
-			if respEnv, handled, herr := raw(body.Bytes(), r); handled {
+			if respEnv, handled, herr := raw(r.Context(), body.Bytes(), r); handled {
 				if herr != nil {
+					setRetryAfter(w, herr)
 					respEnv = faultEnvelope(herr, FaultServer)
 				}
 				writeEnvelope(w, respEnv)
@@ -157,11 +252,14 @@ func HandlerWithRaw(h EnvelopeHandler, raw RawEnvelopeHandler) http.Handler {
 		// tree is recycled. Handlers must not retain request elements.
 		env, doc, err := ParseEnvelopeBytesPooled(body.Bytes())
 		var respEnv *Envelope
+		var herr error
 		if err != nil {
 			respEnv = faultEnvelope(err, FaultClient)
 		} else {
-			out, herr := h(env, r)
+			var out *Envelope
+			out, herr = h(r.Context(), env, r)
 			if herr != nil {
+				setRetryAfter(w, herr)
 				respEnv = faultEnvelope(herr, FaultServer)
 			} else {
 				respEnv = out
@@ -174,13 +272,26 @@ func HandlerWithRaw(h EnvelopeHandler, raw RawEnvelopeHandler) http.Handler {
 		out := xmlutil.GetBuffer()
 		defer xmlutil.PutBuffer(out)
 		respEnv.AppendTo(out)
-		if doc != nil {
-			doc.Release() // response rendered: request tree no longer needed
+		// Response rendered: the request tree is no longer needed — unless
+		// the handler was abandoned on deadline (Held), in which case a
+		// detached goroutine may still read it and the arena must leak to
+		// the garbage collector instead of being recycled underneath it.
+		if doc != nil && !Held(herr) {
+			doc.Release()
 		}
 		w.Header().Set("Content-Type", ContentType)
 		w.WriteHeader(status)
 		_, _ = w.Write(out.Bytes())
 	})
+}
+
+// setRetryAfter relays a fault's retry advice (load shedding, drain) as
+// the standard HTTP header.
+func setRetryAfter(w http.ResponseWriter, err error) {
+	if f := AsFault(err); f != nil && f.RetryAfter > 0 {
+		secs := int((f.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 }
 
 // writeEnvelope serialises one response envelope with the SOAP 1.1 HTTP
@@ -202,8 +313,8 @@ func writeEnvelope(w http.ResponseWriter, respEnv *Envelope) {
 // streamed (tree-free) body. Portal errors are relayed in the detail entry
 // so clients can decode them.
 func faultEnvelope(err error, defaultCode string) *Envelope {
-	f, ok := err.(*Fault)
-	if !ok {
+	f := AsFault(err)
+	if f == nil {
 		if pe := AsPortalError(err); pe != nil {
 			f = pe.Fault()
 		} else {
@@ -239,9 +350,14 @@ type LoopbackTransport struct {
 
 // RoundTrip implements Transport in-process.
 func (t *LoopbackTransport) RoundTrip(endpoint, action string, req *Envelope) (*Envelope, error) {
+	return t.RoundTripCtx(context.Background(), endpoint, action, req)
+}
+
+// RoundTripCtx implements ContextTransport in-process.
+func (t *LoopbackTransport) RoundTripCtx(ctx context.Context, endpoint, action string, req *Envelope) (*Envelope, error) {
 	buf := xmlutil.GetBuffer()
 	defer xmlutil.PutBuffer(buf)
-	if err := t.RoundTripRaw(endpoint, action, req, buf); err != nil {
+	if err := t.RoundTripRawCtx(ctx, endpoint, action, req, buf); err != nil {
 		return nil, err
 	}
 	return ParseEnvelopeBytes(buf.Bytes())
@@ -250,6 +366,12 @@ func (t *LoopbackTransport) RoundTrip(endpoint, action string, req *Envelope) (*
 // RoundTripRaw implements RawTransport in-process: the serialised response
 // envelope is appended to respBuf without being parsed.
 func (t *LoopbackTransport) RoundTripRaw(endpoint, action string, req *Envelope, respBuf *bytes.Buffer) error {
+	return t.RoundTripRawCtx(context.Background(), endpoint, action, req, respBuf)
+}
+
+// RoundTripRawCtx implements ContextRawTransport in-process, handing ctx
+// straight to the handler chain (there is no wire to cancel).
+func (t *LoopbackTransport) RoundTripRawCtx(ctx context.Context, endpoint, action string, req *Envelope, respBuf *bytes.Buffer) error {
 	h := t.Handler
 	if h == nil {
 		var ok bool
@@ -268,7 +390,7 @@ func (t *LoopbackTransport) RoundTripRaw(endpoint, action string, req *Envelope,
 	// header map) would dominate the loopback overhead the benchmarks are
 	// built to isolate.
 	if t.Raw != nil && t.Handler != nil {
-		if out, handled, herr := t.Raw(buf.Bytes(), nil); handled {
+		if out, handled, herr := t.Raw(ctx, buf.Bytes(), nil); handled {
 			if herr != nil {
 				out = faultEnvelope(herr, FaultServer)
 			}
@@ -280,12 +402,16 @@ func (t *LoopbackTransport) RoundTripRaw(endpoint, action string, req *Envelope,
 	if err != nil {
 		return err
 	}
-	out, herr := h(wire, nil)
+	out, herr := h(ctx, wire, nil)
 	if herr != nil {
 		out = faultEnvelope(herr, FaultServer)
 	}
 	out.AppendTo(respBuf)
-	doc.Release() // response rendered: request tree no longer needed
+	// As on the HTTP path: an abandoned handler (Held error) may still be
+	// reading the pooled request tree, so it must not be recycled.
+	if !Held(herr) {
+		doc.Release()
+	}
 	return nil
 }
 
@@ -293,8 +419,13 @@ func (t *LoopbackTransport) RoundTripRaw(endpoint, action string, req *Envelope,
 // the transport, decode the response. A fault response is returned as the
 // error (of type *Fault).
 func Invoke(t Transport, endpoint string, call *Call) (*Response, error) {
+	return InvokeCtx(context.Background(), t, endpoint, call)
+}
+
+// InvokeCtx is Invoke scoped to a context.
+func InvokeCtx(ctx context.Context, t Transport, endpoint string, call *Call) (*Response, error) {
 	env := call.WireEnvelope()
-	respEnv, err := t.RoundTrip(endpoint, call.ServiceNS+"#"+call.Method, env)
+	respEnv, err := RoundTripContext(ctx, t, endpoint, call.ServiceNS+"#"+call.Method, env)
 	if err != nil {
 		return nil, err
 	}

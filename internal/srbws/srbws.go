@@ -51,10 +51,11 @@ func def(b *srb.Broker, defaultUser string) *rpc.Def {
 		Doc:  "SOAP interface to the Storage Resource Broker (GSI authenticated).",
 		Ops: []rpc.Op{
 			{
-				Name: "ls",
-				Doc:  "Returns the directory listing of an SRB collection.",
-				In:   []wsdl.Param{rpc.Str("collection")},
-				Out:  []wsdl.Param{rpc.XML("entries")},
+				Name:       "ls",
+				Idempotent: true,
+				Doc:        "Returns the directory listing of an SRB collection.",
+				In:         []wsdl.Param{rpc.Str("collection")},
+				Out:        []wsdl.Param{rpc.XML("entries")},
 				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
 					user, err := userOf(ctx)
 					if err != nil {
@@ -68,10 +69,11 @@ func def(b *srb.Broker, defaultUser string) *rpc.Def {
 				},
 			},
 			{
-				Name: "cat",
-				Doc:  "Returns the contents of a file in the SRB collection.",
-				In:   []wsdl.Param{rpc.Str("path")},
-				Out:  []wsdl.Param{rpc.Str("contents")},
+				Name:       "cat",
+				Idempotent: true,
+				Doc:        "Returns the contents of a file in the SRB collection.",
+				In:         []wsdl.Param{rpc.Str("path")},
+				Out:        []wsdl.Param{rpc.Str("contents")},
 				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
 					user, err := userOf(ctx)
 					if err != nil {
@@ -85,10 +87,11 @@ func def(b *srb.Broker, defaultUser string) *rpc.Def {
 				},
 			},
 			{
-				Name: "get",
-				Doc:  "Transfers a file to the client by streaming it as one string (proof of concept).",
-				In:   []wsdl.Param{rpc.Str("path")},
-				Out:  []wsdl.Param{rpc.Str("data")},
+				Name:       "get",
+				Idempotent: true,
+				Doc:        "Transfers a file to the client by streaming it as one string (proof of concept).",
+				In:         []wsdl.Param{rpc.Str("path")},
+				Out:        []wsdl.Param{rpc.Str("data")},
 				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
 					user, err := userOf(ctx)
 					if err != nil {
@@ -139,10 +142,11 @@ func def(b *srb.Broker, defaultUser string) *rpc.Def {
 				},
 			},
 			{
-				Name: "stat",
-				Doc:  "Returns a file's size, enabling chunked transfer (scalability extension).",
-				In:   []wsdl.Param{rpc.Str("path")},
-				Out:  []wsdl.Param{rpc.Int("size")},
+				Name:       "stat",
+				Idempotent: true,
+				Doc:        "Returns a file's size, enabling chunked transfer (scalability extension).",
+				In:         []wsdl.Param{rpc.Str("path")},
+				Out:        []wsdl.Param{rpc.Int("size")},
 				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
 					user, err := userOf(ctx)
 					if err != nil {
@@ -156,10 +160,11 @@ func def(b *srb.Broker, defaultUser string) *rpc.Def {
 				},
 			},
 			{
-				Name: "getChunk",
-				Doc:  "Reads one bounded chunk of a file (scalability extension).",
-				In:   []wsdl.Param{rpc.Str("path"), rpc.Int("offset"), rpc.Int("size")},
-				Out:  []wsdl.Param{rpc.Str("data")},
+				Name:       "getChunk",
+				Idempotent: true,
+				Doc:        "Reads one bounded chunk of a file (scalability extension).",
+				In:         []wsdl.Param{rpc.Str("path"), rpc.Int("offset"), rpc.Int("size")},
+				Out:        []wsdl.Param{rpc.Str("data")},
 				Handle: func(ctx *core.Context, in rpc.Args) ([]interface{}, error) {
 					user, err := userOf(ctx)
 					if err != nil {

@@ -81,9 +81,10 @@ func def(r *Registry) *rpc.Def {
 				},
 			},
 			{
-				Name: "findBusiness",
-				In:   []wsdl.Param{rpc.Str("name")},
-				Out:  []wsdl.Param{rpc.XML("businessList")},
+				Name:       "findBusiness",
+				Idempotent: true,
+				In:         []wsdl.Param{rpc.Str("name")},
+				Out:        []wsdl.Param{rpc.XML("businessList")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					list := xmlutil.New("businessList")
 					for _, b := range r.FindBusiness(in.Str("name")) {
@@ -96,34 +97,38 @@ func def(r *Registry) *rpc.Def {
 				},
 			},
 			{
-				Name: "findService",
-				In:   []wsdl.Param{rpc.Str("businessKey"), rpc.Str("name")},
-				Out:  []wsdl.Param{rpc.XML("serviceList")},
+				Name:       "findService",
+				Idempotent: true,
+				In:         []wsdl.Param{rpc.Str("businessKey"), rpc.Str("name")},
+				Out:        []wsdl.Param{rpc.XML("serviceList")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return rpc.Ret(serviceList(r.FindService(in.Str("businessKey"), in.Str("name")))), nil
 				},
 			},
 			{
-				Name: "findServiceByTModel",
-				In:   []wsdl.Param{rpc.Str("tModelKey")},
-				Out:  []wsdl.Param{rpc.XML("serviceList")},
+				Name:       "findServiceByTModel",
+				Idempotent: true,
+				In:         []wsdl.Param{rpc.Str("tModelKey")},
+				Out:        []wsdl.Param{rpc.XML("serviceList")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return rpc.Ret(serviceList(r.FindServiceByTModel(in.Str("tModelKey")))), nil
 				},
 			},
 			{
-				Name: "findByDescription",
-				Doc:  "Substring search over service descriptions: the string-convention capability lookup.",
-				In:   []wsdl.Param{rpc.Str("pattern")},
-				Out:  []wsdl.Param{rpc.XML("serviceList")},
+				Name:       "findByDescription",
+				Idempotent: true,
+				Doc:        "Substring search over service descriptions: the string-convention capability lookup.",
+				In:         []wsdl.Param{rpc.Str("pattern")},
+				Out:        []wsdl.Param{rpc.XML("serviceList")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					return rpc.Ret(serviceList(r.FindByConvention(in.Str("pattern")))), nil
 				},
 			},
 			{
-				Name: "getServiceDetail",
-				In:   []wsdl.Param{rpc.Str("serviceKey")},
-				Out:  []wsdl.Param{rpc.XML("service")},
+				Name:       "getServiceDetail",
+				Idempotent: true,
+				In:         []wsdl.Param{rpc.Str("serviceKey")},
+				Out:        []wsdl.Param{rpc.XML("service")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					s, err := r.GetServiceDetail(in.Str("serviceKey"))
 					if err != nil {
@@ -133,9 +138,10 @@ func def(r *Registry) *rpc.Def {
 				},
 			},
 			{
-				Name: "getTModel",
-				In:   []wsdl.Param{rpc.Str("tModelKey")},
-				Out:  []wsdl.Param{rpc.XML("tModel")},
+				Name:       "getTModel",
+				Idempotent: true,
+				In:         []wsdl.Param{rpc.Str("tModelKey")},
+				Out:        []wsdl.Param{rpc.XML("tModel")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					t, err := r.GetTModel(in.Str("tModelKey"))
 					if err != nil {

@@ -1,6 +1,7 @@
 package webflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -8,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // UserException is raised by a servant and propagated to the client as a
@@ -39,12 +42,25 @@ func (f ServantFunc) Invoke(operation string, args []string) ([]string, error) {
 // Server is the WebFlow ORB server: it listens on TCP and dispatches
 // requests to registered servants by object key.
 type Server struct {
+	// IOTimeout bounds each read of a request frame and write of a reply
+	// frame on a connection; zero means DefaultIOTimeout. Set before
+	// Listen.
+	IOTimeout time.Duration
+
 	mu       sync.RWMutex
 	servants map[string]Servant
 	ln       net.Listener
 	closed   atomic.Bool
 	wg       sync.WaitGroup
 }
+
+// Default timeouts applied when the corresponding Server/ORB fields are
+// left zero.
+const (
+	DefaultIOTimeout   = 30 * time.Second
+	DefaultDialTimeout = 5 * time.Second
+	DefaultCallTimeout = 30 * time.Second
+)
 
 // NewServer creates a server with no servants.
 func NewServer() *Server {
@@ -105,11 +121,15 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	io := s.IOTimeout
+	if io <= 0 {
+		io = DefaultIOTimeout
+	}
 	for {
 		if s.closed.Load() {
 			return
 		}
-		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		_ = conn.SetReadDeadline(time.Now().Add(io))
 		f, err := readFrame(conn)
 		if err != nil {
 			return
@@ -122,7 +142,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		rep := s.dispatch(req)
-		_ = conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		_ = conn.SetWriteDeadline(time.Now().Add(io))
 		if err := writeFrame(conn, frame{msgType: msgReply, body: encodeReply(rep)}); err != nil {
 			return
 		}
@@ -154,10 +174,18 @@ func (s *Server) dispatch(req request) reply {
 // one is the "initializing the client ORB" utility work the paper
 // describes; connections are pooled per server address.
 type ORB struct {
-	// DialTimeout bounds connection establishment.
+	// DialTimeout bounds connection establishment; zero means
+	// DefaultDialTimeout.
 	DialTimeout time.Duration
-	// CallTimeout bounds one request/reply exchange.
+	// CallTimeout bounds one request/reply exchange; zero means
+	// DefaultCallTimeout. A tighter deadline on the InvokeCtx context
+	// always wins.
 	CallTimeout time.Duration
+	// Retry, when set, governs re-dial attempts after connection
+	// establishment fails. Only dialing is retried: once a request frame
+	// may have reached the wire its effects are unknown, so send and
+	// receive failures are surfaced to the caller.
+	Retry *resilience.RetryPolicy
 
 	mu    sync.Mutex
 	conns map[string]net.Conn
@@ -167,8 +195,8 @@ type ORB struct {
 // InitORB constructs a client ORB with default timeouts.
 func InitORB() *ORB {
 	return &ORB{
-		DialTimeout: 5 * time.Second,
-		CallTimeout: 30 * time.Second,
+		DialTimeout: DefaultDialTimeout,
+		CallTimeout: DefaultCallTimeout,
 		conns:       map[string]net.Conn{},
 	}
 }
@@ -211,54 +239,96 @@ func (orb *ORB) Shutdown() {
 
 // Invoke performs a synchronous request on the referenced object.
 func (o *ObjectRef) Invoke(operation string, args ...string) ([]string, error) {
+	return o.InvokeCtx(context.Background(), operation, args...)
+}
+
+// InvokeCtx performs a synchronous request bounded by ctx: the exchange
+// deadline is the tighter of the context deadline and the ORB's
+// CallTimeout, and when the ORB carries a retry policy, failed dials are
+// retried with backoff until the context expires.
+func (o *ObjectRef) InvokeCtx(ctx context.Context, operation string, args ...string) ([]string, error) {
+	orb := o.orb
+	attempts := orb.Retry.Attempts()
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		results, redialable, err := o.invokeOnce(ctx, operation, args)
+		if err == nil || !redialable || attempt+1 >= attempts {
+			return results, err
+		}
+		if werr := orb.Retry.Wait(ctx, attempt); werr != nil {
+			return nil, err
+		}
+	}
+}
+
+// invokeOnce runs one exchange over the pooled connection. redialable
+// reports whether the failure happened before any bytes could reach the
+// server (a dial failure), making a retry safe for any operation.
+func (o *ObjectRef) invokeOnce(ctx context.Context, operation string, args []string) (_ []string, redialable bool, _ error) {
 	orb := o.orb
 	orb.mu.Lock()
 	defer orb.mu.Unlock()
 	conn, ok := orb.conns[o.addr]
 	if !ok {
 		var err error
-		conn, err = net.DialTimeout("tcp", o.addr, orb.DialTimeout)
+		conn, err = net.DialTimeout("tcp", o.addr, resilience.Timeout(ctx, orb.dialTimeout()))
 		if err != nil {
-			return nil, fmt.Errorf("webflow: dial %s: %w", o.addr, err)
+			return nil, true, fmt.Errorf("webflow: dial %s: %w", o.addr, err)
 		}
 		orb.conns[o.addr] = conn
 	}
 	orb.seq++
 	req := request{id: orb.seq, objectKey: o.objectKey, operation: operation, args: args}
-	deadline := time.Now().Add(orb.CallTimeout)
+	deadline := time.Now().Add(resilience.Timeout(ctx, orb.callTimeout()))
 	_ = conn.SetDeadline(deadline)
 	if err := writeFrame(conn, frame{msgType: msgRequest, body: encodeRequest(req)}); err != nil {
 		delete(orb.conns, o.addr)
 		_ = conn.Close()
-		return nil, fmt.Errorf("webflow: send: %w", err)
+		return nil, false, fmt.Errorf("webflow: send: %w", err)
 	}
 	f, err := readFrame(conn)
 	if err != nil {
 		delete(orb.conns, o.addr)
 		_ = conn.Close()
-		return nil, fmt.Errorf("webflow: receive: %w", err)
+		return nil, false, fmt.Errorf("webflow: receive: %w", err)
 	}
 	rep, err := decodeReply(f.body)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if rep.id != req.id {
-		return nil, fmt.Errorf("webflow: reply id %d for request %d", rep.id, req.id)
+		return nil, false, fmt.Errorf("webflow: reply id %d for request %d", rep.id, req.id)
 	}
 	switch rep.status {
 	case statusOK:
-		return rep.results, nil
+		return rep.results, false, nil
 	case statusUserException:
 		msg := "unknown"
 		if len(rep.results) > 0 {
 			msg = rep.results[0]
 		}
-		return nil, &UserException{Message: msg}
+		return nil, false, &UserException{Message: msg}
 	default:
 		msg := "unknown"
 		if len(rep.results) > 0 {
 			msg = rep.results[0]
 		}
-		return nil, fmt.Errorf("webflow: system exception: %s", msg)
+		return nil, false, fmt.Errorf("webflow: system exception: %s", msg)
 	}
+}
+
+func (orb *ORB) dialTimeout() time.Duration {
+	if orb.DialTimeout > 0 {
+		return orb.DialTimeout
+	}
+	return DefaultDialTimeout
+}
+
+func (orb *ORB) callTimeout() time.Duration {
+	if orb.CallTimeout > 0 {
+		return orb.CallTimeout
+	}
+	return DefaultCallTimeout
 }

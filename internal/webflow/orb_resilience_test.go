@@ -1,0 +1,107 @@
+package webflow
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// TestInvokeCtxDeadline: a server that accepts but never answers must not
+// hold the caller past its context deadline, even with a long CallTimeout.
+func TestInvokeCtxDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold open, never reply
+		}
+	}()
+
+	orb := InitORB()
+	orb.CallTimeout = 10 * time.Second
+	defer orb.Shutdown()
+	ref, err := orb.Resolve("wflo://" + ln.Addr().String() + "/obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := ref.InvokeCtx(ctx, "ping"); err == nil {
+		t.Fatal("invoke against a mute server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("caller deadline ignored: returned after %v", elapsed)
+	}
+}
+
+// TestInvokeCtxDialRetry: dial failures — the one failure mode that cannot
+// have executed — are retried under the ORB's policy before surfacing.
+func TestInvokeCtxDialRetry(t *testing.T) {
+	// Reserve a port and close it so dials are refused deterministically.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	retry := &resilience.RetryPolicy{
+		MaxAttempts: 3,
+		Backoff:     resilience.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+		Seed:        1,
+	}
+	orb := InitORB()
+	orb.DialTimeout = 50 * time.Millisecond
+	orb.Retry = retry
+	defer orb.Shutdown()
+	ref, err := orb.Resolve("wflo://" + addr + "/obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.InvokeCtx(context.Background(), "ping"); err == nil {
+		t.Fatal("invoke against a closed port succeeded")
+	}
+	if got := retry.Retries(); got != 2 {
+		t.Fatalf("retries = %d, want 2 (3 attempts)", got)
+	}
+}
+
+// TestServerConfigurableIOTimeout: the server frame deadlines follow the
+// configured IOTimeout and normal exchanges still work.
+func TestServerConfigurableIOTimeout(t *testing.T) {
+	srv := NewServer()
+	srv.IOTimeout = 2 * time.Second
+	srv.RegisterServant("echo", ServantFunc(func(op string, args []string) ([]string, error) {
+		return append([]string{op}, args...), nil
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	orb := InitORB()
+	defer orb.Shutdown()
+	ref, err := orb.Resolve("wflo://" + addr + "/echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ref.InvokeCtx(context.Background(), "greet", "hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != "greet" || out[1] != "hi" {
+		t.Fatalf("echo = %v", out)
+	}
+}

@@ -45,6 +45,11 @@ type Operation struct {
 	Input []Param
 	// Output parameters in order.
 	Output []Param
+	// Idempotent declares that repeating the operation observes the same
+	// effect as invoking it once, so clients may retry it on ambiguous
+	// transport failures. It is local contract metadata (WSDL 1.1 has no
+	// standard marker for it) and is not rendered into the document.
+	Idempotent bool
 }
 
 // Interface is the abstract service contract: what the paper's groups

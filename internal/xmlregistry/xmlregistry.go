@@ -507,9 +507,10 @@ func def(r *Registry) *rpc.Def {
 				},
 			},
 			{
-				Name: "get",
-				In:   []wsdl.Param{rpc.Str("path")},
-				Out:  []wsdl.Param{rpc.XML("container")},
+				Name:       "get",
+				Idempotent: true,
+				In:         []wsdl.Param{rpc.Str("path")},
+				Out:        []wsdl.Param{rpc.XML("container")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					c, err := r.Get(in.Str("path"))
 					if err != nil {
@@ -530,9 +531,10 @@ func def(r *Registry) *rpc.Def {
 				},
 			},
 			{
-				Name: "find",
-				In:   []wsdl.Param{rpc.XML("query")},
-				Out:  []wsdl.Param{rpc.XML("matches")},
+				Name:       "find",
+				Idempotent: true,
+				In:         []wsdl.Param{rpc.XML("query")},
+				Out:        []wsdl.Param{rpc.XML("matches")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
 					qEl := in.XML("query")
 					if qEl == nil {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/contextmgr"
 	"repro/internal/core"
 	"repro/internal/databind"
+	"repro/internal/gateway"
 	"repro/internal/grid"
 	"repro/internal/gss"
 	"repro/internal/jobsub"
@@ -83,6 +84,36 @@ func BenchmarkFigure1_DirectCall(b *testing.B) {
 
 func BenchmarkFigure1_SOAPInvoke(b *testing.B) {
 	_, cl, _, _, _ := fig1Fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.GenerateScript(benchRequest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure1_SOAPInvoke_Gateway is the same SOAP hop routed through
+// the federated front door: mount by WSIL/WSDL crawl, consistent-hash
+// ring lookup, breaker admission, forward, relay. The delta against
+// BenchmarkFigure1_SOAPInvoke is the price of federation.
+func BenchmarkFigure1_SOAPInvoke_Gateway(b *testing.B) {
+	srv := rpc.NewServer("bench", "http://backend.bench")
+	srv.Provider("/ssp").MustRegister(batchscript.NewService(batchscript.NewIUGenerator()))
+	gw := gateway.New("gw", "http://gw.bench")
+	gw.Fetch = func(u string) (string, error) {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, u, nil))
+		if rec.Code != http.StatusOK {
+			return "", fmt.Errorf("GET %s: HTTP %d", u, rec.Code)
+		}
+		return rec.Body.String(), nil
+	}
+	gw.Forward = &gateway.TransportForwarder{RT: srv.Transport().(soap.RawTransport)}
+	if err := gw.Mount("http://backend.bench"); err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+	cl := batchscript.NewClient(gw.Loopback(), "http://gw.bench/ssp/BatchScriptGenerator")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cl.GenerateScript(benchRequest); err != nil {

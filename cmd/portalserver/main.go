@@ -61,6 +61,7 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 	user := flag.String("user", "guest", "default portal principal")
 	baseURL := flag.String("base", "", "externally visible base URL (default http://localhost<addr>)")
+	flushToken := flag.String("flush-token", "", "enable the authenticated __flush cache-invalidation op with this shared token")
 	flag.Parse()
 	base := *baseURL
 	if base == "" {
@@ -124,6 +125,14 @@ func main() {
 	xregSvc.Use(xregCache.Middleware(rpc.OpPrefixes("find", "get")))
 	srv.Stats().RegisterCache("xmlregistry", xregCache)
 	srv.Provider("/registry").MustRegister(xregSvc)
+
+	// Cross-node cache invalidation: a federating gateway posts the
+	// authenticated __flush control op after forwarding a write elsewhere.
+	if *flushToken != "" {
+		srv.RegisterFlushCache(uddi.ServiceNS, uddiCache)
+		srv.RegisterFlushCache(xmlregistry.ServiceNS, xregCache)
+		srv.EnableCacheFlush(*flushToken)
+	}
 
 	// Authentication Service.
 	kdc := gss.NewKDC("PORTAL.LOCAL")

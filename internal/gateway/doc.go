@@ -1,0 +1,56 @@
+// Package gateway is the federated front door over a fleet of portal
+// providers. Where rpc.Server hosts services on one node, the gateway
+// makes several such nodes look like a single portal — the paper's
+// interoperability promise carried one level up, from services that
+// compose across groups to whole deployments that compose across sites.
+// It is built entirely from the published contracts: the gateway learns
+// what a backend offers the same way any client would, by reading its
+// WS-Inspection document and the WSDL it points at.
+//
+// # Federation by inspection
+//
+// Mount crawls each backend's /inspection.wsil, fetches every advertised
+// WSDL, and mounts the service on the gateway under the path it occupies
+// on the backend. A service advertised by several backends becomes one
+// replicated route; each additional replica's interface is checked with
+// wsdl.CheckCompatible against the first-mounted contract and rejected on
+// divergence, enforcing the agreed-interface discipline at federation
+// time rather than at first failing call. The gateway republishes an
+// aggregated inspection document (one entry per federated service,
+// pointing at the gateway's own WSDL republication, plus links to every
+// backend) so discovery composes transitively.
+//
+// # Health-aware consistent-hash routing
+//
+// Each request routes by consistent hashing: the request path and body
+// hash to a point on a virtual-node ring over the mounted backends, and
+// the request goes to the first replica clockwise whose circuit breaker
+// admits it. The same inquiry therefore lands on the same replica —
+// keeping that node's rpc.ResponseCache warm — while a node loss remaps
+// only the keys that hashed into its arcs. Health comes from two feeds
+// into one resilience.BreakerSet: a background /healthz prober
+// (StartHealth) and the live outcome of every forwarded call. An open
+// circuit removes the node from the healthy set; after the open window a
+// half-open probe readmits it.
+//
+// # Relay semantics
+//
+// The gateway forwards request bytes verbatim and relays response bytes,
+// HTTP status, and Retry-After unchanged — a fault raised by a backend
+// arrives at the caller exactly as the backend wrote it, so end-to-end
+// byte-identity with a direct connection holds (the golden suite and the
+// chaos tests pin this). Failover retries are attempted only for
+// operations the contract marks idempotent: a transport error on any
+// other operation may mean an executed write, so the gateway returns a
+// typed Unavailable fault with Retry-After and leaves the retry decision
+// with the caller instead of risking a duplicate.
+//
+// # Write-through cache invalidation
+//
+// A successful non-idempotent operation invalidates the service's
+// response caches fleet-wide: the handling backend flushes its own cache
+// (its cache middleware already does this), and the gateway posts the
+// authenticated __flush control op (rpc.FlushPath) to every other
+// replica before relaying the response, so a read-after-write through
+// the gateway never observes a stale cached answer.
+package gateway

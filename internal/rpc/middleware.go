@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -188,8 +189,14 @@ type Stats struct {
 	decodeTree atomic.Uint64
 
 	// inFlight gauges requests currently inside the middleware chain;
-	// graceful drain waits on it reaching zero.
+	// graceful drain waits on it reaching zero via WaitIdle.
 	inFlight atomic.Int64
+	// idleMu guards idleCh, the drain signal WaitIdle parks on: created
+	// lazily by a waiter, closed by the request that takes the gauge to
+	// zero. The gauge itself stays lock-free — the mutex is touched only
+	// on the zero crossing and while a drain is actually waiting.
+	idleMu sync.Mutex
+	idleCh chan struct{}
 	// timeouts counts requests answered with the portal Timeout fault,
 	// shed those rejected ServerBusy, drained those rejected while the
 	// server was draining (ServiceUnavailable).
@@ -282,7 +289,7 @@ func (s *Stats) Middleware() core.Middleware {
 			start := time.Now()
 			s.inFlight.Add(1)
 			vals, err := next(ctx, args)
-			s.inFlight.Add(-1)
+			s.exit()
 			// ctx.Decoded is only ever set by the streaming fast path
 			// (Provider.DispatchRaw), so its presence identifies the
 			// decode path that produced this request.
@@ -292,7 +299,25 @@ func (s *Stats) Middleware() core.Middleware {
 	}
 }
 
+// Record counts one operation outcome that did not flow through the
+// middleware chain — the federated gateway uses it to surface per-op
+// forwarding counts and latencies at its own /healthz. Unlike the
+// middleware it touches neither the in-flight gauge nor the decode-path
+// counters (a relayed request is never decoded here).
+func (s *Stats) Record(key string, d time.Duration, err error) {
+	s.recordOutcome(key, d, err)
+}
+
 func (s *Stats) record(key string, d time.Duration, err error, fastPath bool) {
+	s.recordOutcome(key, d, err)
+	if fastPath {
+		s.decodeFast.Add(1)
+	} else {
+		s.decodeTree.Add(1)
+	}
+}
+
+func (s *Stats) recordOutcome(key string, d time.Duration, err error) {
 	v, ok := s.ops.Load(key)
 	if !ok {
 		// First request for this operation: race to install the accumulator;
@@ -316,11 +341,6 @@ func (s *Stats) record(key string, d time.Duration, err error, fastPath bool) {
 				s.drained.Add(1)
 			}
 		}
-	}
-	if fastPath {
-		s.decodeFast.Add(1)
-	} else {
-		s.decodeTree.Add(1)
 	}
 	ns := d.Nanoseconds()
 	op.totalNS.Add(ns)
@@ -349,8 +369,49 @@ func (s *Stats) DecodeSnapshot() DecodeStats {
 }
 
 // InFlight reports how many requests are currently inside the middleware
-// chain; graceful drain polls it down to zero.
+// chain.
 func (s *Stats) InFlight() int64 { return s.inFlight.Load() }
+
+// exit decrements the in-flight gauge and, on the transition to zero,
+// wakes every WaitIdle waiter.
+func (s *Stats) exit() {
+	if s.inFlight.Add(-1) != 0 {
+		return
+	}
+	s.idleMu.Lock()
+	// Re-check under the lock: a request admitted after the decrement may
+	// have raised the gauge again, in which case its own exit signals.
+	if s.idleCh != nil && s.inFlight.Load() == 0 {
+		close(s.idleCh)
+		s.idleCh = nil
+	}
+	s.idleMu.Unlock()
+}
+
+// WaitIdle blocks until no requests are in flight or ctx expires. A
+// collector that is already idle — in particular one whose middleware was
+// never installed, so the gauge never moves — returns immediately; there
+// is no polling, the waiter parks on a channel closed by the request that
+// takes the gauge to zero.
+func (s *Stats) WaitIdle(ctx context.Context) error {
+	for {
+		s.idleMu.Lock()
+		if s.inFlight.Load() == 0 {
+			s.idleMu.Unlock()
+			return nil
+		}
+		if s.idleCh == nil {
+			s.idleCh = make(chan struct{})
+		}
+		ch := s.idleCh
+		s.idleMu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
 
 // RetryStats is one registered retry policy's counters.
 type RetryStats struct {

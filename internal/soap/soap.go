@@ -81,6 +81,20 @@ type Envelope struct {
 	// streamFault marks a streamed envelope whose body is a Fault, since
 	// the usual Body[0] inspection is unavailable.
 	streamFault bool
+
+	// raw, when non-nil, is an already-serialised envelope relayed
+	// verbatim by AppendTo (no XML declaration is prepended — the bytes
+	// carry their own). The gateway's forwarding path uses it to push
+	// request bytes through a transport without a parse/re-render round
+	// trip. Such an envelope is opaque: Header/Body/stream are ignored.
+	raw []byte
+}
+
+// RawEnvelope wraps already-serialised envelope bytes so they can be
+// re-sent through any transport byte-identically. The caller must keep
+// data unmodified until the round trip completes.
+func RawEnvelope(data []byte) *Envelope {
+	return &Envelope{raw: data}
 }
 
 // bodyStreamer emits the primary body entry of a streamed envelope
@@ -152,6 +166,10 @@ func (e *Envelope) Render() string {
 // materialising an element tree; the output is byte-identical to the tree
 // path either way.
 func (e *Envelope) AppendTo(b *bytes.Buffer) {
+	if e.raw != nil {
+		b.Write(e.raw)
+		return
+	}
 	b.WriteString(xmlDecl)
 	if e.stream == nil {
 		e.Element().RenderTo(b)

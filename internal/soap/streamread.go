@@ -324,3 +324,31 @@ func ParseResponseStream(data []byte) (*Response, bool) {
 	}
 	return resp, true
 }
+
+// SniffBody reports the namespace and local name of the primary body entry
+// of serialised envelope bytes without building an element tree, falling
+// back to a full parse for envelopes outside the streaming subset (ones
+// carrying headers, say). Unparseable bytes yield ok=false. The gateway
+// uses it to identify the operation a request targets — and whether a
+// relayed response is a fault — from raw bytes alone.
+func SniffBody(data []byte) (space, name string, ok bool) {
+	r := AcquireBodyReader(data)
+	space, name, ok = r.Begin()
+	r.Release()
+	if ok {
+		return space, name, true
+	}
+	env, err := ParseEnvelopeBytes(data)
+	if err != nil || len(env.Body) == 0 {
+		return "", "", false
+	}
+	return env.Body[0].Space, env.Body[0].Name, true
+}
+
+// IsFaultBytes reports whether serialised envelope bytes carry a Fault as
+// their primary body entry — the raw-bytes counterpart of the SOAP 1.1
+// rule that maps fault responses onto HTTP 500.
+func IsFaultBytes(data []byte) bool {
+	space, name, ok := SniffBody(data)
+	return ok && space == EnvelopeNS && name == "Fault"
+}

@@ -3,6 +3,7 @@ package soap
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,7 +18,42 @@ import (
 const ContentType = "text/xml; charset=utf-8"
 
 // maxMessageBytes bounds how much of a request or response body is read.
-const maxMessageBytes = 64 << 20
+// A variable only so boundary tests can exercise the limit without
+// allocating 64 MiB bodies; production code treats it as a constant.
+var maxMessageBytes int64 = 64 << 20
+
+// MaxMessageBytes reports the message size limit both transport directions
+// enforce.
+func MaxMessageBytes() int64 { return maxMessageBytes }
+
+// ErrMessageTooLarge marks a message rejected for exceeding the transport
+// message limit. Oversize bodies are detected, never silently clipped: a
+// truncated envelope would otherwise surface as a misleading XML parse
+// error deep in the decoder.
+var ErrMessageTooLarge = errors.New("soap: message too large")
+
+// ReadMessage appends r's bytes to dst, enforcing the message limit by
+// reading limit+1 bytes and reporting ErrMessageTooLarge when the extra
+// byte arrives. A body of exactly the limit is accepted.
+func ReadMessage(dst *bytes.Buffer, r io.Reader) error {
+	n, err := io.Copy(dst, io.LimitReader(r, maxMessageBytes+1))
+	if err != nil {
+		return err
+	}
+	if n > maxMessageBytes {
+		return ErrMessageTooLarge
+	}
+	return nil
+}
+
+// OversizeFault is the typed fault oversize requests are rejected with —
+// a Client-code fault carrying a BadRequest portal error whose text is
+// deterministic in the limit. The wire binding sends it with HTTP 413.
+func OversizeFault() *Fault {
+	pe := NewPortalError("soap", ErrCodeBadRequest,
+		"request exceeds %d-byte message limit", maxMessageBytes)
+	return &Fault{Code: FaultClient, String: pe.Message, Detail: []*xmlutil.Element{pe.Element()}}
+}
 
 // Transport posts a request envelope to an endpoint and returns the
 // response envelope. Implementations include the HTTP transport below and
@@ -187,8 +223,12 @@ func (t *HTTPTransport) RoundTripRawCtx(ctx context.Context, endpoint, action st
 		return fmt.Errorf("soap: post %s: %w", endpoint, err)
 	}
 	defer resp.Body.Close()
-	if _, err := io.Copy(respBuf, io.LimitReader(resp.Body, maxMessageBytes)); err != nil {
+	if err := ReadMessage(respBuf, resp.Body); err != nil {
 		respBuf.Truncate(mark)
+		if errors.Is(err, ErrMessageTooLarge) {
+			return fmt.Errorf("soap: response from %s exceeds %d-byte message limit: %w",
+				endpoint, maxMessageBytes, ErrMessageTooLarge)
+		}
 		return fmt.Errorf("soap: read response: %w", err)
 	}
 	// SOAP 1.1 uses HTTP 500 for faults; the envelope still parses.
@@ -231,9 +271,17 @@ func HandlerWithRaw(h EnvelopeHandler, raw RawEnvelopeHandler) http.Handler {
 			http.Error(w, "soap endpoint: POST required", http.StatusMethodNotAllowed)
 			return
 		}
+		if r.ContentLength > maxMessageBytes {
+			WriteFault(w, OversizeFault(), http.StatusRequestEntityTooLarge)
+			return
+		}
 		body := xmlutil.GetBuffer()
 		defer xmlutil.PutBuffer(body)
-		if _, err := io.Copy(body, io.LimitReader(r.Body, maxMessageBytes)); err != nil {
+		if err := ReadMessage(body, r.Body); err != nil {
+			if errors.Is(err, ErrMessageTooLarge) {
+				WriteFault(w, OversizeFault(), http.StatusRequestEntityTooLarge)
+				return
+			}
 			http.Error(w, "soap endpoint: read error", http.StatusBadRequest)
 			return
 		}
@@ -304,6 +352,25 @@ func writeEnvelope(w http.ResponseWriter, respEnv *Envelope) {
 	out := xmlutil.GetBuffer()
 	defer xmlutil.PutBuffer(out)
 	respEnv.AppendTo(out)
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(status)
+	_, _ = w.Write(out.Bytes())
+}
+
+// WriteFault serialises f as a fault envelope onto w with the given HTTP
+// status (0 selects the SOAP 1.1 default, 500), relaying any Retry-After
+// advice the fault carries. Endpoints that reject requests outside the
+// normal dispatch path — oversize bodies, the gateway with no healthy
+// backend — use it to stay on the typed-fault contract instead of falling
+// back to plain-text http.Error pages.
+func WriteFault(w http.ResponseWriter, f *Fault, status int) {
+	if status == 0 {
+		status = http.StatusInternalServerError
+	}
+	setRetryAfter(w, f)
+	out := xmlutil.GetBuffer()
+	defer xmlutil.PutBuffer(out)
+	(&Response{Fault: f}).WireEnvelope().AppendTo(out)
 	w.Header().Set("Content-Type", ContentType)
 	w.WriteHeader(status)
 	_, _ = w.Write(out.Bytes())
@@ -413,6 +480,51 @@ func (t *LoopbackTransport) RoundTripRawCtx(ctx context.Context, endpoint, actio
 		doc.Release()
 	}
 	return nil
+}
+
+// ClientPool hands out one pooled HTTP client per backend, so a caller
+// fanning out across many providers keeps a separate connection pool per
+// site: one slow or dead backend cannot monopolise the idle-connection
+// budget the others depend on. The federated gateway keys the pool by
+// backend base URL.
+type ClientPool struct {
+	// Timeout is the whole-call timeout applied to every pooled client
+	// (0 leaves deadlines to request contexts).
+	Timeout time.Duration
+
+	mu      sync.Mutex
+	clients map[string]*http.Client
+}
+
+// For returns the pooled client for one backend, creating it on first use.
+func (p *ClientPool) For(backend string) *http.Client {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.clients[backend]; ok {
+		return c
+	}
+	if p.clients == nil {
+		p.clients = make(map[string]*http.Client)
+	}
+	c := &http.Client{
+		Timeout: p.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+	p.clients[backend] = c
+	return c
+}
+
+// CloseIdle drops every pooled client's idle connections.
+func (p *ClientPool) CloseIdle() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.clients {
+		c.CloseIdleConnections()
+	}
 }
 
 // Invoke performs a full RPC round trip: encode the call, send it through

@@ -22,6 +22,11 @@ const (
 	WSDLNS     = "http://schemas.xmlsoap.org/wsdl/"
 	SOAPBindNS = "http://schemas.xmlsoap.org/wsdl/soap/"
 	XSDNS      = "http://www.w3.org/2001/XMLSchema"
+	// ExtNS is the namespace of portal WSDL extension attributes — the
+	// idempotency marker WSDL 1.1 lacks. WSDL 1.1 explicitly permits
+	// foreign-namespace attributes on its elements, so annotated documents
+	// stay valid for stock tooling.
+	ExtNS = "urn:gce:wsdl-ext"
 )
 
 // Param is one typed message part.
@@ -47,8 +52,11 @@ type Operation struct {
 	Output []Param
 	// Idempotent declares that repeating the operation observes the same
 	// effect as invoking it once, so clients may retry it on ambiguous
-	// transport failures. It is local contract metadata (WSDL 1.1 has no
-	// standard marker for it) and is not rendered into the document.
+	// transport failures. WSDL 1.1 has no standard marker for it, so it is
+	// rendered as the ExtNS idempotent="true" extension attribute on the
+	// portType operation — which is how a federating gateway that only
+	// ever sees a provider's published WSDL learns which operations are
+	// safe to fail over to another replica.
 	Idempotent bool
 }
 
@@ -118,6 +126,9 @@ func (s *Service) Document() *xmlutil.Element {
 	pt := xmlutil.NewNS(WSDLNS, "portType").SetAttr("name", iface.Name)
 	for _, op := range iface.Operations {
 		opEl := xmlutil.NewNS(WSDLNS, "operation").SetAttr("name", op.Name)
+		if op.Idempotent {
+			opEl.SetAttrNS(ExtNS, "idempotent", "true")
+		}
 		if op.Doc != "" {
 			d := xmlutil.NewNS(WSDLNS, "documentation")
 			d.Text = op.Doc
@@ -188,6 +199,9 @@ func (s *Service) AppendTo(b *bytes.Buffer) {
 	for _, op := range iface.Operations {
 		w.Start(WSDLNS, "operation")
 		w.Attr("", "name", op.Name)
+		if op.Idempotent {
+			w.Attr(ExtNS, "idempotent", "true")
+		}
 		if op.Doc != "" {
 			w.Start(WSDLNS, "documentation")
 			w.Text(op.Doc)
@@ -340,7 +354,10 @@ func FromElement(root *xmlutil.Element) (*Service, error) {
 		iface.Doc = d.Text
 	}
 	for _, opEl := range pt.ChildrenNamed("operation") {
-		op := Operation{Name: opEl.AttrDefault("name", "")}
+		op := Operation{
+			Name:       opEl.AttrDefault("name", ""),
+			Idempotent: opEl.AttrDefault("idempotent", "") == "true",
+		}
 		if d := opEl.Child("documentation"); d != nil {
 			op.Doc = d.Text
 		}

@@ -15,9 +15,10 @@ func scriptGenInterface() *Interface {
 		Doc:      "Generates batch queuing scripts for HPC schedulers.",
 		Operations: []Operation{
 			{
-				Name:   "listSchedulers",
-				Doc:    "Lists the queuing systems this generator supports.",
-				Output: []Param{{Name: "schedulers", Type: "stringArray"}},
+				Name:       "listSchedulers",
+				Doc:        "Lists the queuing systems this generator supports.",
+				Output:     []Param{{Name: "schedulers", Type: "stringArray"}},
+				Idempotent: true,
 			},
 			{
 				Name: "generateScript",
@@ -202,6 +203,27 @@ func TestXMLDocumentType(t *testing.T) {
 	op := parsed.Interface.Operation("submitXML")
 	if op.Input[0].Type != "xml" || op.Output[0].Type != "xml" {
 		t.Errorf("xml type lost: %+v", op)
+	}
+}
+
+// TestIdempotentPreserved pins the idempotency extension attribute: the
+// flag survives a render/parse round trip (so a gateway reading published
+// WSDL recovers it) and absent markers parse as false.
+func TestIdempotentPreserved(t *testing.T) {
+	svc := &Service{Name: "S", Interface: scriptGenInterface(), Endpoint: "http://e"}
+	doc := svc.Render()
+	if !strings.Contains(doc, `idempotent="true"`) {
+		t.Fatalf("idempotent marker not rendered:\n%s", doc)
+	}
+	parsed, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Interface.Operation("listSchedulers").Idempotent {
+		t.Error("idempotent flag lost on round trip")
+	}
+	if parsed.Interface.Operation("generateScript").Idempotent {
+		t.Error("unmarked operation parsed as idempotent")
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"repro/internal/srb"
 	"repro/internal/srbws"
 	"repro/internal/uddi"
+	"repro/internal/wal"
 	"repro/internal/webflow"
 	"repro/internal/wsdl"
 	"repro/internal/xmlregistry"
@@ -58,7 +59,7 @@ func fig1Fixture(b *testing.B) (gen *batchscript.Generator, cl *batchscript.Clie
 	tr = ssp.Loopback()
 	cl = batchscript.NewClient(tr, "loopback://iu/BatchScriptGenerator")
 	reg = uddi.NewRegistry()
-	biz := reg.SaveBusiness(uddi.BusinessEntity{Name: "IU"})
+	biz, _ := reg.SaveBusiness(uddi.BusinessEntity{Name: "IU"})
 	if _, err := batchscript.PublishUDDI(reg, biz.Key, "IU BSG",
 		"loopback://iu/BatchScriptGenerator", gen); err != nil {
 		b.Fatal(err)
@@ -120,6 +121,56 @@ func BenchmarkFigure1_SOAPInvoke_Gateway(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFigure1_SOAPInvoke_Durable prices durability on the SOAP write
+// path: the same publish (saveBusiness) against an in-memory registry, a
+// WAL-backed registry with group-committed fsyncs, and — to separate record
+// framing from the fsync itself — a WAL with sync disabled. The in-memory
+// sub-benchmark doubles as the no-regression control: with -data unset the
+// persistence seam is a nil binding, so it must track the historical
+// in-memory publish cost.
+func BenchmarkFigure1_SOAPInvoke_Durable(b *testing.B) {
+	run := func(b *testing.B, attach func(*uddi.Registry) error) {
+		reg := uddi.NewRegistry()
+		if err := attach(reg); err != nil {
+			b.Fatal(err)
+		}
+		ssp := core.NewProvider("uddi-bench", "loopback://uddi")
+		ssp.MustRegister(uddi.NewService(reg))
+		cl := uddi.NewClient(ssp.Loopback(), "loopback://uddi/UDDIRegistry")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.SaveBusiness(fmt.Sprintf("biz-%d", i), "durability bench"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if err := reg.ClosePersist(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("publish-memory", func(b *testing.B) {
+		run(b, func(*uddi.Registry) error { return nil })
+	})
+	b.Run("publish-wal-fsync", func(b *testing.B) {
+		run(b, func(r *uddi.Registry) error {
+			l, err := wal.Open(b.TempDir(), wal.Options{})
+			if err != nil {
+				return err
+			}
+			return r.Persist(l)
+		})
+	})
+	b.Run("publish-wal-nosync", func(b *testing.B) {
+		run(b, func(r *uddi.Registry) error {
+			l, err := wal.Open(b.TempDir(), wal.Options{NoSync: true})
+			if err != nil {
+				return err
+			}
+			return r.Persist(l)
+		})
+	})
 }
 
 func BenchmarkFigure1_DiscoveryBindInvoke(b *testing.B) {
@@ -413,7 +464,7 @@ func BenchmarkS33_ArtificialContext(b *testing.B) {
 func BenchmarkS34_Discovery(b *testing.B) {
 	for _, n := range []int{10, 100, 1000} {
 		reg := uddi.NewRegistry()
-		biz := reg.SaveBusiness(uddi.BusinessEntity{Name: "GCE"})
+		biz, _ := reg.SaveBusiness(uddi.BusinessEntity{Name: "GCE"})
 		xreg := xmlregistry.NewRegistry()
 		for i := 0; i < n; i++ {
 			scheds := []string{"PBS"}
@@ -967,7 +1018,7 @@ func BenchmarkParallel_CachedInquiry(b *testing.B) {
 	// scale or serialise behind the cache's locking.
 	setup := func(b *testing.B) (*core.Service, string) {
 		reg := uddi.NewRegistry()
-		biz := reg.SaveBusiness(uddi.BusinessEntity{Name: "IU"})
+		biz, _ := reg.SaveBusiness(uddi.BusinessEntity{Name: "IU"})
 		gen := batchscript.NewIUGenerator()
 		if _, err := batchscript.PublishUDDI(reg, biz.Key, "IU BSG",
 			"loopback://par/BatchScriptGenerator", gen); err != nil {

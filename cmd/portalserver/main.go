@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"path/filepath"
 	"time"
 
 	"repro/internal/appws"
@@ -32,12 +33,14 @@ import (
 	"repro/internal/grid"
 	"repro/internal/gss"
 	"repro/internal/jobsub"
+	"repro/internal/persist"
 	"repro/internal/portlet"
 	"repro/internal/rpc"
 	"repro/internal/schemawizard"
 	"repro/internal/srb"
 	"repro/internal/srbws"
 	"repro/internal/uddi"
+	"repro/internal/wal"
 	"repro/internal/xmlregistry"
 )
 
@@ -62,10 +65,27 @@ func main() {
 	user := flag.String("user", "guest", "default portal principal")
 	baseURL := flag.String("base", "", "externally visible base URL (default http://localhost<addr>)")
 	flushToken := flag.String("flush-token", "", "enable the authenticated __flush cache-invalidation op with this shared token")
+	dataDir := flag.String("data", "", "directory for write-ahead logs; empty = in-memory only (state is lost on restart)")
 	flag.Parse()
 	base := *baseURL
 	if base == "" {
 		base = "http://localhost" + *addr
+	}
+
+	// openStore attaches a WAL under <data>/<name> to a stateful service's
+	// persistence seam, replaying prior state into it. With -data unset it
+	// does nothing and every store stays purely in-memory.
+	openStore := func(name string, attach func(persist.Store) error) {
+		if *dataDir == "" {
+			return
+		}
+		l, err := wal.Open(filepath.Join(*dataDir, name), wal.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := attach(l); err != nil {
+			log.Fatalf("recover %s: %v", name, err)
+		}
 	}
 
 	// Substrate.
@@ -74,6 +94,7 @@ func main() {
 	broker := srb.NewBroker("sdsc")
 	home := broker.CreateUser(*user)
 	store := contextmgr.NewStore()
+	openStore("contextmgr", store.Persist)
 
 	// One hosting server; core services, UDDI, and auth each get their own
 	// provider mount. Recovery, stats, WSDL, WSIL, and /healthz come from
@@ -92,21 +113,34 @@ func main() {
 	manager.ArchiveCollection = home
 	ssp.MustRegister(appws.NewService(manager))
 
-	// UDDI with everything published.
+	// UDDI with everything published. A recovered registry already holds
+	// the boot publications of the previous incarnation (and anything
+	// published since); republishing would mint duplicate entities with
+	// fresh keys on every restart, so boot publishing only runs on an
+	// empty registry.
 	registry := uddi.NewRegistry()
-	biz := registry.SaveBusiness(uddi.BusinessEntity{Name: "Portal Server", Description: "all-in-one deployment"})
-	for _, svc := range ssp.Services() {
-		tm := registry.SaveTModel(uddi.TModel{
-			Name:        "gce:" + svc.Contract.Name,
-			OverviewURL: ssp.EndpointFor(svc) + "?wsdl",
-		})
-		if _, err := registry.SaveService(uddi.BusinessService{
-			BusinessKey: biz.Key,
-			Name:        svc.Contract.Name,
-			Description: svc.Contract.Doc,
-			Bindings:    []uddi.BindingTemplate{{AccessPoint: ssp.EndpointFor(svc), TModelKeys: []string{tm.Key}}},
-		}); err != nil {
+	openStore("uddi", registry.Persist)
+	if b, _, _ := registry.Counts(); b == 0 {
+		biz, err := registry.SaveBusiness(uddi.BusinessEntity{Name: "Portal Server", Description: "all-in-one deployment"})
+		if err != nil {
 			log.Fatal(err)
+		}
+		for _, svc := range ssp.Services() {
+			tm, err := registry.SaveTModel(uddi.TModel{
+				Name:        "gce:" + svc.Contract.Name,
+				OverviewURL: ssp.EndpointFor(svc) + "?wsdl",
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := registry.SaveService(uddi.BusinessService{
+				BusinessKey: biz.Key,
+				Name:        svc.Contract.Name,
+				Description: svc.Contract.Doc,
+				Bindings:    []uddi.BindingTemplate{{AccessPoint: ssp.EndpointFor(svc), TModelKeys: []string{tm.Key}}},
+			}); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 	// Inquiry ops are memoised: repeated discovery traffic (find*/get*)
@@ -120,6 +154,7 @@ func main() {
 	// XML container-hierarchy registry (Section 3.4's typed discovery),
 	// with the same inquiry caching on its read surface.
 	xreg := xmlregistry.NewRegistry()
+	openStore("xmlregistry", xreg.Persist)
 	xregSvc := xmlregistry.NewService(xreg)
 	xregCache := rpc.NewResponseCache(30*time.Second, 4096)
 	xregSvc.Use(xregCache.Middleware(rpc.OpPrefixes("find", "get")))
@@ -176,5 +211,15 @@ func main() {
 	log.Printf("portal server listening on %s (base %s)", *addr, base)
 	if err := srv.ListenAndServeGraceful(*addr, *drain); err != nil {
 		log.Fatal(err)
+	}
+	// Drained: no more writes in flight; flush and close the logs.
+	for name, closeFn := range map[string]func() error{
+		"contextmgr":  store.ClosePersist,
+		"uddi":        registry.ClosePersist,
+		"xmlregistry": xreg.ClosePersist,
+	} {
+		if err := closeFn(); err != nil {
+			log.Printf("close %s log: %v", name, err)
+		}
 	}
 }

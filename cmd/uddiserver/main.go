@@ -2,6 +2,7 @@
 // service, the discovery hub of Figure 1.
 //
 //	uddiserver -addr :8081
+//	uddiserver -addr :8081 -data /var/lib/uddi   # durable: survives kill -9
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/rpc"
 	"repro/internal/uddi"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -18,8 +20,20 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 	cacheTTL := flag.Duration("cache-ttl", 30*time.Second, "response cache TTL for find*/get* inquiries (0 disables)")
 	flushToken := flag.String("flush-token", "", "enable the authenticated __flush cache-invalidation op with this shared token")
+	dataDir := flag.String("data", "", "directory for the registry's write-ahead log; empty = in-memory only (state is lost on restart)")
 	flag.Parse()
 	registry := uddi.NewRegistry()
+	if *dataDir != "" {
+		l, err := wal.Open(*dataDir, wal.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := registry.Persist(l); err != nil {
+			log.Fatalf("recover registry: %v", err)
+		}
+		b, s, t := registry.Counts()
+		log.Printf("recovered registry from %s: %d businesses, %d services, %d tModels", *dataDir, b, s, t)
+	}
 	srv := rpc.NewServer("uddi", "http://localhost"+*addr)
 	svc := uddi.NewService(registry)
 	if *cacheTTL > 0 {
@@ -39,5 +53,8 @@ func main() {
 	log.Printf("UDDI registry listening on %s (endpoint /UDDIRegistry, WSDL at /UDDIRegistry?wsdl, health at /healthz)", *addr)
 	if err := srv.ListenAndServeGraceful(*addr, *drain); err != nil {
 		log.Fatal(err)
+	}
+	if err := registry.ClosePersist(); err != nil {
+		log.Printf("close registry log: %v", err)
 	}
 }

@@ -36,8 +36,8 @@ func main() {
 
 	// Publish both into UDDI.
 	reg := uddi.NewRegistry()
-	iu := reg.SaveBusiness(uddi.BusinessEntity{Name: "IU Community Grids Lab"})
-	sdsc := reg.SaveBusiness(uddi.BusinessEntity{Name: "SDSC"})
+	iu, _ := reg.SaveBusiness(uddi.BusinessEntity{Name: "IU Community Grids Lab"})
+	sdsc, _ := reg.SaveBusiness(uddi.BusinessEntity{Name: "SDSC"})
 	mustKey(batchscript.PublishUDDI(reg, iu.Key, "IU Batch Script Generator",
 		"loopback://iu/BatchScriptGenerator", batchscript.NewIUGenerator()))
 	mustKey(batchscript.PublishUDDI(reg, sdsc.Key, "SDSC Batch Script Generator",

@@ -77,8 +77,8 @@ func TestGCETestbed(t *testing.T) {
 
 	// ---- Discovery: UDDI + the proposed XML registry + WSIL ------------------
 	reg := uddi.NewRegistry()
-	iuBiz := reg.SaveBusiness(uddi.BusinessEntity{Name: "IU Community Grids Lab"})
-	sdscBiz := reg.SaveBusiness(uddi.BusinessEntity{Name: "SDSC"})
+	iuBiz, _ := reg.SaveBusiness(uddi.BusinessEntity{Name: "IU Community Grids Lab"})
+	sdscBiz, _ := reg.SaveBusiness(uddi.BusinessEntity{Name: "SDSC"})
 	if _, err := batchscript.PublishUDDI(reg, iuBiz.Key, "IU Batch Script Generator",
 		iuServer.URL+"/BatchScriptGenerator", batchscript.NewIUGenerator()); err != nil {
 		t.Fatal(err)

@@ -311,11 +311,15 @@ func (cl *Client) GenerateScript(req Request) (string, error) {
 func PublishUDDI(reg *uddi.Registry, businessKey, serviceName, endpoint string, g *Generator) (string, error) {
 	tm, ok := reg.TModelByName(TModelName)
 	if !ok {
-		tm = reg.SaveTModel(uddi.TModel{
+		var err error
+		tm, err = reg.SaveTModel(uddi.TModel{
 			Name:        TModelName,
 			Description: "Common batch script generation interface agreed through the GCE",
 			OverviewURL: endpoint + "?wsdl",
 		})
+		if err != nil {
+			return "", err
+		}
 	}
 	svc, err := reg.SaveService(uddi.BusinessService{
 		BusinessKey: businessKey,

@@ -165,8 +165,8 @@ func TestImplementationsCompatibleWithAgreedContract(t *testing.T) {
 // service.
 func TestCrossGroupInterop(t *testing.T) {
 	reg := uddi.NewRegistry()
-	iuBiz := reg.SaveBusiness(uddi.BusinessEntity{Name: "IU Community Grids Lab"})
-	sdscBiz := reg.SaveBusiness(uddi.BusinessEntity{Name: "SDSC"})
+	iuBiz, _ := reg.SaveBusiness(uddi.BusinessEntity{Name: "IU Community Grids Lab"})
+	sdscBiz, _ := reg.SaveBusiness(uddi.BusinessEntity{Name: "SDSC"})
 
 	// Two SSPs, one per group.
 	iuSSP := core.NewProvider("iu-ssp", "loopback://iu")

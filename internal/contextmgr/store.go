@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/persist"
 	"repro/internal/shardmap"
 )
 
@@ -99,11 +100,18 @@ type Archive struct {
 // are weakly consistent under concurrent writers: each user subtree is
 // internally consistent, but subtrees mutated mid-walk may reflect
 // different instants.
+// With Persist attached, each tree mutation's record is appended inside the
+// same shard-lock critical section as the mutation itself, so per-user log
+// order matches apply order and a compaction dump (which takes shard read
+// locks) never observes a mutation whose record it might lose. Records
+// carry their timestamps, so replay reproduces creation and archival times
+// exactly. Reads never touch the log.
 type Store struct {
 	users    *shardmap.Map[*node]
 	archives *shardmap.Map[*Archive]
 	seq      atomic.Int64
 	now      atomic.Value // func() time.Time
+	persist  *persist.Binding
 }
 
 // NewStore returns an empty store.
@@ -167,6 +175,7 @@ func (s *Store) Create(path []string) error {
 	if err := validatePath(path); err != nil {
 		return err
 	}
+	now := s.clock()
 	sh := s.users.ShardFor(path[0])
 	sh.Lock()
 	defer sh.Unlock()
@@ -174,8 +183,8 @@ func (s *Store) Create(path []string) error {
 		if _, exists := sh.Get(path[0]); exists {
 			return fmt.Errorf("contextmgr: context %q already exists", path[0])
 		}
-		sh.Put(path[0], newNode(path[0], s.clock()))
-		return nil
+		sh.Put(path[0], newNode(path[0], now))
+		return s.persist.Log(opCreate, record{Path: path, At: now})
 	}
 	parent, err := lookupLocked(sh, path[:len(path)-1])
 	if err != nil {
@@ -185,8 +194,8 @@ func (s *Store) Create(path []string) error {
 	if _, exists := parent.children[leaf]; exists {
 		return fmt.Errorf("contextmgr: context %q already exists", strings.Join(path, "/"))
 	}
-	parent.children[leaf] = newNode(leaf, s.clock())
-	return nil
+	parent.children[leaf] = newNode(leaf, now)
+	return s.persist.Log(opCreate, record{Path: path, At: now})
 }
 
 // Exists reports whether a context exists.
@@ -213,7 +222,7 @@ func (s *Store) Remove(path []string) error {
 		if !sh.Delete(path[0]) {
 			return fmt.Errorf("contextmgr: no context at %q", path[0])
 		}
-		return nil
+		return s.persist.Log(opRemove, record{Path: path})
 	}
 	parent, err := lookupLocked(sh, path[:len(path)-1])
 	if err != nil {
@@ -224,7 +233,7 @@ func (s *Store) Remove(path []string) error {
 		return fmt.Errorf("contextmgr: no context at %q", strings.Join(path, "/"))
 	}
 	delete(parent.children, leaf)
-	return nil
+	return s.persist.Log(opRemove, record{Path: path})
 }
 
 // List returns the sorted child names under path ([] lists users).
@@ -273,7 +282,7 @@ func (s *Store) Rename(path []string, newName string) error {
 		src.Delete(path[0])
 		n.name = newName
 		dst.Put(newName, n)
-		return nil
+		return s.persist.Log(opRename, record{Path: path, Name: newName})
 	}
 	sh := s.users.ShardFor(path[0])
 	sh.Lock()
@@ -293,7 +302,7 @@ func (s *Store) Rename(path []string, newName string) error {
 	delete(parent.children, leaf)
 	n.name = newName
 	parent.children[newName] = n
-	return nil
+	return s.persist.Log(opRename, record{Path: path, Name: newName})
 }
 
 // Copy duplicates a context subtree under the same parent. Copying a user
@@ -316,7 +325,7 @@ func (s *Store) Copy(path []string, copyName string) error {
 		cp := n.clone()
 		cp.name = copyName
 		dst.Put(copyName, cp)
-		return nil
+		return s.persist.Log(opCopy, record{Path: path, Name: copyName})
 	}
 	sh := s.users.ShardFor(path[0])
 	sh.Lock()
@@ -335,7 +344,7 @@ func (s *Store) Copy(path []string, copyName string) error {
 	cp := n.clone()
 	cp.name = copyName
 	parent.children[copyName] = cp
-	return nil
+	return s.persist.Log(opCopy, record{Path: path, Name: copyName})
 }
 
 // withNode runs fn on the context at path under its shard's write lock.
@@ -372,7 +381,7 @@ func (s *Store) readNode(path []string, fn func(n *node) error) error {
 func (s *Store) SetProp(path []string, name, value string) error {
 	return s.withNode(path, func(n *node) error {
 		n.props[name] = value
-		return nil
+		return s.persist.Log(opSetProp, record{Path: path, Name: name, Value: value})
 	})
 }
 
@@ -397,7 +406,7 @@ func (s *Store) RemoveProp(path []string, name string) error {
 			return fmt.Errorf("contextmgr: context %q has no property %q", strings.Join(path, "/"), name)
 		}
 		delete(n.props, name)
-		return nil
+		return s.persist.Log(opRmProp, record{Path: path, Name: name})
 	})
 }
 
@@ -419,7 +428,7 @@ func (s *Store) ListProps(path []string) ([]string, error) {
 func (s *Store) ClearProps(path []string) error {
 	return s.withNode(path, func(n *node) error {
 		n.props = map[string]string{}
-		return nil
+		return s.persist.Log(opClearProps, record{Path: path})
 	})
 }
 
@@ -477,47 +486,67 @@ func (s *Store) CreatePlaceholder(user, problem, session string) error {
 			return fmt.Errorf("contextmgr: invalid placeholder segment %q", seg)
 		}
 	}
+	now := s.clock()
 	sh := s.users.ShardFor(user)
 	sh.Lock()
 	defer sh.Unlock()
 	cur, ok := sh.Get(user)
 	if !ok {
-		cur = newNode(user, s.clock())
+		cur = newNode(user, now)
 		cur.props["placeholder"] = "true"
 		sh.Put(user, cur)
 	}
 	for _, seg := range []string{problem, session} {
 		next, ok := cur.children[seg]
 		if !ok {
-			next = newNode(seg, s.clock())
+			next = newNode(seg, now)
 			next.props["placeholder"] = "true"
 			cur.children[seg] = next
 		}
 		cur = next
 	}
-	return nil
+	return s.persist.Log(opPlaceholder, record{User: user, Problem: problem, Session: session, At: now})
 }
 
 // ArchiveSession snapshots a session context into the archive and returns
 // the archive ID.
 func (s *Store) ArchiveSession(user, problem, session string) (string, error) {
-	var snap *node
-	sh := s.users.ShardFor(user)
-	sh.RLock()
-	n, err := lookupLocked(sh, []string{user, problem, session})
-	if err == nil {
-		snap = n.clone()
-	}
-	sh.RUnlock()
-	if err != nil {
+	id := fmt.Sprintf("arch-%d", s.seq.Add(1))
+	if err := s.archiveAs(user, problem, session, id); err != nil {
 		return "", err
 	}
-	id := fmt.Sprintf("arch-%d", s.seq.Add(1))
-	s.archives.Store(id, &Archive{
-		ID: id, User: user, Problem: problem, Session: session,
-		When: s.clock(), snapshot: snap,
-	})
 	return id, nil
+}
+
+// archiveAs snapshots the session under the given archive ID. The clone and
+// the durability record happen under the user tree's read lock, so the
+// record's log position matches the tree state it captured; the archive-map
+// store and the record share the archive shard's write lock, so a
+// compaction dump can never miss a stored archive whose record predates the
+// log rotation. Lock order is tree shard (R) then archive shard (W);
+// nothing acquires them in the other order.
+func (s *Store) archiveAs(user, problem, session, id string) error {
+	sh := s.users.ShardFor(user)
+	sh.RLock()
+	defer sh.RUnlock()
+	n, err := lookupLocked(sh, []string{user, problem, session})
+	if err != nil {
+		return err
+	}
+	a := &Archive{
+		ID: id, User: user, Problem: problem, Session: session,
+		When: s.clock(), snapshot: n.clone(),
+	}
+	ash := s.archives.ShardFor(id)
+	ash.Lock()
+	defer ash.Unlock()
+	if err := s.persist.Log(opArchive, record{
+		User: user, Problem: problem, Session: session, ID: id, At: a.When, Seq: s.seq.Load(),
+	}); err != nil {
+		return err
+	}
+	ash.Put(id, a)
+	return nil
 }
 
 // RestoreSession replaces (or recreates) a session context from an archive
@@ -535,7 +564,7 @@ func (s *Store) RestoreSession(id string) error {
 		return err
 	}
 	problemNode.children[a.Session] = a.snapshot.clone()
-	return nil
+	return s.persist.Log(opRestore, record{ID: id})
 }
 
 // ListArchives returns archives for a user sorted by ID.
@@ -555,10 +584,13 @@ func (s *Store) ListArchives(user string) []Archive {
 
 // RemoveArchive deletes an archive.
 func (s *Store) RemoveArchive(id string) error {
-	if !s.archives.Delete(id) {
+	ash := s.archives.ShardFor(id)
+	ash.Lock()
+	defer ash.Unlock()
+	if !ash.Delete(id) {
 		return fmt.Errorf("contextmgr: no archive %q", id)
 	}
-	return nil
+	return s.persist.Log(opRmArchive, record{ID: id})
 }
 
 // ExportDirectory renders the tree as the directory-structure mapping the
@@ -609,9 +641,12 @@ func (s *Store) ExportDirectory() string {
 
 // ImportDirectory rebuilds a tree from ExportDirectory output. The swap is
 // per-user, not globally atomic: a reader racing an Import may see a mix
-// of old and new user subtrees.
+// of old and new user subtrees, and the durability record of an Import
+// racing per-user writers is likewise weakly ordered (the record is
+// appended after the swap, with no global lock held).
 func (s *Store) ImportDirectory(data string) error {
-	root := newNode("", s.clock())
+	now := s.clock()
+	root := newNode("", now)
 	for _, line := range strings.Split(data, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" {
@@ -639,7 +674,7 @@ func (s *Store) ImportDirectory(data string) error {
 			}
 			next, ok := cur.children[seg]
 			if !ok {
-				next = newNode(seg, s.clock())
+				next = newNode(seg, now)
 				cur.children[seg] = next
 			}
 			cur = next
@@ -652,5 +687,5 @@ func (s *Store) ImportDirectory(data string) error {
 	for name, n := range root.children {
 		s.users.Store(name, n)
 	}
-	return nil
+	return s.persist.Log(opImportDir, record{Data: data, At: now})
 }

@@ -295,7 +295,11 @@ func (g *Gateway) forward(rt *route, w http.ResponseWriter, r *http.Request, bod
 	soap.WriteFault(w, f, 0)
 }
 
-// relay writes one backend response through unchanged.
+// relay writes one backend response through unchanged. A failed or short
+// write means the client disconnected mid-relay: the backend answered
+// fine, so the failure is recorded in the relay.write_errors counter
+// (visible at /healthz) and deliberately NOT fed to the backend's breaker
+// — opening a circuit over a flaky client would punish a healthy backend.
 func (g *Gateway) relay(w http.ResponseWriter, res ForwardResult, body []byte) {
 	w.Header().Set("Content-Type", soap.ContentType)
 	if res.RetryAfter != "" {
@@ -306,7 +310,9 @@ func (g *Gateway) relay(w http.ResponseWriter, res ForwardResult, body []byte) {
 		status = http.StatusOK
 	}
 	w.WriteHeader(status)
-	_, _ = w.Write(body)
+	if n, err := w.Write(body); err != nil || n < len(body) {
+		g.stats.AddCounter("relay.write_errors", 1)
+	}
 }
 
 // invalidate propagates a forwarded write through the fleet: the handling

@@ -1,0 +1,66 @@
+package gateway_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"syscall"
+	"testing"
+)
+
+// deadClientWriter models a client that closed its connection before the
+// relay could write the response: net/http surfaces that as EPIPE from
+// ResponseWriter.Write.
+type deadClientWriter struct {
+	header http.Header
+	status int
+}
+
+func (d *deadClientWriter) Header() http.Header  { return d.header }
+func (d *deadClientWriter) WriteHeader(code int) { d.status = code }
+func (d *deadClientWriter) Write(p []byte) (int, error) {
+	return 0, syscall.EPIPE
+}
+
+// TestRelayWriteErrorCounted pins the response-write bugfix: a client that
+// disconnects mid-relay used to vanish without a trace. Now the failed write
+// lands in the relay.write_errors counter — and does NOT trip the backend's
+// breaker, because the backend answered fine.
+func TestRelayWriteErrorCounted(t *testing.T) {
+	_, ts := batchBackend(t, "iu")
+	gw := newGateway(t, ts.URL)
+
+	body := golden(t, "batchscript.req.xml")
+	rec := do(gw, http.MethodPost, "http://gw.local/ssp/BatchScriptGenerator", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sanity forward failed: %d\n%s", rec.Code, rec.Body.String())
+	}
+	if n := gw.Stats().Counter("relay.write_errors"); n != 0 {
+		t.Fatalf("healthy relay counted %d write errors", n)
+	}
+
+	// Same request, but the client is gone by the time the relay writes.
+	dead := &deadClientWriter{header: http.Header{}}
+	r := httptest.NewRequest(http.MethodPost,
+		"http://gw.local/ssp/BatchScriptGenerator", bytes.NewReader(body))
+	gw.Handler().ServeHTTP(dead, r)
+	if dead.status != http.StatusOK {
+		t.Fatalf("backend forward failed underneath the dead client: %d", dead.status)
+	}
+	if n := gw.Stats().Counter("relay.write_errors"); n != 1 {
+		t.Fatalf("relay.write_errors = %d, want 1", n)
+	}
+
+	// The breaker must not have been fed: the next request from a live
+	// client goes straight through.
+	if err := gw.Breakers.For(ts.URL).Allow(); err != nil {
+		t.Fatalf("dead client opened the backend's breaker: %v", err)
+	}
+	rec = do(gw, http.MethodPost, "http://gw.local/ssp/BatchScriptGenerator", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("follow-up forward failed: %d\n%s", rec.Code, rec.Body.String())
+	}
+	if n := gw.Stats().Counter("relay.write_errors"); n != 1 {
+		t.Fatalf("relay.write_errors grew to %d on a healthy relay", n)
+	}
+}

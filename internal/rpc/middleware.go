@@ -213,6 +213,12 @@ type Stats struct {
 	resilMu  sync.Mutex
 	breakers []namedBreakers
 	retries  []namedRetry
+
+	// counters holds ad-hoc named counters (AddCounter) surfaced in the
+	// health document — failure classes that belong to no one operation,
+	// such as the gateway's relay.write_errors. Lock-free: name ->
+	// *atomic.Uint64, populated once per name.
+	counters sync.Map
 }
 
 type namedCache struct {
@@ -233,6 +239,37 @@ type namedRetry struct {
 // NewStats returns an empty stats collector.
 func NewStats() *Stats {
 	return &Stats{start: time.Now()}
+}
+
+// AddCounter increments the named ad-hoc counter, creating it on first use.
+// Safe for concurrent use from hot paths: after the first increment of a
+// name this is one sync.Map read plus one atomic add.
+func (s *Stats) AddCounter(name string, delta uint64) {
+	c, ok := s.counters.Load(name)
+	if !ok {
+		c, _ = s.counters.LoadOrStore(name, new(atomic.Uint64))
+	}
+	c.(*atomic.Uint64).Add(delta)
+}
+
+// Counter returns the named ad-hoc counter's current value (0 if it was
+// never incremented).
+func (s *Stats) Counter(name string) uint64 {
+	c, ok := s.counters.Load(name)
+	if !ok {
+		return 0
+	}
+	return c.(*atomic.Uint64).Load()
+}
+
+// CounterSnapshot returns every ad-hoc counter, for the health document.
+func (s *Stats) CounterSnapshot() map[string]uint64 {
+	out := map[string]uint64{}
+	s.counters.Range(func(k, v interface{}) bool {
+		out[k.(string)] = v.(*atomic.Uint64).Load()
+		return true
+	})
+	return out
 }
 
 // RegisterCache exposes a ResponseCache's hit/miss/entry counters in the
@@ -493,15 +530,20 @@ func (s *Stats) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		Operation string `json:"operation"`
 		OpStats
 	}
+	counters := s.CounterSnapshot()
+	if len(counters) == 0 {
+		counters = nil
+	}
 	doc := struct {
-		Status     string          `json:"status"`
-		UptimeSecs float64         `json:"uptimeSeconds"`
-		Decode     DecodeStats     `json:"decode"`
-		Resilience ResilienceStats `json:"resilience"`
-		Caches     []CacheStats    `json:"caches,omitempty"`
-		Operations []opLine        `json:"operations"`
+		Status     string            `json:"status"`
+		UptimeSecs float64           `json:"uptimeSeconds"`
+		Decode     DecodeStats       `json:"decode"`
+		Resilience ResilienceStats   `json:"resilience"`
+		Caches     []CacheStats      `json:"caches,omitempty"`
+		Counters   map[string]uint64 `json:"counters,omitempty"`
+		Operations []opLine          `json:"operations"`
 	}{Status: "ok", UptimeSecs: time.Since(s.start).Seconds(), Decode: s.DecodeSnapshot(),
-		Resilience: s.ResilienceSnapshot(), Caches: s.CacheSnapshot()}
+		Resilience: s.ResilienceSnapshot(), Caches: s.CacheSnapshot(), Counters: counters}
 	for _, k := range keys {
 		doc.Operations = append(doc.Operations, opLine{Operation: k, OpStats: snap[k]})
 	}

@@ -13,8 +13,8 @@ import (
 // balance what the writers did.
 func TestRegistryConcurrentMixedWorkload(t *testing.T) {
 	r := NewRegistry()
-	biz := r.SaveBusiness(BusinessEntity{Name: "Shared Host"})
-	tm := r.SaveTModel(TModel{Name: "gce:BatchScriptGenerator"})
+	biz, _ := r.SaveBusiness(BusinessEntity{Name: "Shared Host"})
+	tm, _ := r.SaveTModel(TModel{Name: "gce:BatchScriptGenerator"})
 
 	const workers = 8
 	const iters = 100

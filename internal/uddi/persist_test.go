@@ -1,0 +1,135 @@
+package uddi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/uddi"
+	"repro/internal/wal"
+)
+
+func openRegistry(t *testing.T, dir string) *uddi.Registry {
+	t.Helper()
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	r := uddi.NewRegistry()
+	if err := r.Persist(l); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	return r
+}
+
+// TestNoKeyReuseAcrossRestart is the regression test for the key-allocation
+// bug: the sequence used to restart from zero on reboot, so a recovered
+// registry would re-mint keys already handed out — silently overwriting
+// earlier entities. Recovery must restore the sequence high-water mark.
+func TestNoKeyReuseAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	r1 := openRegistry(t, dir)
+	issued := map[string]string{} // key -> name
+	for i := 0; i < 20; i++ {
+		b, err := r1.SaveBusiness(uddi.BusinessEntity{Name: fmt.Sprintf("gen1-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		issued[b.Key] = b.Name
+	}
+	if err := r1.ClosePersist(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openRegistry(t, dir)
+	defer r2.ClosePersist()
+	if b, _, _ := r2.Counts(); b != 20 {
+		t.Fatalf("recovered %d businesses, want 20", b)
+	}
+	for i := 0; i < 20; i++ {
+		b, err := r2.SaveBusiness(uddi.BusinessEntity{Name: fmt.Sprintf("gen2-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prior, clash := issued[b.Key]; clash {
+			t.Fatalf("restarted registry reused key %s (gen1 entity %q)", b.Key, prior)
+		}
+		issued[b.Key] = b.Name
+	}
+	// Nothing was overwritten: every gen1 entity is still intact.
+	for key, name := range issued {
+		b, err := r2.GetBusiness(key)
+		if err != nil {
+			t.Fatalf("entity %s (%s) missing: %v", key, name, err)
+		}
+		if b.Name != name {
+			t.Fatalf("entity %s has name %q, want %q", key, b.Name, name)
+		}
+	}
+}
+
+// TestRegistryRoundTrip covers every mutation op across a restart: saved
+// businesses/tModels/services come back verbatim, deleted services stay
+// deleted, and the round-trip survives an intervening compaction.
+func TestRegistryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r1 := openRegistry(t, dir)
+	biz, err := r1.SaveBusiness(uddi.BusinessEntity{Name: "IU Community Grids Lab", Description: "portal group"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := r1.SaveTModel(uddi.TModel{Name: "gce:Globusrun", OverviewURL: "http://iu/wsdl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := r1.SaveService(uddi.BusinessService{
+		BusinessKey: biz.Key, Name: "Globusrun", Description: "job submission",
+		Bindings: []uddi.BindingTemplate{{AccessPoint: "http://iu/Globusrun", TModelKeys: []string{tm.Key}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone, err := r1.SaveService(uddi.BusinessService{BusinessKey: biz.Key, Name: "Doomed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.DeleteService(gone.Key); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.CompactPersist(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot tail: this service lives only in the log.
+	tail, err := r1.SaveService(uddi.BusinessService{BusinessKey: biz.Key, Name: "TailSvc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.ClosePersist(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openRegistry(t, dir)
+	defer r2.ClosePersist()
+	if got, err := r2.GetBusiness(biz.Key); err != nil || got.Name != biz.Name || got.Description != biz.Description {
+		t.Fatalf("business round-trip: %+v, %v", got, err)
+	}
+	if got, err := r2.GetTModel(tm.Key); err != nil || got.OverviewURL != tm.OverviewURL {
+		t.Fatalf("tModel round-trip: %+v, %v", got, err)
+	}
+	got, err := r2.GetServiceDetail(keep.Key)
+	if err != nil {
+		t.Fatalf("service round-trip: %v", err)
+	}
+	if len(got.Bindings) != 1 || got.Bindings[0].AccessPoint != "http://iu/Globusrun" ||
+		len(got.Bindings[0].TModelKeys) != 1 || got.Bindings[0].TModelKeys[0] != tm.Key {
+		t.Fatalf("service bindings mangled: %+v", got.Bindings)
+	}
+	if _, err := r2.GetServiceDetail(gone.Key); err == nil {
+		t.Fatal("deleted service resurrected by recovery")
+	}
+	if _, err := r2.GetServiceDetail(tail.Key); err != nil {
+		t.Fatalf("post-snapshot service lost: %v", err)
+	}
+	if b, s, tms := r2.Counts(); b != 1 || s != 2 || tms != 1 {
+		t.Fatalf("recovered counts = %d/%d/%d, want 1 business, 2 services, 1 tModel", b, s, tms)
+	}
+}

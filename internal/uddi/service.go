@@ -29,7 +29,10 @@ func def(r *Registry) *rpc.Def {
 				In:   []wsdl.Param{rpc.Str("name"), rpc.Str("description")},
 				Out:  []wsdl.Param{rpc.Str("businessKey")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
-					b := r.SaveBusiness(BusinessEntity{Name: in.Str("name"), Description: in.Str("description")})
+					b, err := r.SaveBusiness(BusinessEntity{Name: in.Str("name"), Description: in.Str("description")})
+					if err != nil {
+						return nil, fail(soap.ErrCodeInternal, "%v", err)
+					}
 					return rpc.Ret(b.Key), nil
 				},
 			},
@@ -39,11 +42,14 @@ func def(r *Registry) *rpc.Def {
 				In:   []wsdl.Param{rpc.Str("name"), rpc.Str("description"), rpc.Str("overviewURL")},
 				Out:  []wsdl.Param{rpc.Str("tModelKey")},
 				Handle: func(_ *core.Context, in rpc.Args) ([]interface{}, error) {
-					t := r.SaveTModel(TModel{
+					t, err := r.SaveTModel(TModel{
 						Name:        in.Str("name"),
 						Description: in.Str("description"),
 						OverviewURL: in.Str("overviewURL"),
 					})
+					if err != nil {
+						return nil, fail(soap.ErrCodeInternal, "%v", err)
+					}
 					return rpc.Ret(t.Key), nil
 				},
 			},

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/persist"
 	"repro/internal/shardmap"
 )
 
@@ -85,11 +86,18 @@ type BusinessEntity struct {
 // shards one at a time and therefore observe a weakly consistent view: a
 // concurrently published service may or may not appear, but no result is
 // ever torn.
+//
+// With Persist attached, every mutation is appended to the write-ahead log
+// and the shard-lock critical section covers both the append and the map
+// update, so per-key log order matches apply order and a compaction dump
+// (which takes each shard's read lock) can never observe a mutation whose
+// record it might lose. Reads never touch the log.
 type Registry struct {
 	businesses *shardmap.Map[*BusinessEntity]
 	services   *shardmap.Map[*BusinessService]
 	tmodels    *shardmap.Map[*TModel]
 	seq        atomic.Int64
+	persist    *persist.Binding // nil = in-memory only
 }
 
 // NewRegistry returns an empty registry.
@@ -112,20 +120,35 @@ func (r *Registry) newKey(kind, name string) string {
 	return fmt.Sprintf("uuid:%s-%s-%s-%s-%s", h[0:8], h[8:12], h[12:16], h[16:20], h[20:32])
 }
 
-// SaveBusiness publishes a business entity, assigning its key.
-func (r *Registry) SaveBusiness(b BusinessEntity) *BusinessEntity {
+// SaveBusiness publishes a business entity, assigning its key. With
+// persistence attached the entity is durable when SaveBusiness returns; an
+// error means nothing was stored.
+func (r *Registry) SaveBusiness(b BusinessEntity) (*BusinessEntity, error) {
 	b.Key = r.newKey("business", b.Name)
 	stored := b
-	r.businesses.Store(b.Key, &stored)
-	return &stored
+	sh := r.businesses.ShardFor(b.Key)
+	sh.Lock()
+	defer sh.Unlock()
+	if err := r.persist.Log(opBusiness, record{Seq: r.seq.Load(), Business: &stored}); err != nil {
+		return nil, err
+	}
+	sh.Put(b.Key, &stored)
+	return &stored, nil
 }
 
-// SaveTModel publishes a tModel, assigning its key.
-func (r *Registry) SaveTModel(t TModel) *TModel {
+// SaveTModel publishes a tModel, assigning its key. Durability as for
+// SaveBusiness.
+func (r *Registry) SaveTModel(t TModel) (*TModel, error) {
 	t.Key = r.newKey("tmodel", t.Name)
 	stored := t
-	r.tmodels.Store(t.Key, &stored)
-	return &stored
+	sh := r.tmodels.ShardFor(t.Key)
+	sh.Lock()
+	defer sh.Unlock()
+	if err := r.persist.Log(opTModel, record{Seq: r.seq.Load(), TModel: &stored}); err != nil {
+		return nil, err
+	}
+	sh.Put(t.Key, &stored)
+	return &stored, nil
 }
 
 // SaveService publishes a service under an existing business, assigning the
@@ -149,15 +172,28 @@ func (r *Registry) SaveService(s BusinessService) (*BusinessService, error) {
 		s.Bindings[i].Key = r.newKey("binding", s.Name+"/"+s.Bindings[i].AccessPoint)
 	}
 	stored := s
-	r.services.Store(s.Key, &stored)
+	sh := r.services.ShardFor(s.Key)
+	sh.Lock()
+	defer sh.Unlock()
+	if err := r.persist.Log(opService, record{Seq: r.seq.Load(), Service: &stored}); err != nil {
+		return nil, err
+	}
+	sh.Put(s.Key, &stored)
 	return &stored, nil
 }
 
 // DeleteService removes a published service.
 func (r *Registry) DeleteService(key string) error {
-	if !r.services.Delete(key) {
+	sh := r.services.ShardFor(key)
+	sh.Lock()
+	defer sh.Unlock()
+	if _, ok := sh.Get(key); !ok {
 		return fmt.Errorf("uddi: unknown serviceKey %q", key)
 	}
+	if err := r.persist.Log(opDelService, record{Key: key}); err != nil {
+		return err
+	}
+	sh.Delete(key)
 	return nil
 }
 

@@ -12,9 +12,9 @@ import (
 func seedRegistry(t *testing.T) (*Registry, string, string) {
 	t.Helper()
 	r := NewRegistry()
-	iu := r.SaveBusiness(BusinessEntity{Name: "IU Community Grids Lab", Description: "Gateway portal group"})
-	sdsc := r.SaveBusiness(BusinessEntity{Name: "SDSC", Description: "HotPage portal group"})
-	tm := r.SaveTModel(TModel{Name: "gce:BatchScriptGenerator", OverviewURL: "http://iu/bsg.wsdl"})
+	iu, _ := r.SaveBusiness(BusinessEntity{Name: "IU Community Grids Lab", Description: "Gateway portal group"})
+	sdsc, _ := r.SaveBusiness(BusinessEntity{Name: "SDSC", Description: "HotPage portal group"})
+	tm, _ := r.SaveTModel(TModel{Name: "gce:BatchScriptGenerator", OverviewURL: "http://iu/bsg.wsdl"})
 	_, err := r.SaveService(BusinessService{
 		BusinessKey: iu.Key,
 		Name:        "IU Batch Script Generator",
@@ -86,7 +86,7 @@ func TestSaveServiceValidation(t *testing.T) {
 	if _, err := r.SaveService(BusinessService{BusinessKey: "uuid:none", Name: "x"}); err == nil {
 		t.Error("unknown businessKey accepted")
 	}
-	b := r.SaveBusiness(BusinessEntity{Name: "IU"})
+	b, _ := r.SaveBusiness(BusinessEntity{Name: "IU"})
 	if _, err := r.SaveService(BusinessService{
 		BusinessKey: b.Key, Name: "x",
 		Bindings: []BindingTemplate{{AccessPoint: "http://x", TModelKeys: []string{"uuid:ghost"}}},
@@ -196,7 +196,7 @@ func TestConventionFalsePositive(t *testing.T) {
 
 func TestConcurrentPublishAndQuery(t *testing.T) {
 	r := NewRegistry()
-	b := r.SaveBusiness(BusinessEntity{Name: "IU"})
+	b, _ := r.SaveBusiness(BusinessEntity{Name: "IU"})
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(2)

@@ -1,0 +1,129 @@
+package xmlregistry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+func openPersistent(t *testing.T, dir string) *Registry {
+	t.Helper()
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	r := NewRegistry()
+	if err := r.Persist(l); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	return r
+}
+
+// TestHierarchyRoundTrip restarts the registry across every mutation kind —
+// create, put, delete, a compacting snapshot, and post-snapshot tail writes —
+// and asserts the recovered hierarchy renders identically.
+func TestHierarchyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r1 := openPersistent(t, dir)
+	if _, err := r1.Create("/services/batch", "serviceGroup"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Put("/services/batch/iu", "service", []Property{
+		{Name: "supportedScheduler", Value: "PBS"},
+		{Name: "supportedScheduler", Value: "LoadLeveler"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Put("/services/batch/doomed", "service", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Delete("/services/batch/doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.CompactPersist(); err != nil {
+		t.Fatal(err)
+	}
+	// Tail writes after the snapshot: only in the log.
+	if err := r1.Put("/services/batch/sdsc", "service", []Property{
+		{Name: "supportedScheduler", Value: "NQS"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := r1.Export()
+	if err := r1.ClosePersist(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openPersistent(t, dir)
+	defer r2.ClosePersist()
+	if got := r2.Export(); got != want {
+		t.Fatalf("recovered hierarchy differs:\n got %s\nwant %s", got, want)
+	}
+	if _, err := r2.Get("/services/batch/doomed"); err == nil {
+		t.Fatal("deleted container resurrected by recovery")
+	}
+	c, err := r2.Get("/services/batch/sdsc")
+	if err != nil {
+		t.Fatalf("post-snapshot container lost: %v", err)
+	}
+	if v, _ := c.Prop("supportedScheduler"); v != "NQS" {
+		t.Fatalf("recovered property = %q, want NQS", v)
+	}
+}
+
+// TestExportConcurrentDelete pins the delete-during-Export fix: top-level
+// containers deleted between Export's ordered-list walk and its shard load
+// must be skipped — never rendered empty, never a panic — and the exported
+// document must stay parseable (Import accepts it). Run with -race.
+func TestExportConcurrentDelete(t *testing.T) {
+	r := NewRegistry()
+	const n = 32
+	for i := 0; i < n; i++ {
+		if _, err := r.Create(fmt.Sprintf("/top-%02d", i), "serviceGroup"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Put(fmt.Sprintf("/top-%02d/leaf", i), "service", []Property{{Name: "n", Value: "1"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // deleter: tears down every other top-level subtree
+		defer wg.Done()
+		for i := 0; i < n; i += 2 {
+			if err := r.Delete(fmt.Sprintf("/top-%02d", i)); err != nil {
+				t.Errorf("Delete: %v", err)
+			}
+		}
+	}()
+	docs := make([]string, 0, 64)
+	go func() { // exporter: renders continuously while deletes land
+		defer wg.Done()
+		for i := 0; i < 64; i++ {
+			docs = append(docs, r.Export())
+		}
+	}()
+	wg.Wait()
+	for _, doc := range docs {
+		fresh := NewRegistry()
+		if err := fresh.Import(doc); err != nil {
+			t.Fatalf("Export emitted an unimportable document: %v\n%s", err, doc)
+		}
+	}
+	// After the dust settles only the odd-numbered subtrees remain.
+	final := NewRegistry()
+	if err := final.Import(r.Export()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		_, err := final.Get(fmt.Sprintf("/top-%02d/leaf", i))
+		if i%2 == 0 && err == nil {
+			t.Fatalf("deleted subtree top-%02d still exported", i)
+		}
+		if i%2 == 1 && err != nil {
+			t.Fatalf("surviving subtree top-%02d lost: %v", i, err)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/persist"
 	"repro/internal/rpc"
 	"repro/internal/shardmap"
 	"repro/internal/soap"
@@ -139,11 +140,18 @@ func containerFromElement(el *xmlutil.Element) (*Container, error) {
 // deployments) proceed in parallel. The insertion order of top-level
 // containers — which only Export renders — is kept separately under a
 // small mutex touched only on top-level create/delete/import.
+// With Persist attached, each mutation's record is appended inside the same
+// shard-lock critical section as the mutation itself, so per-container log
+// order matches apply order and a compaction dump (which takes shard read
+// locks) never observes a mutation whose record it might lose. Reads never
+// touch the log.
 type Registry struct {
 	top *shardmap.Map[*Container]
 
 	ordMu sync.Mutex
 	order []string
+
+	persist *persist.Binding // nil = in-memory only
 }
 
 // NewRegistry returns an empty registry.
@@ -233,6 +241,9 @@ func (r *Registry) Create(path, typ string) (*Container, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := r.persist.Log(opCreate, record{Path: path, Type: typ}); err != nil {
+		return nil, err
+	}
 	return copyContainer(c), nil
 }
 
@@ -253,7 +264,7 @@ func (r *Registry) Put(path, typ string, props []Property) error {
 		return err
 	}
 	c.Properties = append([]Property(nil), props...)
-	return nil
+	return r.persist.Log(opPut, record{Path: path, Type: typ, Props: props})
 }
 
 // Get returns a deep copy of the container at path.
@@ -286,7 +297,7 @@ func (r *Registry) Delete(path string) error {
 			return fmt.Errorf("xmlregistry: no container at %q", path)
 		}
 		r.removeOrder(segs[0])
-		return nil
+		return r.persist.Log(opDelete, record{Path: path})
 	}
 	parent, err := lookupLocked(s, segs[:len(segs)-1], path)
 	if err != nil {
@@ -303,7 +314,7 @@ func (r *Registry) Delete(path string) error {
 			break
 		}
 	}
-	return nil
+	return r.persist.Log(opDelete, record{Path: path})
 }
 
 // lookupLocked resolves segs within the shard. The caller holds the
@@ -442,7 +453,11 @@ func matches(c *Container, q Query) bool {
 
 // Export renders the whole hierarchy as one self-describing XML document.
 // Top-level subtrees are rendered one shard lock at a time, in insertion
-// order, so the document is weakly consistent under concurrent writes.
+// order, so the document is weakly consistent under concurrent writes: the
+// ordered top-level list and the sharded map are guarded separately, and a
+// container deleted between the list walk and the map load is simply
+// skipped (never rendered empty, never a panic). Each rendered subtree is
+// internally consistent, but two subtrees may reflect different instants.
 func (r *Registry) Export() string {
 	el := xmlutil.New("container").SetAttr("name", "").SetAttr("type", "root")
 	for _, name := range r.topOrder() {
@@ -458,7 +473,9 @@ func (r *Registry) Export() string {
 
 // Import replaces the hierarchy from an exported document. The swap is
 // per-top-level-container, not globally atomic: a reader racing an Import
-// may see a mix of old and new subtrees.
+// may see a mix of old and new subtrees, and the durability record of an
+// Import racing per-container writers is likewise weakly ordered (the
+// record is appended after the swap, with no global lock held).
 func (r *Registry) Import(doc string) error {
 	el, err := xmlutil.ParseString(doc)
 	if err != nil {
@@ -476,7 +493,7 @@ func (r *Registry) Import(doc string) error {
 		r.top.Store(name, root.children[name])
 		r.addOrder(name)
 	}
-	return nil
+	return r.persist.Log(opImport, record{Doc: doc})
 }
 
 // --- SOAP service wrapper -------------------------------------------------

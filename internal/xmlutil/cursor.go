@@ -92,6 +92,13 @@ type Cursor struct {
 // instance when the same bytes were seen recently. A full comparison
 // guards every hit, so collisions only cost the miss path: one string
 // allocation and a cache overwrite.
+//
+// Only bounded vocabulary — element names and namespace prefixes — may
+// feed the global intern table through here. High-cardinality spans
+// (leaf text and attribute values: registry keys, user data) must go
+// through memoLocal instead, or the append-only intern table fills with
+// one-shot strings — evicting nothing, wasting the cap, and paying a
+// full-table copy per insert until full.
 func (c *Cursor) memoSpan(span []byte) string {
 	if len(span) == 0 {
 		return ""
@@ -104,6 +111,29 @@ func (c *Cursor) memoSpan(span []byte) string {
 		return s
 	}
 	s := intern(span) // shared instance even when slots collide
+	c.memo[h] = s
+	return s
+}
+
+// memoLocal is memoSpan without the global intern table: a miss
+// allocates and caches per-cursor only. For spans whose value space is
+// unbounded, the recurring ones ("xsd:string", redeclared namespace
+// URIs) still turn into reuse via the memo — cursors are pooled, so the
+// memo warms once per cursor instance — while unique ones (freshly
+// minted uuid keys in publish responses) cost exactly their own
+// allocation instead of a global table insert.
+func (c *Cursor) memoLocal(span []byte) string {
+	if len(span) == 0 {
+		return ""
+	}
+	if len(span) > maxInternLen {
+		return string(span)
+	}
+	h := (uint(len(span))*131 + uint(span[0])*31 + uint(span[len(span)-1])) % uint(len(c.memo))
+	if s := c.memo[h]; s == string(span) {
+		return s
+	}
+	s := string(span)
 	c.memo[h] = s
 	return s
 }
@@ -275,7 +305,7 @@ func (c *Cursor) TextIsSpace() bool {
 // endings normalised, identical to the tree parser's text handling.
 func (c *Cursor) Text() (string, error) {
 	if c.textClean {
-		return c.memoSpan(c.textSpan), nil
+		return c.memoLocal(c.textSpan), nil
 	}
 	buf, err := cursorUnescape(c.scratch[:0], c.textSpan)
 	if err != nil {
@@ -607,7 +637,7 @@ func (c *Cursor) attrValue() (string, error) {
 	span := data[start:i]
 	c.pos = i + 1
 	if clean {
-		return c.memoSpan(span), nil
+		return c.memoLocal(span), nil
 	}
 	buf, err := cursorUnescape(c.scratch[:0], span)
 	if err != nil {
